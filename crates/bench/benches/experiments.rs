@@ -1,0 +1,159 @@
+//! One smoke bench per experiment pipeline (Tables 3–6, Figs. 3–9,
+//! QRR): each bench runs a miniature version of the pipeline that
+//! regenerates the corresponding table/figure, so a performance
+//! regression in any reproduction path shows up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nestsim_bench::bench_base;
+use nestsim_core::campaign::{draw_samples, run_campaign, CampaignSpec};
+use nestsim_core::inject::run_injection;
+use nestsim_core::persistence::persistence_sweep;
+use nestsim_core::rtl_only::{
+    draw_fig7_samples, rtl_only_golden, run_rtl_only_injection, RtlOnlyConfig,
+};
+use nestsim_core::warmup::warmup_experiment;
+use nestsim_cost::CostModel;
+use nestsim_hlsim::workload::by_name;
+use nestsim_models::inventory::model_census;
+use nestsim_models::ComponentKind;
+use nestsim_qrr::recovery::run_qrr_injection;
+
+fn quick_spec(component: ComponentKind) -> CampaignSpec {
+    CampaignSpec {
+        seed: 99,
+        length_scale: 100,
+        cosim_cap: 20_000,
+        workers: 1,
+        ..CampaignSpec::new(component, 4)
+    }
+}
+
+fn tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/tables");
+    g.bench_function("table3_table4_census", |b| {
+        b.iter(|| {
+            for kind in ComponentKind::ALL {
+                black_box(model_census(kind));
+            }
+        })
+    });
+    g.bench_function("table6_cost_model", |b| {
+        b.iter(|| black_box(CostModel::default().table6()))
+    });
+    g.finish();
+}
+
+fn fig3_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/fig3");
+    g.sample_size(10);
+    g.bench_function("l2c_cell_4_injections", |b| {
+        b.iter(|| {
+            black_box(run_campaign(
+                by_name("radi").unwrap(),
+                &quick_spec(ComponentKind::L2c),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig5_warmup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/fig5");
+    g.sample_size(10);
+    g.bench_function("l2c_one_window", |b| {
+        b.iter(|| {
+            black_box(warmup_experiment(
+                ComponentKind::L2c,
+                by_name("radi").unwrap(),
+                1,
+                200,
+                99,
+                200,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig6_persistence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/fig6");
+    g.sample_size(10);
+    g.bench_function("l2c_4_flops", |b| {
+        b.iter(|| {
+            black_box(persistence_sweep(
+                ComponentKind::L2c,
+                by_name("radi").unwrap(),
+                4,
+                4_000,
+                &quick_spec(ComponentKind::L2c),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig7_rtl_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/fig7");
+    g.sample_size(10);
+    let cfg = RtlOnlyConfig {
+        length_scale: 400,
+        seed: 99,
+        ..RtlOnlyConfig::paper_like(by_name("fft").unwrap())
+    };
+    let golden = rtl_only_golden(&cfg);
+    let samples = draw_fig7_samples(&cfg, &golden, 1);
+    g.bench_function("one_rtl_only_injection", |b| {
+        b.iter(|| {
+            let (bit, cycle) = samples[0];
+            black_box(run_rtl_only_injection(&cfg, &golden, bit, cycle))
+        })
+    });
+    g.finish();
+}
+
+fn fig8_fig9_injection(c: &mut Criterion) {
+    // Figs. 3/8/9 all consume the same per-run records; benchmark one
+    // full Fig. 2 injection flow end to end.
+    let mut g = c.benchmark_group("experiments/injection_flow");
+    g.sample_size(10);
+    let (base, golden) = bench_base("radi", 100);
+    let spec = quick_spec(ComponentKind::L2c);
+    let samples = draw_samples(by_name("radi").unwrap(), &spec, &golden);
+    g.bench_function("one_l2c_injection", |b| {
+        b.iter(|| black_box(run_injection(&base, &golden, &samples[0])))
+    });
+    g.finish();
+}
+
+fn qrr_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/qrr");
+    g.sample_size(10);
+    let (base, golden) = bench_base("radi", 100);
+    use nestsim_models::{L2cBank, UncoreRtl};
+    let bank = L2cBank::new(nestsim_proto::addr::BankId::new(0));
+    let bit = bank
+        .flops()
+        .fields()
+        .iter()
+        .find(|f| f.name == "iq[0].valid")
+        .map(|f| f.offset)
+        .unwrap();
+    g.bench_function("detect_reset_replay", |b| {
+        b.iter(|| black_box(run_qrr_injection(&base, &golden, 0, bit, 2_000, 1_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    tables,
+    fig3_cell,
+    fig5_warmup,
+    fig6_persistence,
+    fig7_rtl_only,
+    fig8_fig9_injection,
+    qrr_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Simulation-kernel hot paths: bit-state operations and per-cycle
+//! component ticks. These rates bound the co-simulation mode's
+//! cycles/second (Table 2's "steps 3–10" row).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use nestsim_arch::DramContents;
+use nestsim_models::ccx::CcxInputs;
+use nestsim_models::l2c::L2cInputs;
+use nestsim_models::mcu::McuInputs;
+use nestsim_models::{Ccx, L2cBank, Mcu, Pcie, UncoreRtl};
+use nestsim_proto::addr::{BankId, McuId, PAddr, ThreadId};
+use nestsim_proto::{PcxKind, PcxPacket, ReqId};
+use nestsim_rtl::BitBuf;
+
+fn bitbuf_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/bitbuf");
+    g.throughput(Throughput::Elements(1));
+    let mut buf = BitBuf::zeroed(32 * 1024);
+    g.bench_function("read_bits_64", |b| {
+        b.iter(|| black_box(buf.read_bits(black_box(12_345), 64)))
+    });
+    g.bench_function("write_bits_64", |b| {
+        b.iter(|| buf.write_bits(black_box(12_345), 64, black_box(0xdead_beef)))
+    });
+    let other = BitBuf::zeroed(32 * 1024);
+    g.bench_function("diff_count_32k", |b| {
+        b.iter(|| black_box(buf.diff_count(&other)))
+    });
+    g.finish();
+}
+
+fn pcx(i: u64) -> PcxPacket {
+    PcxPacket {
+        id: ReqId(i + 1),
+        thread: ThreadId::new((i % 64) as usize),
+        kind: if i.is_multiple_of(3) {
+            PcxKind::Store
+        } else {
+            PcxKind::Load
+        },
+        addr: PAddr::new(0x1000_0000 + (i % 512) * 8 * 64),
+        data: i,
+    }
+}
+
+fn component_ticks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/tick");
+    g.throughput(Throughput::Elements(1));
+
+    let mut bank = L2cBank::new(BankId::new(0));
+    let mut i = 0u64;
+    g.bench_function("l2c", |b| {
+        b.iter(|| {
+            let inp = L2cInputs {
+                pcx: if bank.ready() { Some(pcx(i)) } else { None },
+                dram_resp: None,
+            };
+            i += 1;
+            black_box(bank.tick(&inp))
+        })
+    });
+
+    let mut mcu = Mcu::new(McuId::new(0));
+    let mut mem = DramContents::new();
+    let mut j = 0u64;
+    g.bench_function("mcu", |b| {
+        b.iter(|| {
+            let inp = McuInputs {
+                cmd: if mcu.ready(false) {
+                    Some(nestsim_proto::DramCmd::fill(
+                        (j % 200) as u32,
+                        BankId::new(0),
+                        nestsim_proto::LineAddr::new((j % 512) * 8),
+                    ))
+                } else {
+                    None
+                },
+            };
+            j += 1;
+            black_box(mcu.tick(&inp, &mut mem))
+        })
+    });
+
+    let mut ccx = Ccx::new();
+    let ready = [true; 8];
+    let mut k = 0u64;
+    g.bench_function("ccx", |b| {
+        b.iter(|| {
+            let mut inp = CcxInputs::default();
+            let core = (k % 8) as usize;
+            if ccx.core_ready(core) {
+                inp.from_cores[core] = Some(pcx(k));
+            }
+            k += 1;
+            black_box(ccx.tick(&inp, &ready))
+        })
+    });
+
+    let mut pcie = Pcie::new();
+    pcie.program(nestsim_proto::pcie::DmaDescriptor {
+        dst: nestsim_proto::addr::region::INPUT_BASE,
+        len: 1 << 26,
+        stream_seed: 7,
+    });
+    g.bench_function("pcie", |b| b.iter(|| black_box(pcie.tick(&mut mem))));
+
+    g.finish();
+}
+
+fn golden_compare(c: &mut Criterion) {
+    // The per-check cost of the Fig. 2 step-7 comparison.
+    let mut g = c.benchmark_group("kernel/golden_compare");
+    let bank = L2cBank::new(BankId::new(0));
+    let golden = bank.clone();
+    g.bench_function("l2c_flop_diff", |b| {
+        b.iter(|| black_box(bank.flops().diff_count(golden.flops())))
+    });
+    g.bench_function("l2c_arch_diff", |b| {
+        b.iter(|| black_box(bank.arch().diff_slots(golden.arch()).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bitbuf_ops, component_ticks, golden_compare);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared setup helpers for the nestsim criterion benches.
+//!
+//! The benches cover (a) the simulation-kernel hot paths, (b) the
+//! Table 2 / Sec. 2.3 performance claims (accelerated vs. co-simulated
+//! cycle rates, state-transfer cost), (c) one smoke bench per
+//! table/figure pipeline so regressions in any experiment path are
+//! caught, and (d) the DESIGN.md ablations (early exit, golden-check
+//! interval, target-bit filtering).
+
+#![forbid(unsafe_code)]
+
+use nestsim_core::campaign::{golden_reference, CampaignSpec};
+use nestsim_core::inject::GoldenRef;
+use nestsim_hlsim::workload::by_name;
+use nestsim_hlsim::System;
+use nestsim_models::ComponentKind;
+
+/// A small, deterministic campaign base shared by the benches.
+pub fn bench_base(bench: &str, scale: u64) -> (System, GoldenRef) {
+    let spec = CampaignSpec {
+        seed: 99,
+        length_scale: scale,
+        ..CampaignSpec::new(ComponentKind::L2c, 1)
+    };
+    golden_reference(by_name(bench).expect("known benchmark"), &spec)
+}

@@ -1,0 +1,22 @@
+//! Checkpoint-recovery analyses (Sec. 5 of the paper).
+//!
+//! The paper argues that traditional system-level checkpoint recovery is
+//! inadequate for uncore soft errors because of (1) long error-detection
+//! latency — an uncore error may take millions of cycles to produce an
+//! erroneous output a core-side detector could see (Fig. 8) — and
+//! (2) long required rollback distance — an address-related uncore error
+//! can corrupt a memory location last written arbitrarily long ago, far
+//! outside any incremental checkpoint's log (Fig. 9).
+//!
+//! Both analyses consume the per-run
+//! [`InjectionRecord`](nestsim_core::InjectionRecord)s produced by
+//! the mixed-mode platform's campaigns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod propagation;
+pub mod rollback;
+
+pub use propagation::propagation_cdf;
+pub use rollback::{checkpoint_coverage, rollback_cdf};

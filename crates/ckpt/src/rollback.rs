@@ -1,0 +1,81 @@
+//! Required-rollback-distance analysis (Fig. 9, Sec. 5.2).
+
+use nestsim_core::InjectionRecord;
+use nestsim_stats::Cdf;
+
+/// Builds the cumulative distribution of required rollback distances
+/// from a set of injection records.
+///
+/// Only runs that corrupted memory contribute (the Fig. 9 population:
+/// "soft errors resulting in corrupted memory"). A run's distance is
+/// `injection cycle − last core store to the corrupted location`,
+/// maximised over all corrupted lines — the oldest state a recovery
+/// mechanism would have to roll back to (Sec. 5.2's address-error
+/// example: a corrupted location outside the incremental checkpoint's
+/// logged range forces rollback to a much older checkpoint).
+pub fn rollback_cdf<'a>(records: impl IntoIterator<Item = &'a InjectionRecord>) -> Cdf {
+    records
+        .into_iter()
+        .filter_map(|r| r.rollback_distance)
+        .collect()
+}
+
+/// Fraction of memory-corrupting errors recoverable with incremental
+/// checkpoints taken every `interval` cycles and `depth` retained
+/// checkpoints: the error is covered if the required rollback distance
+/// fits within the retained window.
+pub fn checkpoint_coverage<'a>(
+    records: impl IntoIterator<Item = &'a InjectionRecord>,
+    interval: u64,
+    depth: u64,
+) -> f64 {
+    let mut cdf = rollback_cdf(records);
+    if cdf.is_empty() {
+        return 1.0;
+    }
+    cdf.fraction_at_most(interval.saturating_mul(depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_core::Outcome;
+
+    fn rec(dist: Option<u64>) -> InjectionRecord {
+        InjectionRecord {
+            outcome: Outcome::Omm,
+            bit: 0,
+            inject_cycle: 5_000,
+            cosim_cycles: 10,
+            erroneous_output_cycle: None,
+            propagation_latency: None,
+            corrupted_line_count: usize::from(dist.is_some()),
+            rollback_distance: dist,
+        }
+    }
+
+    #[test]
+    fn distances_build_cdf() {
+        let records = vec![rec(Some(100)), rec(None), rec(Some(4_000))];
+        let mut cdf = rollback_cdf(&records);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.quantile(1.0), 4_000);
+    }
+
+    #[test]
+    fn coverage_grows_with_interval_and_depth() {
+        let records = vec![rec(Some(100)), rec(Some(1_000)), rec(Some(100_000))];
+        let shallow = checkpoint_coverage(&records, 500, 1);
+        let deeper = checkpoint_coverage(&records, 500, 4);
+        let huge = checkpoint_coverage(&records, 500, 1_000);
+        assert!(shallow <= deeper && deeper <= huge);
+        assert!((shallow - 1.0 / 3.0).abs() < 1e-12);
+        assert!((huge - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_corrupting_runs_means_full_coverage() {
+        let records = vec![rec(None)];
+        assert_eq!(checkpoint_coverage(&records, 1, 1), 1.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Seeded, shardable error-injection campaigns (the Sec. 3 study).
+//!
+//! A campaign is one (component × benchmark) cell of Fig. 3: `samples`
+//! independent injection runs, each with a randomly selected injection
+//! cycle, target flip-flop, instance, and warm-up length — all derived
+//! from a single campaign seed, so results are bit-reproducible and can
+//! be sharded across worker threads without coordination.
+//!
+//! Instead of the paper's periodic snapshots (every 2M cycles), each
+//! worker replays its shard in injection-cycle order over a single
+//! forward pass of the deterministic system, cloning at each entry
+//! point — the restored state is identical to a snapshot restore, with
+//! no snapshot storage (see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+use nestsim_hlsim::workload::BenchProfile;
+use nestsim_hlsim::{RunResult, System, SystemConfig};
+use nestsim_models::{inventory, Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
+use nestsim_proto::addr::{BankId, McuId};
+use nestsim_stats::SeedSeq;
+
+use crate::inject::{
+    run_injection, GoldenRef, InjectionRecord, InjectionSpec, DEFAULT_CHECK_INTERVAL,
+    DEFAULT_COSIM_CAP, MIN_WARMUP,
+};
+use crate::outcome::OutcomeCounts;
+
+/// Parameters of one campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Component under test.
+    pub component: ComponentKind,
+    /// Number of injection runs.
+    pub samples: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Benchmark length divisor (1 = full DESIGN.md scale).
+    pub length_scale: u64,
+    /// Co-simulation cycle cap (Sec. 4.2; default 100K).
+    pub cosim_cap: u64,
+    /// Golden-comparison interval.
+    pub check_interval: u64,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+}
+
+impl CampaignSpec {
+    /// A campaign with the paper's defaults at the given sample count.
+    pub fn new(component: ComponentKind, samples: u64) -> Self {
+        CampaignSpec {
+            component,
+            samples,
+            seed: 2015,
+            length_scale: 1,
+            cosim_cap: DEFAULT_COSIM_CAP,
+            check_interval: DEFAULT_CHECK_INTERVAL,
+            workers: 0,
+        }
+    }
+
+    /// Shrinks the campaign for tests/smoke runs.
+    pub fn quick(component: ComponentKind, samples: u64) -> Self {
+        CampaignSpec {
+            length_scale: 100,
+            cosim_cap: 20_000,
+            ..CampaignSpec::new(component, samples)
+        }
+    }
+}
+
+/// Results of one campaign cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Component under test.
+    pub component: ComponentKind,
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// Per-run records (in sample order).
+    pub records: Vec<InjectionRecord>,
+    /// The error-free reference.
+    pub golden: GoldenRef,
+}
+
+/// Global bit indices eligible for injection in a component model
+/// (Table 4's target partition, via the field classes).
+pub fn injection_target_bits(component: ComponentKind) -> Vec<usize> {
+    let flops = match component {
+        ComponentKind::L2c => L2cBank::new(BankId::new(0)).flops().clone(),
+        ComponentKind::Mcu => Mcu::new(McuId::new(0)).flops().clone(),
+        ComponentKind::Ccx => Ccx::new().flops().clone(),
+        ComponentKind::Pcie => Pcie::new().flops().clone(),
+    };
+    flops.bits_where(|c| c.is_injection_target())
+}
+
+/// Number of instances of a component in the SoC (Table 3).
+pub fn instances_of(component: ComponentKind) -> usize {
+    inventory::table4_for(component).instances
+}
+
+/// Runs the error-free reference execution for a campaign cell and
+/// returns the pristine base system plus the golden reference.
+///
+/// # Panics
+///
+/// Panics if the error-free run does not complete (a workload bug).
+pub fn golden_reference(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+) -> (System, GoldenRef) {
+    let cfg = SystemConfig {
+        seed: spec.seed,
+        length_scale: spec.length_scale,
+        ..SystemConfig::new(profile)
+    };
+    let base = System::new(cfg);
+    let mut run = base.clone();
+    match run.run_to_end() {
+        RunResult::Completed { digest, cycles } => (base, GoldenRef { digest, cycles }),
+        other => panic!(
+            "error-free run of {} did not complete: {other:?}",
+            profile.name
+        ),
+    }
+}
+
+/// The window of cycles injection points are sampled from.
+///
+/// PCIe injections are sampled while the DMA transfer is in flight
+/// (the paper "modeled a situation where PCIe I/O is used to transfer
+/// the application's input data files"); other components use the bulk
+/// of the application's execution.
+pub fn injection_window(
+    component: ComponentKind,
+    profile: &BenchProfile,
+    golden: &GoldenRef,
+) -> (u64, u64) {
+    match component {
+        ComponentKind::Pcie => {
+            let dma_cycles = (profile.input_bytes() / 64).max(4) * 8;
+            let hi = dma_cycles
+                .min(golden.cycles.saturating_sub(1))
+                .max(MIN_WARMUP + 64);
+            (16, hi)
+        }
+        _ => {
+            let hi = (golden.cycles * 9 / 10).max(MIN_WARMUP + 128);
+            (MIN_WARMUP + 64, hi)
+        }
+    }
+}
+
+/// Draws the injection specs for a campaign (deterministic in the
+/// campaign seed).
+pub fn draw_samples(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    golden: &GoldenRef,
+) -> Vec<InjectionSpec> {
+    let bits = injection_target_bits(spec.component);
+    let instances = instances_of(spec.component);
+    let (lo, hi) = injection_window(spec.component, profile, golden);
+    let root = SeedSeq::new(spec.seed)
+        .derive("campaign")
+        .derive(profile.name);
+    (0..spec.samples)
+        .map(|k| {
+            let mut rng = root.derive_index(k).rng();
+            InjectionSpec {
+                component: spec.component,
+                instance: rng.below(instances as u64) as usize,
+                bit: *rng.pick(&bits),
+                inject_cycle: rng.range(lo, hi.max(lo + 1)),
+                warmup: MIN_WARMUP + rng.below(1_000),
+                cosim_cap: spec.cosim_cap,
+                check_interval: spec.check_interval,
+            }
+        })
+        .collect()
+}
+
+/// Runs one campaign cell for `profile`.
+///
+/// # Panics
+///
+/// Panics if the component is PCIe and the benchmark has no input file
+/// (the paper only runs PCIe injections for the 12 file-fed benchmarks).
+pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> CampaignResult {
+    assert!(
+        spec.component != ComponentKind::Pcie || profile.has_input_file(),
+        "PCIe campaigns require a benchmark with an input file"
+    );
+    let (base, golden) = golden_reference(profile, spec);
+    let samples = draw_samples(profile, spec, &golden);
+
+    // Order samples by co-simulation entry point; each worker replays
+    // one forward pass over its (ascending) shard.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by_key(|&i| entry_cycle(&samples[i]));
+
+    let workers = if spec.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.workers
+    }
+    .min(order.len().max(1));
+
+    let shards: Vec<Vec<usize>> = (0..workers)
+        .map(|w| order.iter().copied().skip(w).step_by(workers).collect())
+        .collect();
+
+    let mut indexed: Vec<(usize, InjectionRecord)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let base = &base;
+                let samples = &samples;
+                let golden = &golden;
+                scope.spawn(move || {
+                    let mut my_base = base.clone();
+                    let mut out = Vec::with_capacity(shard.len());
+                    for &i in shard {
+                        let s = &samples[i];
+                        my_base.run_until(entry_cycle(s));
+                        out.push((i, run_injection(&my_base, golden, s)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+
+    let mut counts = OutcomeCounts::new();
+    let records: Vec<InjectionRecord> = indexed
+        .into_iter()
+        .map(|(_, r)| {
+            counts.record(r.outcome);
+            r
+        })
+        .collect();
+
+    CampaignResult {
+        benchmark: profile.name,
+        component: spec.component,
+        counts,
+        records,
+        golden,
+    }
+}
+
+fn entry_cycle(s: &InjectionSpec) -> u64 {
+    s.inject_cycle.saturating_sub(s.warmup.max(MIN_WARMUP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+    use nestsim_hlsim::workload::by_name;
+
+    #[test]
+    fn target_bits_exclude_protected_classes() {
+        use nestsim_rtl::FlopClass;
+        let bits = injection_target_bits(ComponentKind::L2c);
+        let bank = L2cBank::new(BankId::new(0));
+        for &b in bits.iter().step_by(97) {
+            assert!(bank.flops().class_of_bit(b).is_injection_target());
+            assert_ne!(bank.flops().class_of_bit(b), FlopClass::EccProtected);
+        }
+        assert!(!bits.is_empty());
+    }
+
+    #[test]
+    fn sample_drawing_is_deterministic_and_in_window() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec::quick(ComponentKind::L2c, 50);
+        let (_, golden) = golden_reference(profile, &spec);
+        let a = draw_samples(profile, &spec, &golden);
+        let b = draw_samples(profile, &spec, &golden);
+        assert_eq!(a, b);
+        let (lo, hi) = injection_window(ComponentKind::L2c, profile, &golden);
+        for s in &a {
+            assert!((lo..hi.max(lo + 1)).contains(&s.inject_cycle));
+            assert!(s.warmup >= MIN_WARMUP);
+        }
+    }
+
+    #[test]
+    fn small_l2c_campaign_classifies_everything() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec {
+            workers: 2,
+            ..CampaignSpec::quick(ComponentKind::L2c, 12)
+        };
+        let r = run_campaign(profile, &spec);
+        assert_eq!(r.counts.total(), 12);
+        assert_eq!(r.records.len(), 12);
+        // Vanished must dominate, as in the paper (>97% on average at
+        // full scale; at smoke scale we only require a majority).
+        assert!(r.counts.count(Outcome::Vanished) >= 6);
+    }
+
+    #[test]
+    fn campaign_is_reproducible_across_worker_counts() {
+        let profile = by_name("lu-c").unwrap();
+        let mk = |workers| {
+            let spec = CampaignSpec {
+                workers,
+                ..CampaignSpec::quick(ComponentKind::L2c, 8)
+            };
+            run_campaign(profile, &spec)
+        };
+        let a = mk(1);
+        let b = mk(4);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "input file")]
+    fn pcie_campaign_rejects_fileless_benchmarks() {
+        let profile = by_name("barn").unwrap();
+        let spec = CampaignSpec::quick(ComponentKind::Pcie, 1);
+        let _ = run_campaign(profile, &spec);
+    }
+}

@@ -1,0 +1,1075 @@
+//! Co-simulation drivers: one per uncore component kind.
+//!
+//! A driver owns the [`System`] (accelerated simulator) plus the target
+//! RTL component and its golden copy, and advances all of them one
+//! cycle at a time, ferrying packets across the simulator boundary
+//! (Fig. 1b ② of the paper). The golden copy receives exactly the same
+//! inputs as the target but is never injected (Fig. 1b ⑤); divergence
+//! of its outputs from the target's is the paper's erroneous-return-
+//! packet monitor (Fig. 1b ⑥).
+//!
+//! Authority: the *target* is the real component — its outputs drive
+//! the system, its memory writes land in system memory (through a
+//! per-driver overlay that is applied at detach, so golden-side reads
+//! stay isolated during co-simulation).
+
+use std::collections::{HashMap, VecDeque};
+
+use nestsim_arch::{DramOverlay, OverlayBackend};
+use nestsim_hlsim::{InterceptMode, OutMsg, System};
+use nestsim_models::ccx::CcxInputs;
+use nestsim_models::l2c::L2cInputs;
+use nestsim_models::mcu::McuInputs;
+use nestsim_models::pcie::PcieArchState;
+use nestsim_models::{Ccx, L2cBank, Mcu, Pcie, UncoreRtl};
+use nestsim_proto::addr::{BankId, LineAddr, McuId, NUM_CORES, NUM_L2_BANKS};
+use nestsim_proto::{CpxPacket, DramCmd, PcxPacket};
+
+/// DRAM round-trip latency seen by a co-simulated L2 bank.
+pub const COSIM_DRAM_LATENCY: u64 = 40;
+/// Functional-bank service latency seen by the co-simulated crossbar.
+pub const COSIM_BANK_LATENCY: u64 = 15;
+
+/// Result of the end-of-co-simulation comparison (Fig. 2 step 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CosimCheck {
+    /// Target and golden are bit-identical (flops, arch state,
+    /// in-flight traffic).
+    Identical,
+    /// Only benign flop differences (invalid-entry payloads) remain.
+    BenignOnly,
+    /// All remaining differences map to high-level uncore state
+    /// (Table 1) — the accelerated mode can take over.
+    ArchMappable,
+    /// Unmapped microarchitectural state still differs — co-simulation
+    /// must continue.
+    Microarch,
+}
+
+impl CosimCheck {
+    /// True when co-simulation may end (Fig. 2 step 7 → "No").
+    pub fn exitable(self) -> bool {
+        !matches!(self, CosimCheck::Microarch)
+    }
+}
+
+/// What a driver hands back when co-simulation ends (Fig. 2 step 10).
+#[derive(Debug)]
+pub struct Detach {
+    /// The system, with erroneous architectural state transferred back
+    /// and interception removed.
+    pub sys: System,
+    /// Memory/cache lines whose contents differ from the error-free
+    /// run (feeds taint tracking and the Sec. 5 analyses).
+    pub corrupted_lines: Vec<LineAddr>,
+}
+
+/// Common interface of the four co-simulation drivers.
+pub trait CosimDriver: Sized {
+    /// Advances system + target (+ golden) by one cycle.
+    fn step(&mut self);
+
+    /// Current co-simulation cycle (the system's cycle).
+    fn cycle(&self) -> u64;
+
+    /// The system under the driver.
+    fn sys(&self) -> &System;
+
+    /// Snapshots the target into the golden copy (done right before
+    /// injection, after warm-up).
+    fn snapshot_golden(&mut self);
+
+    /// Installs a *cold* golden copy: a freshly reset component carrying
+    /// only the transferred architectural state — i.e. exactly the state
+    /// a mixed-mode co-simulation entry starts from. Used by the Fig. 5
+    /// warm-up-accuracy experiment to compare warm-up against full
+    /// co-simulation history.
+    fn snapshot_golden_cold(&mut self);
+
+    /// Fraction of flop bits differing between target and golden
+    /// (the Fig. 5 microarchitectural-state-difference metric).
+    fn mismatch_fraction(&self) -> f64;
+
+    /// True when the target is at a point where a cold (mixed-mode-
+    /// entry) snapshot is architecturally aligned. Only the PCIe engine
+    /// constrains this (its architectural progress is frame-granular).
+    fn at_cold_snapshot_boundary(&self) -> bool {
+        true
+    }
+
+    /// Flips the target flop at global `bit`.
+    fn inject(&mut self, bit: usize);
+
+    /// Compares target vs. golden (Fig. 2 step 7). Only meaningful
+    /// after [`snapshot_golden`](CosimDriver::snapshot_golden).
+    fn check(&self) -> CosimCheck;
+
+    /// True when no in-flight traffic would be stranded by detaching.
+    fn drained(&self) -> bool;
+
+    /// First cycle at which a target output diverged from golden, if
+    /// any (the erroneous-return-packet monitor, Fig. 1b ⑥).
+    fn erroneous_output(&self) -> Option<u64>;
+
+    /// Ends co-simulation: transfers architectural state back to the
+    /// high-level model and releases interception.
+    fn detach(self) -> Detach;
+}
+
+// ─────────────────────────── L2C driver ───────────────────────────
+
+/// Mini DRAM model (latency queue over an overlay) standing in for the
+/// rest of the memory system while an L2 bank is co-simulated.
+#[derive(Debug, Clone, Default)]
+struct LatencyDram {
+    queue: VecDeque<(u64, DramCmd)>,
+}
+
+impl LatencyDram {
+    fn push(&mut self, cycle: u64, cmd: DramCmd) {
+        self.queue.push_back((cycle + COSIM_DRAM_LATENCY, cmd));
+    }
+
+    fn pop_ready(
+        &mut self,
+        cycle: u64,
+        base: &nestsim_arch::DramContents,
+        overlay: &mut DramOverlay,
+    ) -> Option<nestsim_proto::DramResp> {
+        match self.queue.front() {
+            Some((ready, _)) if *ready <= cycle => {
+                let (_, cmd) = self.queue.pop_front().unwrap();
+                match cmd.kind {
+                    nestsim_proto::DramCmdKind::Fill => Some(nestsim_proto::DramResp {
+                        tag: cmd.tag,
+                        bank: cmd.bank,
+                        line: cmd.line,
+                        data: overlay.read_line(base, cmd.line),
+                        is_writeback_ack: false,
+                    }),
+                    nestsim_proto::DramCmdKind::Writeback => {
+                        overlay.write_line(cmd.line, cmd.data);
+                        Some(nestsim_proto::DramResp {
+                            tag: cmd.tag,
+                            bank: cmd.bank,
+                            line: cmd.line,
+                            data: cmd.data,
+                            is_writeback_ack: true,
+                        })
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Co-simulation driver for one L2 cache bank.
+#[derive(Debug)]
+pub struct L2cDriver {
+    sys: System,
+    bank: BankId,
+    /// The co-simulated (error-injected) bank.
+    pub target: L2cBank,
+    /// The golden copy (present after
+    /// [`snapshot_golden`](CosimDriver::snapshot_golden)).
+    pub golden: Option<L2cBank>,
+    t_ov: DramOverlay,
+    g_ov: DramOverlay,
+    t_dram: LatencyDram,
+    g_dram: LatencyDram,
+    inbox: VecDeque<PcxPacket>,
+    first_err_out: Option<u64>,
+}
+
+impl L2cDriver {
+    /// Attaches co-simulation for `bank`: intercepts its traffic and
+    /// transfers the high-level uncore state into the RTL model
+    /// (Fig. 2 step 3). Flop state starts at reset and is reconstructed
+    /// by warm-up traffic (step 4).
+    pub fn attach(mut sys: System, bank: BankId) -> Self {
+        let mut target = L2cBank::with_geometry(bank, sys.config().l2_geometry);
+        target.load_arch(sys.bank_arch(bank).clone());
+        sys.set_intercept(InterceptMode::Bank(bank));
+        L2cDriver {
+            sys,
+            bank,
+            target,
+            golden: None,
+            t_ov: DramOverlay::new(),
+            g_ov: DramOverlay::new(),
+            t_dram: LatencyDram::default(),
+            g_dram: LatencyDram::default(),
+            inbox: VecDeque::new(),
+            first_err_out: None,
+        }
+    }
+
+    fn record_divergence(&mut self, cycle: u64) {
+        if self.first_err_out.is_none() {
+            self.first_err_out = Some(cycle);
+        }
+    }
+}
+
+impl CosimDriver for L2cDriver {
+    fn step(&mut self) {
+        let cyc = self.sys.cycle() + 1;
+        self.sys.run_until(cyc);
+        for msg in self.sys.drain_outbox() {
+            match msg {
+                OutMsg::Pcx(p) => self.inbox.push_back(p),
+                other => unreachable!("unexpected outbox message {other:?}"),
+            }
+        }
+        let pcx = if self.target.ready() {
+            self.inbox.pop_front()
+        } else {
+            None
+        };
+        let t_resp = self.t_dram.pop_ready(cyc, self.sys.dram(), &mut self.t_ov);
+        let t_out = self.target.tick(&L2cInputs {
+            pcx,
+            dram_resp: t_resp,
+        });
+        if let Some(cmd) = &t_out.dram_cmd {
+            self.t_dram.push(cyc, cmd.clone());
+        }
+        if let Some(golden) = &mut self.golden {
+            let g_resp = self.g_dram.pop_ready(cyc, self.sys.dram(), &mut self.g_ov);
+            let g_out = golden.tick(&L2cInputs {
+                pcx,
+                dram_resp: g_resp,
+            });
+            if let Some(cmd) = &g_out.dram_cmd {
+                self.g_dram.push(cyc, cmd.clone());
+            }
+            if t_out.cpx != g_out.cpx || t_out.dram_cmd != g_out.dram_cmd {
+                self.record_divergence(cyc);
+            }
+        }
+        if let Some(cpx) = t_out.cpx {
+            self.sys.deliver_cpx(cpx);
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.sys.cycle()
+    }
+
+    fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    fn snapshot_golden(&mut self) {
+        self.golden = Some(self.target.clone());
+        self.g_ov = self.t_ov.clone();
+        self.g_dram = self.t_dram.clone();
+    }
+
+    fn snapshot_golden_cold(&mut self) {
+        let mut cold = L2cBank::with_geometry(self.bank, self.sys.config().l2_geometry);
+        cold.load_arch(self.target.arch().clone());
+        self.golden = Some(cold);
+        self.g_ov = self.t_ov.clone();
+        self.g_dram = LatencyDram::default();
+    }
+
+    fn mismatch_fraction(&self) -> f64 {
+        match &self.golden {
+            Some(g) => {
+                self.target.flops().diff_count(g.flops()) as f64
+                    / self.target.flops().num_flops() as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    fn inject(&mut self, bit: usize) {
+        self.target.flops_mut().flip(bit);
+    }
+
+    fn check(&self) -> CosimCheck {
+        let Some(golden) = &self.golden else {
+            return CosimCheck::Identical;
+        };
+        // In-flight traffic (engine-side DRAM model) counts as
+        // microarchitectural state.
+        if self.t_dram.queue != self.g_dram.queue {
+            return CosimCheck::Microarch;
+        }
+        let mut benign_seen = false;
+        for bit in self.target.flops().diff_bits(golden.flops()) {
+            if self.target.is_benign_diff(golden, bit) {
+                benign_seen = true;
+            } else {
+                return CosimCheck::Microarch;
+            }
+        }
+        let arch_dirty = !self.target.arch().diff_slots(golden.arch()).is_empty()
+            || !self.t_ov.diff_lines(&self.g_ov, self.sys.dram()).is_empty();
+        if arch_dirty {
+            CosimCheck::ArchMappable
+        } else if benign_seen {
+            CosimCheck::BenignOnly
+        } else {
+            CosimCheck::Identical
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.inbox.is_empty()
+            && self.target.idle()
+            && self.t_dram.queue.is_empty()
+            && self.sys.waiting_on_uncore() == 0
+    }
+
+    fn erroneous_output(&self) -> Option<u64> {
+        self.first_err_out
+    }
+
+    fn detach(mut self) -> Detach {
+        // Corrupted lines: cache-resident divergence + memory-side
+        // divergence through the overlays.
+        let mut corrupted: Vec<LineAddr> = Vec::new();
+        if let Some(golden) = &self.golden {
+            corrupted.extend(self.target.arch().diff_lines(golden.arch()));
+            corrupted.extend(self.t_ov.diff_lines(&self.g_ov, self.sys.dram()));
+        }
+        corrupted.sort_unstable_by_key(|l| l.raw());
+        corrupted.dedup();
+        // Transfer state back (Fig. 2 step 10): memory overlay, then
+        // the bank's architectural arrays.
+        self.t_ov.apply_to(self.sys.dram_mut());
+        self.sys
+            .set_bank_arch(self.bank, self.target.arch().clone());
+        self.sys.set_intercept(InterceptMode::None);
+        // Any packets the wedged target never accepted are served
+        // functionally so the threads see *some* response (forced
+        // detach path); an idle detach has an empty inbox.
+        while let Some(p) = self.inbox.pop_front() {
+            let reply = self.sys.service_request_functionally(&p);
+            self.sys.deliver_cpx(reply);
+        }
+        self.sys.mark_tainted(corrupted.iter().copied());
+        Detach {
+            sys: self.sys,
+            corrupted_lines: corrupted,
+        }
+    }
+}
+
+// ─────────────────────────── MCU driver ───────────────────────────
+
+/// Co-simulation driver for one DRAM controller.
+#[derive(Debug)]
+pub struct McuDriver {
+    sys: System,
+    /// The co-simulated controller.
+    pub target: Mcu,
+    /// The golden copy.
+    pub golden: Option<Mcu>,
+    t_ov: DramOverlay,
+    g_ov: DramOverlay,
+    inbox: VecDeque<DramCmd>,
+    /// In-flight command tags. Fills carry their routing target;
+    /// writebacks carry `None`. Tags must be unique across *all*
+    /// in-flight commands — a fill reusing a live writeback's tag would
+    /// lose its routing entry when the writeback acks, stranding the
+    /// requesting threads forever.
+    tag_map: HashMap<u32, Option<(BankId, LineAddr)>>,
+    next_tag: u32,
+    first_err_out: Option<u64>,
+}
+
+impl McuDriver {
+    /// Attaches co-simulation for `mcu`: DRAM traffic of its two banks
+    /// is diverted to the RTL model. The high-level uncore state (DRAM
+    /// contents, Table 1) stays in place and is accessed through an
+    /// overlay.
+    pub fn attach(mut sys: System, mcu: McuId) -> Self {
+        sys.set_intercept(InterceptMode::McuPair(mcu));
+        McuDriver {
+            sys,
+            target: Mcu::new(mcu),
+            golden: None,
+            t_ov: DramOverlay::new(),
+            g_ov: DramOverlay::new(),
+            inbox: VecDeque::new(),
+            tag_map: HashMap::new(),
+            next_tag: 0,
+            first_err_out: None,
+        }
+    }
+
+    fn alloc_tag(&mut self) -> u32 {
+        loop {
+            let t = self.next_tag;
+            self.next_tag = (self.next_tag + 1) % 256;
+            if !self.tag_map.contains_key(&t) {
+                return t;
+            }
+        }
+    }
+}
+
+impl CosimDriver for McuDriver {
+    fn step(&mut self) {
+        let cyc = self.sys.cycle() + 1;
+        self.sys.run_until(cyc);
+        for msg in self.sys.drain_outbox() {
+            match msg {
+                OutMsg::DramFill { bank, line } => {
+                    let tag = self.alloc_tag();
+                    self.tag_map.insert(tag, Some((bank, line)));
+                    self.inbox.push_back(DramCmd::fill(tag, bank, line));
+                }
+                OutMsg::DramWriteback { bank, line, data } => {
+                    let tag = self.alloc_tag();
+                    self.tag_map.insert(tag, None);
+                    self.inbox
+                        .push_back(DramCmd::writeback(tag, bank, line, data));
+                }
+                other => unreachable!("unexpected outbox message {other:?}"),
+            }
+        }
+        let cmd = match self.inbox.front() {
+            Some(c)
+                if self
+                    .target
+                    .ready(c.kind == nestsim_proto::DramCmdKind::Writeback) =>
+            {
+                self.inbox.pop_front()
+            }
+            _ => None,
+        };
+        let t_out = {
+            let mut be = OverlayBackend::new(self.sys.dram(), &mut self.t_ov);
+            self.target.tick(&McuInputs { cmd: cmd.clone() }, &mut be)
+        };
+        let g_out = self.golden.as_mut().map(|golden| {
+            let mut be = OverlayBackend::new(self.sys.dram(), &mut self.g_ov);
+            golden.tick(&McuInputs { cmd }, &mut be)
+        });
+        if let Some(g_out) = &g_out {
+            if t_out.resp != g_out.resp && self.first_err_out.is_none() {
+                self.first_err_out = Some(cyc);
+            }
+        }
+        if let Some(resp) = t_out.resp {
+            if !resp.is_writeback_ack {
+                // Route by the tag the engine allocated; a corrupted tag
+                // fails the lookup and the fill is lost (the L2/threads
+                // hang), or collides with another request and delivers
+                // wrong data to the wrong line.
+                if let Some(Some((bank, line))) = self.tag_map.remove(&resp.tag) {
+                    self.sys.deliver_fill(bank, line, resp.data);
+                }
+            } else {
+                self.tag_map.remove(&resp.tag);
+            }
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.sys.cycle()
+    }
+
+    fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    fn snapshot_golden(&mut self) {
+        self.golden = Some(self.target.clone());
+        self.g_ov = self.t_ov.clone();
+    }
+
+    fn snapshot_golden_cold(&mut self) {
+        self.golden = Some(Mcu::new(self.target.id()));
+        self.g_ov = self.t_ov.clone();
+    }
+
+    fn mismatch_fraction(&self) -> f64 {
+        match &self.golden {
+            Some(g) => {
+                self.target.flops().diff_count(g.flops()) as f64
+                    / self.target.flops().num_flops() as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    fn inject(&mut self, bit: usize) {
+        self.target.flops_mut().flip(bit);
+    }
+
+    fn check(&self) -> CosimCheck {
+        let Some(golden) = &self.golden else {
+            return CosimCheck::Identical;
+        };
+        let mut benign_seen = false;
+        for bit in self.target.flops().diff_bits(golden.flops()) {
+            if self.target.is_benign_diff(golden, bit) {
+                benign_seen = true;
+            } else {
+                return CosimCheck::Microarch;
+            }
+        }
+        if !self.t_ov.diff_lines(&self.g_ov, self.sys.dram()).is_empty() {
+            CosimCheck::ArchMappable
+        } else if benign_seen {
+            CosimCheck::BenignOnly
+        } else {
+            CosimCheck::Identical
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.inbox.is_empty()
+            && self.target.idle()
+            && self.tag_map.is_empty()
+            && self.sys.waiting_on_uncore() == 0
+    }
+
+    fn erroneous_output(&self) -> Option<u64> {
+        self.first_err_out
+    }
+
+    fn detach(mut self) -> Detach {
+        let mut corrupted: Vec<LineAddr> = if self.golden.is_some() {
+            self.t_ov.diff_lines(&self.g_ov, self.sys.dram())
+        } else {
+            Vec::new()
+        };
+        corrupted.sort_unstable_by_key(|l| l.raw());
+        corrupted.dedup();
+        self.t_ov.apply_to(self.sys.dram_mut());
+        self.sys.set_intercept(InterceptMode::None);
+        // Serve any commands the wedged target never accepted, plus
+        // outstanding fills it swallowed, functionally (forced detach).
+        let pending: Vec<DramCmd> = self.inbox.drain(..).collect();
+        for cmd in pending {
+            match cmd.kind {
+                nestsim_proto::DramCmdKind::Fill => {
+                    let data = self.sys.dram().read_line(cmd.line);
+                    self.sys.deliver_fill(cmd.bank, cmd.line, data);
+                }
+                nestsim_proto::DramCmdKind::Writeback => {
+                    self.sys.dram_mut().write_line(cmd.line, cmd.data);
+                }
+            }
+        }
+        self.sys.mark_tainted(corrupted.iter().copied());
+        Detach {
+            sys: self.sys,
+            corrupted_lines: corrupted,
+        }
+    }
+}
+
+// ─────────────────────────── CCX driver ───────────────────────────
+
+/// Co-simulation driver for the crossbar.
+#[derive(Debug)]
+pub struct CcxDriver {
+    sys: System,
+    /// The co-simulated crossbar.
+    pub target: Ccx,
+    /// The golden copy.
+    pub golden: Option<Ccx>,
+    core_q: Vec<VecDeque<PcxPacket>>,
+    bank_q: Vec<VecDeque<(u64, CpxPacket)>>,
+    first_err_out: Option<u64>,
+}
+
+impl CcxDriver {
+    /// Attaches crossbar co-simulation: every core request flows
+    /// through the RTL crossbar; the L2 banks stay functional. The
+    /// crossbar has no high-level state to transfer (Table 1), so
+    /// warm-up alone reconstructs it (footnote 4 of the paper).
+    pub fn attach(mut sys: System) -> Self {
+        sys.set_intercept(InterceptMode::AllRequests);
+        CcxDriver {
+            sys,
+            target: Ccx::new(),
+            golden: None,
+            core_q: (0..NUM_CORES).map(|_| VecDeque::new()).collect(),
+            bank_q: (0..NUM_L2_BANKS).map(|_| VecDeque::new()).collect(),
+            first_err_out: None,
+        }
+    }
+}
+
+impl CosimDriver for CcxDriver {
+    fn step(&mut self) {
+        let cyc = self.sys.cycle() + 1;
+        self.sys.run_until(cyc);
+        for msg in self.sys.drain_outbox() {
+            match msg {
+                OutMsg::Pcx(p) => self.core_q[p.thread.core().index()].push_back(p),
+                other => unreachable!("unexpected outbox message {other:?}"),
+            }
+        }
+        let mut inp = CcxInputs::default();
+        for c in 0..NUM_CORES {
+            if self.target.core_ready(c) {
+                if let Some(p) = self.core_q[c].pop_front() {
+                    inp.from_cores[c] = Some(p);
+                }
+            }
+        }
+        for k in 0..NUM_L2_BANKS {
+            if self.target.bank_ready(k) {
+                match self.bank_q[k].front() {
+                    Some((ready, _)) if *ready <= cyc => {
+                        inp.from_banks[k] = self.bank_q[k].pop_front().map(|(_, p)| p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let all_ready = [true; NUM_L2_BANKS];
+        let t_out = self.target.tick(&inp, &all_ready);
+        if let Some(golden) = &mut self.golden {
+            let g_out = golden.tick(&inp, &all_ready);
+            // The erroneous-output monitor (Fig. 1b ⑥) watches *return
+            // packets to the processor cores*. Request-side divergence
+            // is not recorded here: a load request's data lanes are
+            // don't-care, so comparing requests over-counts; real
+            // consequences of a corrupted request (wrong data, memory
+            // corruption) surface through the served values and the
+            // final output digest.
+            if t_out.to_cores != g_out.to_cores && self.first_err_out.is_none() {
+                self.first_err_out = Some(cyc);
+            }
+        }
+        for (k, slot) in t_out.to_banks.iter().enumerate() {
+            if let Some(p) = slot {
+                // Functional bank service (the banks remain high-level
+                // during CCX co-simulation); the response re-enters the
+                // crossbar on the port it came out of.
+                let reply = self.sys.service_request_functionally(p);
+                self.bank_q[k].push_back((cyc + COSIM_BANK_LATENCY, reply));
+            }
+        }
+        for slot in t_out.to_cores.iter().flatten() {
+            self.sys.deliver_cpx(*slot);
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.sys.cycle()
+    }
+
+    fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    fn snapshot_golden(&mut self) {
+        self.golden = Some(self.target.clone());
+    }
+
+    fn snapshot_golden_cold(&mut self) {
+        self.golden = Some(Ccx::new());
+    }
+
+    fn mismatch_fraction(&self) -> f64 {
+        match &self.golden {
+            Some(g) => {
+                self.target.flops().diff_count(g.flops()) as f64
+                    / self.target.flops().num_flops() as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    fn inject(&mut self, bit: usize) {
+        self.target.flops_mut().flip(bit);
+    }
+
+    fn check(&self) -> CosimCheck {
+        let Some(golden) = &self.golden else {
+            return CosimCheck::Identical;
+        };
+        let mut benign_seen = false;
+        for bit in self.target.flops().diff_bits(golden.flops()) {
+            if self.target.is_benign_diff(golden, bit) {
+                benign_seen = true;
+            } else {
+                return CosimCheck::Microarch;
+            }
+        }
+        // No architectural state (Table 1): clean or benign is exitable.
+        if benign_seen {
+            CosimCheck::BenignOnly
+        } else {
+            CosimCheck::Identical
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.target.idle()
+            && self.core_q.iter().all(VecDeque::is_empty)
+            && self.bank_q.iter().all(VecDeque::is_empty)
+            && self.sys.waiting_on_uncore() == 0
+    }
+
+    fn erroneous_output(&self) -> Option<u64> {
+        self.first_err_out
+    }
+
+    fn detach(mut self) -> Detach {
+        self.sys.set_intercept(InterceptMode::None);
+        // Serve anything stranded in the wedged crossbar's engine-side
+        // queues functionally (forced detach path).
+        let stranded: Vec<PcxPacket> = self.core_q.iter_mut().flat_map(|q| q.drain(..)).collect();
+        for p in stranded {
+            let reply = self.sys.service_request_functionally(&p);
+            self.sys.deliver_cpx(reply);
+        }
+        let responses: Vec<CpxPacket> = self
+            .bank_q
+            .iter_mut()
+            .flat_map(|q| q.drain(..))
+            .map(|(_, p)| p)
+            .collect();
+        for p in responses {
+            self.sys.deliver_cpx(p);
+        }
+        Detach {
+            sys: self.sys,
+            corrupted_lines: Vec::new(),
+        }
+    }
+}
+
+// ─────────────────────────── PCIe driver ──────────────────────────
+
+/// Co-simulation driver for the PCIe DMA engine.
+#[derive(Debug)]
+pub struct PcieDriver {
+    sys: System,
+    /// The co-simulated engine.
+    pub target: Pcie,
+    /// The golden copy.
+    pub golden: Option<Pcie>,
+    g_ov: DramOverlay,
+    corrupted: Vec<LineAddr>,
+    first_err_out: Option<u64>,
+}
+
+/// Backend routing the target PCIe engine's writes coherently into
+/// system memory while logging them.
+struct CoherentLog<'a> {
+    sys: &'a mut System,
+    wrote: &'a mut Option<LineAddr>,
+}
+
+impl nestsim_arch::LineBackend for CoherentLog<'_> {
+    fn read_line(&mut self, line: LineAddr) -> [u64; 8] {
+        self.sys.dram().read_line(line)
+    }
+    fn write_line(&mut self, line: LineAddr, data: [u64; 8]) {
+        self.sys.coherent_dma_write(line, data);
+        *self.wrote = Some(line);
+    }
+}
+
+impl PcieDriver {
+    /// Attaches PCIe co-simulation: the functional DMA engine is
+    /// suspended and the RTL engine resumes the transfer from the
+    /// architectural progress point (Table 1 state transfer).
+    pub fn attach(mut sys: System) -> Self {
+        let (pos, active) = sys.dma_progress();
+        let desc = sys.dma_descriptor();
+        sys.set_intercept(InterceptMode::PcieDma);
+        let mut target = Pcie::new();
+        target.load_arch(PcieArchState {
+            bufs: nestsim_arch::PcieBuffers::new(),
+            dst: desc.dst.raw(),
+            len: desc.len,
+            seed: desc.stream_seed,
+            pos,
+            drain_pos: pos,
+            occ: 0,
+            wr_ptr: 0,
+            rd_ptr: 0,
+            active,
+        });
+        PcieDriver {
+            sys,
+            target,
+            golden: None,
+            g_ov: DramOverlay::new(),
+            corrupted: Vec::new(),
+            first_err_out: None,
+        }
+    }
+}
+
+impl CosimDriver for PcieDriver {
+    fn step(&mut self) {
+        let cyc = self.sys.cycle() + 1;
+        self.sys.run_until(cyc);
+        // The outbox is unused in PCIe mode, but drain defensively.
+        let _ = self.sys.drain_outbox();
+
+        // Golden first: its reads must not observe the target's write
+        // of this very cycle.
+        let g_out = self.golden.as_mut().map(|golden| {
+            let mut be = OverlayBackend::new(self.sys.dram(), &mut self.g_ov);
+            golden.tick(&mut be)
+        });
+        let mut wrote = None;
+        let t_out = {
+            let mut be = CoherentLog {
+                sys: &mut self.sys,
+                wrote: &mut wrote,
+            };
+            self.target.tick(&mut be)
+        };
+        if let Some(g_out) = g_out {
+            let diverged = match (wrote, g_out.wrote.map(|a| a.line())) {
+                (None, None) => false,
+                (Some(t), Some(g)) if t == g => {
+                    self.sys.dram().read_line(t) != self.g_ov.read_line(self.sys.dram(), g)
+                }
+                _ => true,
+            };
+            if diverged || t_out.completed != g_out.completed {
+                if self.first_err_out.is_none() {
+                    self.first_err_out = Some(cyc);
+                }
+                if let Some(t) = wrote {
+                    self.corrupted.push(t);
+                }
+                if let Some(g) = g_out.wrote {
+                    self.corrupted.push(g.line());
+                }
+            }
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        self.sys.cycle()
+    }
+
+    fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    fn snapshot_golden(&mut self) {
+        self.golden = Some(self.target.clone());
+        self.g_ov = DramOverlay::new();
+    }
+
+    fn snapshot_golden_cold(&mut self) {
+        let mut cold = Pcie::new();
+        cold.load_arch(self.target.arch());
+        self.golden = Some(cold);
+        self.g_ov = DramOverlay::new();
+    }
+
+    fn at_cold_snapshot_boundary(&self) -> bool {
+        // Architectural DMA progress is frame-granular; snapshotting
+        // mid-frame would leave the cold copy permanently skewed by the
+        // re-streamed partial frame.
+        let a = self.target.arch();
+        !a.active || a.pos.is_multiple_of(64)
+    }
+
+    fn mismatch_fraction(&self) -> f64 {
+        match &self.golden {
+            Some(g) => {
+                self.target.flops().diff_count(g.flops()) as f64
+                    / self.target.flops().num_flops() as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    fn inject(&mut self, bit: usize) {
+        self.target.flops_mut().flip(bit);
+    }
+
+    fn check(&self) -> CosimCheck {
+        let Some(golden) = &self.golden else {
+            return CosimCheck::Identical;
+        };
+        let mut benign_seen = false;
+        for bit in self.target.flops().diff_bits(golden.flops()) {
+            if self.target.is_benign_diff(golden, bit) {
+                benign_seen = true;
+            } else {
+                return CosimCheck::Microarch;
+            }
+        }
+        if self.target.buffer_diff(golden) > 0 {
+            CosimCheck::ArchMappable
+        } else if benign_seen {
+            CosimCheck::BenignOnly
+        } else {
+            CosimCheck::Identical
+        }
+    }
+
+    fn drained(&self) -> bool {
+        // The PCIe engine does not serve core requests; nothing can be
+        // stranded by detaching at a state-converged point.
+        true
+    }
+
+    fn erroneous_output(&self) -> Option<u64> {
+        self.first_err_out
+    }
+
+    fn detach(mut self) -> Detach {
+        let arch = self.target.arch();
+        self.sys.set_intercept(InterceptMode::None);
+        self.sys.resume_dma(arch.drain_pos, arch.active);
+        let mut corrupted = self.corrupted;
+        corrupted.sort_unstable_by_key(|l| l.raw());
+        corrupted.dedup();
+        self.sys.mark_tainted(corrupted.iter().copied());
+        Detach {
+            sys: self.sys,
+            corrupted_lines: corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_hlsim::workload::by_name;
+    use nestsim_hlsim::SystemConfig;
+    use nestsim_proto::addr::McuId;
+
+    fn sys_at(bench: &str, cycle: u64) -> System {
+        let mut sys = System::new(SystemConfig::smoke_test(by_name(bench).unwrap()));
+        sys.run_until(cycle);
+        sys
+    }
+
+    fn drive_checked<D: CosimDriver>(mut drv: D, cycles: u64) -> D {
+        for _ in 0..cycles {
+            drv.step();
+            assert!(drv.sys().trap().is_none(), "error-free co-sim trapped");
+        }
+        drv
+    }
+
+    #[test]
+    fn l2c_uninjected_cosim_stays_identical() {
+        let mut drv = L2cDriver::attach(sys_at("radi", 500), BankId::new(0));
+        for _ in 0..500 {
+            drv.step();
+        }
+        drv.snapshot_golden();
+        let drv = drive_checked(drv, 1_000);
+        assert_eq!(drv.check(), CosimCheck::Identical);
+        assert!(drv.erroneous_output().is_none());
+    }
+
+    #[test]
+    fn mcu_uninjected_cosim_stays_identical() {
+        let mut drv = McuDriver::attach(sys_at("fft", 500), McuId::new(0));
+        for _ in 0..500 {
+            drv.step();
+        }
+        drv.snapshot_golden();
+        let drv = drive_checked(drv, 1_000);
+        assert_eq!(drv.check(), CosimCheck::Identical);
+    }
+
+    #[test]
+    fn ccx_uninjected_cosim_stays_identical() {
+        let mut drv = CcxDriver::attach(sys_at("lu-c", 500));
+        for _ in 0..500 {
+            drv.step();
+        }
+        drv.snapshot_golden();
+        let drv = drive_checked(drv, 1_000);
+        assert_eq!(drv.check(), CosimCheck::Identical);
+    }
+
+    #[test]
+    fn pcie_uninjected_cosim_stays_identical() {
+        // Attach while the DMA is active.
+        let mut drv = PcieDriver::attach(sys_at("p-lr", 200));
+        for _ in 0..200 {
+            drv.step();
+        }
+        drv.snapshot_golden();
+        let drv = drive_checked(drv, 2_000);
+        assert_eq!(drv.check(), CosimCheck::Identical);
+        assert!(drv.erroneous_output().is_none());
+    }
+
+    #[test]
+    fn l2c_address_flip_produces_arch_divergence() {
+        use nestsim_models::UncoreRtl;
+        let mut drv = L2cDriver::attach(sys_at("radi", 500), BankId::new(0));
+        for _ in 0..1_500 {
+            drv.step();
+        }
+        drv.snapshot_golden();
+        // Corrupt a *resident cache line* via the golden-visible arch:
+        // flip a data bit in a store sitting in the miss buffer if any;
+        // fall back to an address bit of IQ entry 0.
+        let bit = drv
+            .target
+            .flops()
+            .fields()
+            .iter()
+            .find(|f| f.name == "iq[0].addr")
+            .map(|f| f.offset + 8)
+            .unwrap();
+        drv.inject(bit);
+        let mut saw_non_identical = false;
+        for _ in 0..4_000 {
+            drv.step();
+            if drv.check() != CosimCheck::Identical {
+                saw_non_identical = true;
+                break;
+            }
+        }
+        // The flip either mattered (divergence observed) or the entry
+        // was idle (benign) — it must never be silently identical AND
+        // flagged clean while bits differ.
+        if !saw_non_identical {
+            assert_eq!(
+                drv.target
+                    .flops()
+                    .diff_count(drv.golden.as_ref().unwrap().flops()),
+                0,
+                "identical check with differing bits"
+            );
+        }
+    }
+
+    #[test]
+    fn mcu_detach_serves_stranded_fills_functionally() {
+        let mut drv = McuDriver::attach(sys_at("fft", 500), McuId::new(0));
+        // Accumulate some traffic, then detach mid-flight (forced).
+        for _ in 0..300 {
+            drv.step();
+        }
+        let waiting_before = drv.sys().waiting_on_uncore();
+        let detach = drv.detach();
+        let mut sys = detach.sys;
+        // The stranded fills were completed functionally at detach (or
+        // there were none).
+        assert!(sys.waiting_on_uncore() <= waiting_before);
+        sys.run_until(sys.cycle() + 5_000);
+        assert!(sys.trap().is_none());
+    }
+
+    #[test]
+    fn cosim_check_exitability_matrix() {
+        assert!(CosimCheck::Identical.exitable());
+        assert!(CosimCheck::BenignOnly.exitable());
+        assert!(CosimCheck::ArchMappable.exitable());
+        assert!(!CosimCheck::Microarch.exitable());
+    }
+}

@@ -1,0 +1,180 @@
+//! Application-level outcome categories (Sec. 3.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use nestsim_stats::Proportion;
+
+/// The five outcome categories of the paper ([Cho 13, Sanda 08,
+/// Wang 04]) plus the Sec. 4.2 persists-past-cap bucket, which the
+/// paper tracks separately and does *not* report as erroneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Application Output Not Affected: the error was observable
+    /// (erroneous packets or architectural state) but the final output
+    /// matched the error-free run.
+    Ona,
+    /// Application Output Mismatch: the run completed but produced
+    /// wrong output — the paper's headline silent-data-corruption risk.
+    Omm,
+    /// Unexpected Termination: the application trapped.
+    Ut,
+    /// The application stopped making progress (watchdog).
+    Hang,
+    /// The error disappeared without any architectural effect.
+    Vanished,
+    /// The error still sat in unmapped microarchitectural state when
+    /// the co-simulation cycle cap was reached (Sec. 4.2; excluded from
+    /// the erroneous-outcome rates of Figs. 3–4).
+    Persist,
+}
+
+impl Outcome {
+    /// All outcomes in the paper's presentation order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Ona,
+        Outcome::Omm,
+        Outcome::Ut,
+        Outcome::Hang,
+        Outcome::Vanished,
+        Outcome::Persist,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ona => "ONA",
+            Outcome::Omm => "OMM",
+            Outcome::Ut => "UT",
+            Outcome::Hang => "Hang",
+            Outcome::Vanished => "Vanished",
+            Outcome::Persist => "Persist",
+        }
+    }
+
+    /// True for outcomes the paper counts as erroneous (non-Vanished,
+    /// non-Persist).
+    pub fn is_erroneous(self) -> bool {
+        matches!(
+            self,
+            Outcome::Ona | Outcome::Omm | Outcome::Ut | Outcome::Hang
+        )
+    }
+}
+
+impl core::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome tallies for one campaign cell (component × benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Count per [`Outcome::ALL`] order.
+    counts: [u64; 6],
+}
+
+impl OutcomeCounts {
+    /// Empty tally.
+    pub fn new() -> Self {
+        OutcomeCounts::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        let i = Outcome::ALL.iter().position(|&x| x == o).expect("known");
+        self.counts[i] += 1;
+    }
+
+    /// Count of a specific outcome.
+    pub fn count(&self, o: Outcome) -> u64 {
+        let i = Outcome::ALL.iter().position(|&x| x == o).expect("known");
+        self.counts[i]
+    }
+
+    /// Total runs recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Runs the paper's rates are normalised by (everything except the
+    /// Persist bucket, which Figs. 3–4 exclude; Sec. 4.2).
+    pub fn reported_total(&self) -> u64 {
+        self.total() - self.count(Outcome::Persist)
+    }
+
+    /// Rate of `o` among reported runs, as a [`Proportion`] carrying
+    /// confidence-interval machinery.
+    pub fn rate(&self, o: Outcome) -> Proportion {
+        Proportion::new(self.count(o), self.reported_total().max(1))
+    }
+
+    /// Probability of an erroneous (non-Vanished) outcome — the paper's
+    /// headline per-component number (Sec. 3.3: 1.4–2.2%).
+    pub fn erroneous_rate(&self) -> Proportion {
+        let err: u64 = Outcome::ALL
+            .iter()
+            .filter(|o| o.is_erroneous())
+            .map(|&o| self.count(o))
+            .sum();
+        Proportion::new(err, self.reported_total().max(1))
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        for i in 0..6 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..97 {
+            c.record(Outcome::Vanished);
+        }
+        c.record(Outcome::Omm);
+        c.record(Outcome::Ut);
+        c.record(Outcome::Hang);
+        assert_eq!(c.total(), 100);
+        assert!((c.erroneous_rate().rate() - 0.03).abs() < 1e-12);
+        assert!((c.rate(Outcome::Omm).rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persist_excluded_from_reported_rates() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..98 {
+            c.record(Outcome::Vanished);
+        }
+        c.record(Outcome::Persist);
+        c.record(Outcome::Omm);
+        assert_eq!(c.reported_total(), 99);
+        assert!((c.rate(Outcome::Omm).rate() - 1.0 / 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = OutcomeCounts::new();
+        a.record(Outcome::Ona);
+        let mut b = OutcomeCounts::new();
+        b.record(Outcome::Ona);
+        b.record(Outcome::Hang);
+        a.merge(&b);
+        assert_eq!(a.count(Outcome::Ona), 2);
+        assert_eq!(a.count(Outcome::Hang), 1);
+    }
+
+    #[test]
+    fn erroneous_classification_matches_paper() {
+        assert!(Outcome::Omm.is_erroneous());
+        assert!(Outcome::Ona.is_erroneous());
+        assert!(!Outcome::Vanished.is_erroneous());
+        assert!(!Outcome::Persist.is_erroneous());
+    }
+}

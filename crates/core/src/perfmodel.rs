@@ -1,0 +1,171 @@
+//! The Table 2 / Sec. 2.3 performance model, plus wall-clock
+//! measurement of this implementation's equivalents.
+//!
+//! The paper's model: with snapshots, steps 1–2 cost 1M cycles at
+//! 20K cycles/sec (50 s); co-simulation (steps 3–10) costs ~10K cycles
+//! at 500 cycles/sec (20 s); steps 11–12 run for L/2 cycles in <1% of
+//! runs. Total ≈ `70 + L/4M` seconds, so throughput exceeds
+//! 2M cycles/sec for L > 280M — a >20,000× speedup over the ~100
+//! cycles/sec RTL-only simulation of OpenSPARC T2 [Weaver 08].
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use nestsim_hlsim::workload::BenchProfile;
+use nestsim_hlsim::{System, SystemConfig};
+use nestsim_proto::addr::BankId;
+
+use crate::cosim::{CosimDriver, L2cDriver};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Step label.
+    pub step: &'static str,
+    /// Average simulated cycles spent in the step.
+    pub cycles: f64,
+    /// Simulation rate in cycles/second.
+    pub rate: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The paper's Table 2 for an application of `l_cycles` cycles.
+pub fn paper_table2(l_cycles: f64) -> Vec<Table2Row> {
+    let steps12 = Table2Row {
+        step: "Steps 1-2 (snapshot restore + run to injection)",
+        cycles: 1.0e6,
+        rate: 20_000.0,
+        seconds: 50.0,
+    };
+    let steps310 = Table2Row {
+        step: "Steps 3-10 (co-simulation)",
+        cycles: 10_000.0,
+        rate: 500.0,
+        seconds: 20.0,
+    };
+    let steps1112 = Table2Row {
+        step: "Steps 11-12 (finish application, <1% of runs)",
+        cycles: l_cycles / 2.0 * 0.01,
+        rate: 20_000.0,
+        seconds: l_cycles / 4.0e6,
+    };
+    let total = Table2Row {
+        step: "Total",
+        cycles: f64::NAN,
+        rate: paper_throughput(l_cycles),
+        seconds: 70.0 + l_cycles / 4.0e6,
+    };
+    vec![steps12, steps310, steps1112, total]
+}
+
+/// The paper's effective throughput model:
+/// `L / (70 + L/4M)` cycles/second.
+pub fn paper_throughput(l_cycles: f64) -> f64 {
+    l_cycles / (70.0 + l_cycles / 4.0e6)
+}
+
+/// RTL-only simulation rate of the full OpenSPARC T2 reported by the
+/// paper (up to 100 cycles/sec, [Weaver 08]).
+pub const PAPER_RTL_ONLY_RATE: f64 = 100.0;
+
+/// Measured rates of this implementation's two modes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredRates {
+    /// Accelerated-mode rate in cycles/second.
+    pub accelerated: f64,
+    /// Co-simulation-mode rate in cycles/second (target + golden in
+    /// lockstep).
+    pub cosim: f64,
+}
+
+impl MeasuredRates {
+    /// The analogue of the paper's 20,000× claim: how much faster the
+    /// accelerated mode is than cycle-by-cycle co-simulation of the
+    /// whole run.
+    pub fn speedup(&self) -> f64 {
+        self.accelerated / self.cosim
+    }
+
+    /// Effective mixed-mode throughput for an app of `l_cycles`, given
+    /// an average co-simulated window of `cosim_cycles` and the
+    /// fraction of runs needing phase 3.
+    pub fn mixed_throughput(&self, l_cycles: f64, cosim_cycles: f64, phase3_frac: f64) -> f64 {
+        let t = (l_cycles / 2.0) / self.accelerated
+            + cosim_cycles / self.cosim
+            + phase3_frac * (l_cycles / 2.0) / self.accelerated;
+        l_cycles / t
+    }
+}
+
+/// Measures the wall-clock rates of both modes on `profile`.
+pub fn measure_rates(profile: &'static BenchProfile, length_scale: u64) -> MeasuredRates {
+    // Accelerated mode: one full run.
+    let cfg = SystemConfig {
+        length_scale,
+        ..SystemConfig::new(profile)
+    };
+    let mut sys = System::new(cfg.clone());
+    let t0 = Instant::now();
+    let r = sys.run_to_end();
+    let acc_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let cycles = match r {
+        nestsim_hlsim::RunResult::Completed { cycles, .. } => cycles,
+        other => panic!("measurement run failed: {other:?}"),
+    };
+    let accelerated = cycles as f64 / acc_secs;
+
+    // Co-simulation mode: a window of target+golden lockstep.
+    let mut base = System::new(cfg);
+    base.run_until(500);
+    let mut drv = L2cDriver::attach(base, BankId::new(0));
+    drv.snapshot_golden();
+    let window = 20_000u64.min(cycles / 2).max(1_000);
+    let t1 = Instant::now();
+    for _ in 0..window {
+        drv.step();
+    }
+    let cosim_secs = t1.elapsed().as_secs_f64().max(1e-9);
+    let cosim = window as f64 / cosim_secs;
+
+    MeasuredRates { accelerated, cosim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_hlsim::workload::by_name;
+
+    #[test]
+    fn paper_throughput_exceeds_2m_above_280m_cycles() {
+        assert!(paper_throughput(280.0e6) > 1.99e6);
+        assert!(paper_throughput(120.0e6) < 2.0e6); // Radix, Sec. 2.3
+        assert!(paper_throughput(1.0e9) > 3.0e6);
+    }
+
+    #[test]
+    fn paper_speedup_over_rtl_exceeds_20000x() {
+        let speedup = paper_throughput(280.0e6) / PAPER_RTL_ONLY_RATE;
+        assert!(speedup >= 20_000.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn table2_total_matches_formula() {
+        let rows = paper_table2(862.0e6); // FFT
+        let total = rows.last().unwrap();
+        assert!((total.seconds - (70.0 + 862.0e6 / 4.0e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_accelerated_mode_is_faster_than_cosim() {
+        let m = measure_rates(by_name("radi").unwrap(), 200);
+        assert!(m.accelerated > 0.0 && m.cosim > 0.0);
+        assert!(
+            m.speedup() > 1.0,
+            "accelerated ({:.0}) must beat co-sim ({:.0})",
+            m.accelerated,
+            m.cosim
+        );
+    }
+}

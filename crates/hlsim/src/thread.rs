@@ -1,0 +1,257 @@
+//! Per-hardware-thread execution state and the OS-lite runtime rules.
+
+use serde::{Deserialize, Serialize};
+
+use nestsim_proto::addr::{region, PAddr, ThreadId};
+use nestsim_proto::ReqId;
+
+use crate::workload::ProgGen;
+
+/// How a thread consumes a loaded value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadUse {
+    /// Fold into the running accumulator (feeds the output digest).
+    Data,
+    /// The value *is* the next pointer to chase; a corrupted pointer
+    /// leads to an invalid access (trap) or wrong data.
+    Pointer,
+    /// The value steers control flow; a mismatch against `expect`
+    /// diverts the thread down an error path (wild store, runaway loop,
+    /// or silent state corruption — chosen by the corrupted value).
+    Control {
+        /// The value the program expects at this location.
+        expect: u64,
+    },
+    /// Re-issue the load until the value equals `expect` (doorbell
+    /// polling). A doorbell that never rings is an application Hang.
+    Poll {
+        /// The value polled for.
+        expect: u64,
+    },
+    /// The value is ignored (instruction fetches, atomic results —
+    /// discarding atomic results keeps outcomes independent of thread
+    /// interleaving, which state transfer between simulation modes may
+    /// perturb; see DESIGN.md).
+    Discard,
+}
+
+/// One operation of the workload op stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Load the aligned 8-byte word at `addr`.
+    Load {
+        /// Target address.
+        addr: PAddr,
+        /// How the value is consumed.
+        use_: LoadUse,
+    },
+    /// Instruction fetch (a read of the text region).
+    Ifetch {
+        /// Target address.
+        addr: PAddr,
+    },
+    /// Store the thread's accumulator to `addr`.
+    StoreAcc {
+        /// Target address.
+        addr: PAddr,
+    },
+    /// Atomic fetch-and-add (result discarded; see [`LoadUse::Discard`]).
+    Atomic {
+        /// Target address.
+        addr: PAddr,
+        /// Addend.
+        add: u64,
+    },
+    /// Wait for all live threads.
+    Barrier,
+    /// Thread is finished.
+    Halt,
+}
+
+/// Why a thread trapped (Unexpected Termination causes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrapCause {
+    /// Access outside every valid region.
+    InvalidAddress,
+    /// Misaligned word access.
+    Misaligned,
+    /// The uncore returned an error packet.
+    UncoreError,
+    /// Control-flow corruption chose the "wild store" error path and
+    /// the wild address was caught by the OS.
+    WildStore,
+}
+
+impl core::fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TrapCause::InvalidAddress => "invalid address",
+            TrapCause::Misaligned => "misaligned access",
+            TrapCause::UncoreError => "uncore error packet",
+            TrapCause::WildStore => "wild store",
+        })
+    }
+}
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Ready to issue its next op.
+    Ready,
+    /// Waiting for a memory completion.
+    WaitMem,
+    /// Parked at a barrier.
+    WaitBarrier,
+    /// Spinning in a corrupted-control-flow infinite loop.
+    RunawayLoop,
+    /// Finished.
+    Halted,
+}
+
+/// The error path taken after a control-flow corruption, selected
+/// deterministically from the corrupted value (so outcomes are a
+/// function of *what* was corrupted, as in real software).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlErrorPath {
+    /// Store to a garbage address derived from the value.
+    WildStore {
+        /// The garbage address.
+        addr: PAddr,
+    },
+    /// Spin forever.
+    RunawayLoop,
+    /// Corrupt the accumulator and continue (silent data corruption).
+    SilentCorruption,
+}
+
+/// Chooses the error path for a corrupted control value.
+pub fn control_error_path(bad_value: u64) -> ControlErrorPath {
+    let h = bad_value
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(17);
+    match h % 10 {
+        0..=3 => ControlErrorPath::WildStore {
+            // A "computed" address: plausible garbage.
+            addr: PAddr::new(bad_value.rotate_left(13) & 0xf_ffff_ffff),
+        },
+        4..=6 => ControlErrorPath::RunawayLoop,
+        _ => ControlErrorPath::SilentCorruption,
+    }
+}
+
+/// Per-hardware-thread execution context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadCtx {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Running accumulator folded from loaded data; the final output.
+    pub acc: u64,
+    /// Op-stream generator.
+    pub gen: ProgGen,
+    /// The op currently being executed (needed to apply a memory
+    /// completion and for Poll retries).
+    pub current: Option<Op>,
+    /// Request id of the outstanding memory access, if any.
+    pub pending_req: Option<ReqId>,
+    /// Ops issued so far (diagnostics).
+    pub ops_issued: u64,
+}
+
+impl ThreadCtx {
+    /// Creates a ready thread running `gen`.
+    pub fn new(id: ThreadId, gen: ProgGen) -> Self {
+        ThreadCtx {
+            id,
+            state: ThreadState::Ready,
+            acc: 0,
+            gen,
+            current: None,
+            pending_req: None,
+            ops_issued: 0,
+        }
+    }
+
+    /// Folds a loaded data value into the accumulator.
+    pub fn fold(&mut self, value: u64) {
+        self.acc = self.acc.rotate_left(7) ^ value.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Validates an address per the OS-lite rules.
+    pub fn validate(addr: PAddr) -> Result<(), TrapCause> {
+        if !addr.is_aligned(8) {
+            return Err(TrapCause::Misaligned);
+        }
+        if !region::is_valid(addr) {
+            return Err(TrapCause::InvalidAddress);
+        }
+        Ok(())
+    }
+
+    /// True if the thread still participates in barriers.
+    pub fn is_live(&self) -> bool {
+        !matches!(self.state, ThreadState::Halted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_bad_addresses() {
+        assert_eq!(
+            ThreadCtx::validate(PAddr::new(0x3)),
+            Err(TrapCause::Misaligned)
+        );
+        assert_eq!(
+            ThreadCtx::validate(PAddr::new(0xdead_0000_0000)),
+            Err(TrapCause::InvalidAddress)
+        );
+        assert_eq!(ThreadCtx::validate(region::HEAP_BASE), Ok(()));
+    }
+
+    #[test]
+    fn fold_differs_by_value_and_order() {
+        let mk = |vals: &[u64]| {
+            let mut t = ThreadCtx::new(
+                ThreadId::new(0),
+                crate::workload::ProgGen::new(
+                    crate::workload::by_name("fft").unwrap(),
+                    nestsim_stats::SeedSeq::new(0),
+                    0,
+                    64,
+                    1000,
+                ),
+            );
+            for &v in vals {
+                t.fold(v);
+            }
+            t.acc
+        };
+        assert_ne!(mk(&[1, 2]), mk(&[2, 1]));
+        assert_ne!(mk(&[1, 2]), mk(&[1, 3]));
+        assert_eq!(mk(&[1, 2]), mk(&[1, 2]));
+    }
+
+    #[test]
+    fn control_error_paths_cover_all_variants() {
+        let mut wild = false;
+        let mut runaway = false;
+        let mut silent = false;
+        for v in 0..200u64 {
+            match control_error_path(v.wrapping_mul(0x1234_5678_9abc)) {
+                ControlErrorPath::WildStore { .. } => wild = true,
+                ControlErrorPath::RunawayLoop => runaway = true,
+                ControlErrorPath::SilentCorruption => silent = true,
+            }
+        }
+        assert!(wild && runaway && silent);
+    }
+
+    #[test]
+    fn error_path_is_deterministic_in_value() {
+        assert_eq!(control_error_path(42), control_error_path(42));
+    }
+}

@@ -1,0 +1,471 @@
+//! Reusable flop-field bundles for packets stored in queues.
+//!
+//! Each bundle declares the flop fields a packet occupies inside a
+//! component's [`FlopSpace`] and converts between the packed flop
+//! representation and the typed packet structs. Conversion is *lossy in
+//! exactly the way hardware is*: a corrupted kind field decodes into a
+//! different (possibly invalid) operation, a corrupted address field
+//! into a different address — which is precisely the behaviour the
+//! error-injection study needs.
+
+use nestsim_proto::addr::{PAddr, ThreadId, NUM_THREADS};
+use nestsim_proto::{CpxKind, CpxPacket, PcxKind, PcxPacket, ReqId};
+use nestsim_rtl::{FieldHandle, FlopClass, FlopSpace, FlopSpaceBuilder};
+
+/// Width of request-id fields in flops. Request ids are guaranteed (and
+/// asserted) to fit: the system simulator allocates them densely.
+pub const REQID_BITS: usize = 32;
+/// Width of physical-address fields in flops (covers the modeled
+/// address map with headroom, matching T2's 34-bit PA slice).
+pub const ADDR_BITS: usize = 34;
+/// Width of thread-id fields (64 hardware threads).
+pub const THREAD_BITS: usize = 6;
+
+/// A guarded group: a valid bit plus the bit-range of the fields it
+/// guards. Differences inside the range are benign while the valid bit
+/// is clear in both the target and the golden copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guard {
+    /// The valid bit.
+    pub valid: FieldHandle,
+    /// First guarded global bit index.
+    pub start: usize,
+    /// One past the last guarded global bit index.
+    pub end: usize,
+}
+
+impl Guard {
+    /// Returns `true` if `bit` lies in the guarded range.
+    pub fn contains(&self, bit: usize) -> bool {
+        (self.start..self.end).contains(&bit)
+    }
+
+    /// Returns `true` if a diff at `bit` is benign given both copies.
+    pub fn benign(&self, bit: usize, target: &FlopSpace, golden: &FlopSpace) -> bool {
+        self.contains(bit) && !target.read_bool(self.valid) && !golden.read_bool(self.valid)
+    }
+}
+
+/// Shifts a queue of identically-shaped guarded slots down by one:
+/// slot 0 is discarded, slot *i* moves to slot *i−1* (payload and valid
+/// bit), and zeros shift into the tail — the collapsing-FIFO idiom of
+/// the OpenSPARC T2 queues. Bitwise state therefore converges after a
+/// drain, which the Fig. 5 warm-up comparison depends on.
+pub fn shift_queue_down(f: &mut FlopSpace, guards: &[Guard]) {
+    collapse_queue_at(f, guards, 0);
+}
+
+/// Removes the entry at `idx` from a collapsing queue: entries above it
+/// shift down one, zeros shift into the tail. `idx == 0` is the plain
+/// head pop. Used by schedulers that may retire a non-head entry (the
+/// MCU serves the oldest *ready* DRAM bank, preserving per-bank order).
+pub fn collapse_queue_at(f: &mut FlopSpace, guards: &[Guard], idx: usize) {
+    for i in (idx + 1)..guards.len() {
+        let (src, dst) = (guards[i], guards[i - 1]);
+        let v = f.read_bool(src.valid);
+        f.write_bool(dst.valid, v);
+        f.copy_range(src.start, dst.start, src.end - src.start);
+    }
+    if let Some(last) = guards.last() {
+        f.write_bool(last.valid, false);
+        f.zero_range(last.start, last.end - last.start);
+    }
+}
+
+/// Checks a bit against a guard list. Differences in
+/// [`FlopClass::Inactive`] flops (BIST / redundancy chains, disconnected
+/// on a defect-free chip) are always benign.
+pub fn benign_in(guards: &[Guard], bit: usize, target: &FlopSpace, golden: &FlopSpace) -> bool {
+    if target.class_of_bit(bit) == FlopClass::Inactive {
+        return true;
+    }
+    guards.iter().any(|g| g.benign(bit, target, golden))
+}
+
+/// Encodes a [`PcxKind`] into 2 bits.
+pub fn encode_pcx_kind(k: PcxKind) -> u64 {
+    match k {
+        PcxKind::Load => 0,
+        PcxKind::Store => 1,
+        PcxKind::Ifetch => 2,
+        PcxKind::Atomic => 3,
+    }
+}
+
+/// Decodes 2 bits into a [`PcxKind`] (total: every bit pattern is some
+/// operation, as in hardware).
+pub fn decode_pcx_kind(v: u64) -> PcxKind {
+    match v & 0b11 {
+        0 => PcxKind::Load,
+        1 => PcxKind::Store,
+        2 => PcxKind::Ifetch,
+        _ => PcxKind::Atomic,
+    }
+}
+
+/// Encodes a [`CpxKind`] into 3 bits.
+pub fn encode_cpx_kind(k: CpxKind) -> u64 {
+    match k {
+        CpxKind::LoadReturn => 0,
+        CpxKind::StoreAck => 1,
+        CpxKind::IfetchReturn => 2,
+        CpxKind::AtomicReturn => 3,
+        CpxKind::Error => 4,
+    }
+}
+
+/// Decodes 3 bits into a [`CpxKind`]; corrupted encodings (5–7) decode
+/// to [`CpxKind::Error`], which the receiving core treats as a fault.
+pub fn decode_cpx_kind(v: u64) -> CpxKind {
+    match v & 0b111 {
+        0 => CpxKind::LoadReturn,
+        1 => CpxKind::StoreAck,
+        2 => CpxKind::IfetchReturn,
+        3 => CpxKind::AtomicReturn,
+        _ => CpxKind::Error,
+    }
+}
+
+/// Flop fields holding one request (PCX) packet plus a valid bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcxSlot {
+    /// Entry-valid bit.
+    pub valid: FieldHandle,
+    kind: FieldHandle,
+    thread: FieldHandle,
+    reqid: FieldHandle,
+    addr: FieldHandle,
+    data: FieldHandle,
+    span: (usize, usize),
+}
+
+impl PcxSlot {
+    /// Declares the slot's fields under `prefix` with class `class`.
+    pub fn declare(b: &mut FlopSpaceBuilder, prefix: &str, class: FlopClass) -> Self {
+        let valid = b.field(format!("{prefix}.valid"), 1, class);
+        let kind = b.field(format!("{prefix}.kind"), 2, class);
+        let thread = b.field(format!("{prefix}.thread"), THREAD_BITS, class);
+        let reqid = b.field(format!("{prefix}.reqid"), REQID_BITS, class);
+        let addr = b.field(format!("{prefix}.addr"), ADDR_BITS, class);
+        let data = b.field(format!("{prefix}.data"), 64, class);
+        PcxSlot {
+            valid,
+            kind,
+            thread,
+            reqid,
+            addr,
+            data,
+            span: (0, 0), // fixed up in `with_span` below
+        }
+    }
+
+    /// Declares the slot and computes its guarded bit span.
+    pub fn declare_guarded(b: &mut FlopSpaceBuilder, prefix: &str, class: FlopClass) -> Self {
+        let before_offset = current_offset(b);
+        let mut s = Self::declare(b, prefix, class);
+        // Guard everything after the valid bit.
+        s.span = (before_offset + 1, current_offset(b));
+        s
+    }
+
+    /// The guard for this slot's payload fields.
+    pub fn guard(&self) -> Guard {
+        Guard {
+            valid: self.valid,
+            start: self.span.0,
+            end: self.span.1,
+        }
+    }
+
+    /// Stores `pkt` into the slot and sets valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id does not fit the flop width (the system
+    /// simulator never allocates such ids).
+    pub fn store(&self, f: &mut FlopSpace, pkt: &PcxPacket) {
+        assert!(pkt.id.0 < (1 << REQID_BITS), "request id overflow");
+        f.write_bool(self.valid, true);
+        f.write(self.kind, encode_pcx_kind(pkt.kind));
+        f.write(self.thread, pkt.thread.index() as u64);
+        f.write(self.reqid, pkt.id.0);
+        f.write(self.addr, pkt.addr.raw());
+        f.write(self.data, pkt.data);
+    }
+
+    /// Loads the slot's packet (whatever the bits now say).
+    pub fn load(&self, f: &FlopSpace) -> PcxPacket {
+        PcxPacket {
+            id: ReqId(f.read(self.reqid)),
+            thread: ThreadId::new((f.read(self.thread) as usize) % NUM_THREADS),
+            kind: decode_pcx_kind(f.read(self.kind)),
+            addr: PAddr::new(f.read(self.addr)),
+            data: f.read(self.data),
+        }
+    }
+
+    /// Reads the valid bit.
+    pub fn is_valid(&self, f: &FlopSpace) -> bool {
+        f.read_bool(self.valid)
+    }
+
+    /// Clears the valid bit.
+    pub fn invalidate(&self, f: &mut FlopSpace) {
+        f.write_bool(self.valid, false);
+    }
+}
+
+/// Flop fields holding one return (CPX) packet plus a valid bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpxSlot {
+    /// Entry-valid bit.
+    pub valid: FieldHandle,
+    kind: FieldHandle,
+    thread: FieldHandle,
+    reqid: FieldHandle,
+    data: FieldHandle,
+    span: (usize, usize),
+}
+
+impl CpxSlot {
+    /// Declares the slot and computes its guarded bit span.
+    pub fn declare_guarded(b: &mut FlopSpaceBuilder, prefix: &str, class: FlopClass) -> Self {
+        let before = current_offset(b);
+        let valid = b.field(format!("{prefix}.valid"), 1, class);
+        let kind = b.field(format!("{prefix}.kind"), 3, class);
+        let thread = b.field(format!("{prefix}.thread"), THREAD_BITS, class);
+        let reqid = b.field(format!("{prefix}.reqid"), REQID_BITS, class);
+        let data = b.field(format!("{prefix}.data"), 64, class);
+        CpxSlot {
+            valid,
+            kind,
+            thread,
+            reqid,
+            data,
+            span: (
+                before + 1,
+                current_offset_after(before, 1 + 3 + THREAD_BITS + REQID_BITS + 64),
+            ),
+        }
+    }
+
+    /// The guard for this slot's payload fields.
+    pub fn guard(&self) -> Guard {
+        Guard {
+            valid: self.valid,
+            start: self.span.0,
+            end: self.span.1,
+        }
+    }
+
+    /// Stores `pkt` into the slot and sets valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id does not fit the flop width.
+    pub fn store(&self, f: &mut FlopSpace, pkt: &CpxPacket) {
+        assert!(pkt.id.0 < (1 << REQID_BITS), "request id overflow");
+        f.write_bool(self.valid, true);
+        f.write(self.kind, encode_cpx_kind(pkt.kind));
+        f.write(self.thread, pkt.thread.index() as u64);
+        f.write(self.reqid, pkt.id.0);
+        f.write(self.data, pkt.data);
+    }
+
+    /// Loads the slot's packet (whatever the bits now say).
+    pub fn load(&self, f: &FlopSpace) -> CpxPacket {
+        CpxPacket {
+            id: ReqId(f.read(self.reqid)),
+            thread: ThreadId::new((f.read(self.thread) as usize) % NUM_THREADS),
+            kind: decode_cpx_kind(f.read(self.kind)),
+            data: f.read(self.data),
+        }
+    }
+
+    /// Reads the valid bit.
+    pub fn is_valid(&self, f: &FlopSpace) -> bool {
+        f.read_bool(self.valid)
+    }
+
+    /// Clears the valid bit.
+    pub fn invalidate(&self, f: &mut FlopSpace) {
+        f.write_bool(self.valid, false);
+    }
+}
+
+/// Flop fields holding a 512-bit cache line plus a valid bit, an address
+/// field, and an optional small tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSlot {
+    /// Entry-valid bit.
+    pub valid: FieldHandle,
+    /// Line-address field.
+    pub line: FieldHandle,
+    words: [FieldHandle; 8],
+    span: (usize, usize),
+}
+
+impl LineSlot {
+    /// Line-address field width (covers 34-bit physical addresses).
+    pub const LINE_BITS: usize = 28;
+
+    /// Declares the slot and computes its guarded bit span.
+    pub fn declare_guarded(b: &mut FlopSpaceBuilder, prefix: &str, class: FlopClass) -> Self {
+        let before = current_offset(b);
+        let valid = b.field(format!("{prefix}.valid"), 1, class);
+        let line = b.field(format!("{prefix}.line"), Self::LINE_BITS, class);
+        let words = core::array::from_fn(|i| b.field(format!("{prefix}.w{i}"), 64, class));
+        LineSlot {
+            valid,
+            line,
+            words,
+            span: (before + 1, before + 1 + Self::LINE_BITS + 8 * 64),
+        }
+    }
+
+    /// The guard for this slot's payload fields.
+    pub fn guard(&self) -> Guard {
+        Guard {
+            valid: self.valid,
+            start: self.span.0,
+            end: self.span.1,
+        }
+    }
+
+    /// Stores line address and data, setting valid.
+    pub fn store(&self, f: &mut FlopSpace, line: u64, data: &[u64; 8]) {
+        f.write_bool(self.valid, true);
+        f.write(self.line, line);
+        for (h, &w) in self.words.iter().zip(data) {
+            f.write(*h, w);
+        }
+    }
+
+    /// Loads the line address.
+    pub fn line_addr(&self, f: &FlopSpace) -> u64 {
+        f.read(self.line)
+    }
+
+    /// Loads the line data.
+    pub fn data(&self, f: &FlopSpace) -> [u64; 8] {
+        core::array::from_fn(|i| f.read(self.words[i]))
+    }
+
+    /// Reads the valid bit.
+    pub fn is_valid(&self, f: &FlopSpace) -> bool {
+        f.read_bool(self.valid)
+    }
+
+    /// Clears the valid bit.
+    pub fn invalidate(&self, f: &mut FlopSpace) {
+        f.write_bool(self.valid, false);
+    }
+}
+
+/// Current bit offset of a builder (sum of declared widths).
+///
+/// `FlopSpaceBuilder` does not expose its cursor; track it by declaring
+/// a zero-width probe — instead we compute from a known base. To keep
+/// this simple and allocation-free we reconstruct offsets arithmetically
+/// where needed.
+fn current_offset(b: &FlopSpaceBuilder) -> usize {
+    b.declared_bits()
+}
+
+fn current_offset_after(before: usize, widths: usize) -> usize {
+    before + widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_proto::addr::ThreadId;
+
+    fn pcx() -> PcxPacket {
+        PcxPacket {
+            id: ReqId(0xabcd),
+            thread: ThreadId::new(17),
+            kind: PcxKind::Store,
+            addr: PAddr::new(0x1000_0040),
+            data: 0x1122_3344_5566_7788,
+        }
+    }
+
+    #[test]
+    fn pcx_slot_round_trips() {
+        let mut b = FlopSpaceBuilder::new("t");
+        let s = PcxSlot::declare_guarded(&mut b, "iq[0]", FlopClass::Target);
+        let mut f = b.build();
+        let p = pcx();
+        s.store(&mut f, &p);
+        assert!(s.is_valid(&f));
+        assert_eq!(s.load(&f), p);
+        s.invalidate(&mut f);
+        assert!(!s.is_valid(&f));
+    }
+
+    #[test]
+    fn cpx_slot_round_trips() {
+        let mut b = FlopSpaceBuilder::new("t");
+        let s = CpxSlot::declare_guarded(&mut b, "oq[0]", FlopClass::Target);
+        let mut f = b.build();
+        let p = CpxPacket::reply_to(&pcx(), 55);
+        s.store(&mut f, &p);
+        assert_eq!(s.load(&f), p);
+    }
+
+    #[test]
+    fn line_slot_round_trips() {
+        let mut b = FlopSpaceBuilder::new("t");
+        let s = LineSlot::declare_guarded(&mut b, "wbb[0]", FlopClass::Target);
+        let mut f = b.build();
+        let d = [1, 2, 3, 4, 5, 6, 7, 8];
+        s.store(&mut f, 0x123, &d);
+        assert_eq!(s.line_addr(&f), 0x123);
+        assert_eq!(s.data(&f), d);
+    }
+
+    #[test]
+    fn kind_decoding_is_total() {
+        for v in 0..4 {
+            let _ = decode_pcx_kind(v);
+        }
+        for v in 0..8 {
+            let _ = decode_cpx_kind(v);
+        }
+        assert_eq!(decode_cpx_kind(6), CpxKind::Error);
+    }
+
+    #[test]
+    fn corrupted_addr_bit_changes_loaded_packet() {
+        let mut b = FlopSpaceBuilder::new("t");
+        let s = PcxSlot::declare_guarded(&mut b, "iq[0]", FlopClass::Target);
+        let mut f = b.build();
+        let p = pcx();
+        s.store(&mut f, &p);
+        // Flip a bit inside the slot's guarded span (an address bit).
+        let g = s.guard();
+        f.flip(g.start + 2 + THREAD_BITS + REQID_BITS + 5); // 6th addr bit
+        let q = s.load(&f);
+        assert_ne!(q.addr, p.addr);
+        assert_eq!(q.id, p.id);
+    }
+
+    #[test]
+    fn guard_marks_invalid_entry_diffs_benign() {
+        let mut b = FlopSpaceBuilder::new("t");
+        let s = PcxSlot::declare_guarded(&mut b, "iq[0]", FlopClass::Target);
+        let f = b.build();
+        let mut target = f.clone();
+        let golden = f;
+        // Entry invalid in both; corrupt a payload bit in target only.
+        let g = s.guard();
+        target.flip(g.start + 3);
+        assert!(g.benign(g.start + 3, &target, &golden));
+        // The valid bit itself is never benign.
+        assert!(!g.benign(g.start - 1, &target, &golden));
+        // Once valid in target, payload diffs are significant.
+        target.write_bool(s.valid, true);
+        assert!(!g.benign(g.start + 3, &target, &golden));
+    }
+}

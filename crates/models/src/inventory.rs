@@ -1,0 +1,256 @@
+//! SoC component inventory: the paper's Table 3 / Table 4 data alongside
+//! the census of the scaled models in this crate.
+//!
+//! The paper's numbers come from the OpenSPARC T2 netlist; our models
+//! are deliberately smaller (see DESIGN.md scale-down constants), so the
+//! reproduction harness prints both: the published counts (for Table 3 /
+//! Table 4 themselves) and our model census (so readers can judge the
+//! scale of the substitution).
+
+use serde::{Deserialize, Serialize};
+
+use nestsim_proto::addr::{BankId, McuId};
+use nestsim_rtl::FlopClass;
+
+use crate::{Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
+
+/// One row of the paper's Table 3 (per-instance counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Component name as printed in the paper.
+    pub component: &'static str,
+    /// Number of instances in OpenSPARC T2.
+    pub instances: usize,
+    /// Flip-flops per instance.
+    pub flops: usize,
+    /// Gate count per instance.
+    pub gates: usize,
+}
+
+/// The paper's Table 3: processor core and uncore components of
+/// OpenSPARC T2.
+pub const TABLE3: [Table3Row; 8] = [
+    Table3Row {
+        component: "Processor Core",
+        instances: 8,
+        flops: 44_288,
+        gates: 513_597,
+    },
+    Table3Row {
+        component: "L2C",
+        instances: 8,
+        flops: 31_675,
+        gates: 210_540,
+    },
+    Table3Row {
+        component: "MCU",
+        instances: 4,
+        flops: 18_068,
+        gates: 155_726,
+    },
+    Table3Row {
+        component: "CCX",
+        instances: 1,
+        flops: 41_521,
+        gates: 370_738,
+    },
+    Table3Row {
+        component: "PCIe",
+        instances: 1,
+        flops: 29_022,
+        gates: 376_988,
+    },
+    Table3Row {
+        component: "NIU",
+        instances: 1,
+        flops: 135_699,
+        gates: 1_297_427,
+    },
+    Table3Row {
+        component: "SIU",
+        instances: 1,
+        flops: 16_908,
+        gates: 105_695,
+    },
+    Table3Row {
+        component: "NCU",
+        instances: 1,
+        flops: 17_338,
+        gates: 143_374,
+    },
+];
+
+/// One row of the paper's Table 4 (injection-target partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Component.
+    pub kind: ComponentKind,
+    /// Instances in the SoC.
+    pub instances: usize,
+    /// Injection-target flops per instance.
+    pub target: usize,
+    /// ECC/CRC-protected flops per instance.
+    pub protected: usize,
+    /// Inactive (BIST/redundancy) flops per instance.
+    pub inactive: usize,
+}
+
+impl Table4Row {
+    /// Total flops per instance.
+    pub fn total(&self) -> usize {
+        self.target + self.protected + self.inactive
+    }
+
+    /// Target share of total flops.
+    pub fn target_share(&self) -> f64 {
+        self.target as f64 / self.total() as f64
+    }
+}
+
+/// The paper's Table 4.
+pub const TABLE4: [Table4Row; 4] = [
+    Table4Row {
+        kind: ComponentKind::L2c,
+        instances: 8,
+        target: 18_369,
+        protected: 8_650,
+        inactive: 4_656,
+    },
+    Table4Row {
+        kind: ComponentKind::Mcu,
+        instances: 4,
+        target: 12_007,
+        protected: 4_782,
+        inactive: 1_279,
+    },
+    Table4Row {
+        kind: ComponentKind::Ccx,
+        instances: 1,
+        target: 41_181,
+        protected: 0,
+        inactive: 340,
+    },
+    Table4Row {
+        kind: ComponentKind::Pcie,
+        instances: 1,
+        target: 23_483,
+        protected: 5_539,
+        inactive: 0,
+    },
+];
+
+/// Looks up the paper's Table 4 row for a component.
+pub fn table4_for(kind: ComponentKind) -> Table4Row {
+    TABLE4
+        .iter()
+        .copied()
+        .find(|r| r.kind == kind)
+        .expect("every component has a Table 4 row")
+}
+
+/// Looks up the paper's Table 3 row for a studied component.
+pub fn table3_for(kind: ComponentKind) -> Table3Row {
+    let name = kind.name();
+    TABLE3
+        .iter()
+        .copied()
+        .find(|r| r.component == name)
+        .expect("every studied component has a Table 3 row")
+}
+
+/// Census of one of *our* scaled models, in the Table 4 partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelCensus {
+    /// Component.
+    pub kind: ComponentKind,
+    /// Injection-target flops (target + config + timing-critical).
+    pub target: usize,
+    /// Protected flops (ECC + CRC).
+    pub protected: usize,
+    /// Inactive flops.
+    pub inactive: usize,
+}
+
+impl ModelCensus {
+    /// Total flops in the model.
+    pub fn total(&self) -> usize {
+        self.target + self.protected + self.inactive
+    }
+
+    /// Target share of total flops.
+    pub fn target_share(&self) -> f64 {
+        self.target as f64 / self.total() as f64
+    }
+}
+
+/// Computes the census of a freshly constructed model of `kind`.
+pub fn model_census(kind: ComponentKind) -> ModelCensus {
+    let census = match kind {
+        ComponentKind::L2c => L2cBank::new(BankId::new(0)).flops().class_census(),
+        ComponentKind::Mcu => Mcu::new(McuId::new(0)).flops().class_census(),
+        ComponentKind::Ccx => Ccx::new().flops().class_census(),
+        ComponentKind::Pcie => Pcie::new().flops().class_census(),
+    };
+    let mut target = 0;
+    let mut protected = 0;
+    let mut inactive = 0;
+    for (class, n) in census {
+        match class {
+            FlopClass::Target | FlopClass::Config | FlopClass::TimingCritical => target += n,
+            FlopClass::EccProtected | FlopClass::CrcProtected => protected += n,
+            FlopClass::Inactive => inactive += n,
+        }
+    }
+    ModelCensus {
+        kind,
+        target,
+        protected,
+        inactive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_totals_match_table3_flop_counts() {
+        for row in TABLE4 {
+            let t3 = table3_for(row.kind);
+            assert_eq!(row.total(), t3.flops, "{}", row.kind);
+        }
+    }
+
+    #[test]
+    fn paper_target_shares_match_published_percentages() {
+        // Table 4 prints 58.0%, 66.4%, 99.2%, 80.9%.
+        let shares: Vec<f64> = TABLE4.iter().map(|r| r.target_share() * 100.0).collect();
+        for (got, want) in shares.iter().zip([58.0, 66.4, 99.2, 80.9]) {
+            assert!((got - want).abs() < 0.1, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn model_census_shapes_track_paper() {
+        for row in TABLE4 {
+            let m = model_census(row.kind);
+            assert!(m.total() > 0);
+            // Shapes, not absolute counts: target share within 20 points
+            // of the paper's.
+            let delta = (m.target_share() - row.target_share()).abs();
+            assert!(
+                delta < 0.25,
+                "{}: model {:.2} vs paper {:.2}",
+                row.kind,
+                m.target_share(),
+                row.target_share()
+            );
+        }
+    }
+
+    #[test]
+    fn ccx_model_has_no_protected_flops() {
+        let m = model_census(ComponentKind::Ccx);
+        assert_eq!(m.protected, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Flip-flop-level models of the four studied uncore components.
+//!
+//! These models play the role the OpenSPARC T2 RTL plays in
+//! *Understanding Soft Errors in Uncore Components* (Cho et al.,
+//! DAC 2015). Each component is a cycle-accurate microarchitecture whose
+//! *entire* sequential state lives in a [`FlopSpace`]
+//! — queues, pipeline registers, FSMs, pointers, counters — so that a
+//! single-bit flip injected anywhere perturbs behaviour exactly the way
+//! the paper's methodology requires:
+//!
+//! * address-field flips make the component access the **wrong memory
+//!   location** (the mechanism behind Sec. 5.2's rollback analysis),
+//! * control/valid/pointer flips **drop, duplicate, or wedge**
+//!   transactions (Unexpected Termination / Hang outcomes),
+//! * datapath flips **corrupt values** (Output Mismatch),
+//! * flips into idle or soon-overwritten flops **vanish**.
+//!
+//! The components:
+//!
+//! * [`L2cBank`] — L2 cache bank controller (input queue, two-stage
+//!   pipeline, miss buffer with early store acknowledgement, writeback
+//!   buffer, output queue),
+//! * [`Mcu`] — DRAM controller (request queue, per-bank row FSMs with
+//!   tRCD/tCAS/tRP timing, write-data buffer, refresh engine),
+//! * [`Ccx`] — processor↔cache crossbar (per-port FIFOs, round-robin
+//!   arbiters, staging registers; no architectural state, per Table 1),
+//! * [`Pcie`] — PCI Express DMA engine streaming benchmark input files
+//!   into memory (descriptor/progress registers, frame-staging
+//!   registers, RX/TX buffers, flow-control credits).
+//!
+//! Architectural (SRAM/DRAM) state embeds the shared `nestsim-arch`
+//! types, so the high-level models in `nestsim-hlsim` are functionally
+//! identical by construction — the property the mixed-mode platform's
+//! state transfer relies on.
+//!
+//! [`inventory`] records the paper's Table 3 / Table 4 component
+//! inventory alongside the census of these models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccx;
+pub mod fields;
+pub mod inventory;
+pub mod l2c;
+pub mod mcu;
+pub mod pcie;
+
+pub use ccx::Ccx;
+pub use l2c::L2cBank;
+pub use mcu::Mcu;
+pub use pcie::Pcie;
+
+use nestsim_rtl::FlopSpace;
+use serde::{Deserialize, Serialize};
+
+/// The four uncore component kinds studied in the paper (Sec. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// L2 cache bank controller.
+    L2c,
+    /// DRAM controller.
+    Mcu,
+    /// Crossbar interconnect.
+    Ccx,
+    /// PCI Express I/O controller.
+    Pcie,
+}
+
+impl ComponentKind {
+    /// All component kinds, in the paper's presentation order.
+    pub const ALL: [ComponentKind; 4] = [
+        ComponentKind::L2c,
+        ComponentKind::Mcu,
+        ComponentKind::Ccx,
+        ComponentKind::Pcie,
+    ];
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentKind::L2c => "L2C",
+            ComponentKind::Mcu => "MCU",
+            ComponentKind::Ccx => "CCX",
+            ComponentKind::Pcie => "PCIe",
+        }
+    }
+
+    /// Parses a (case-insensitive) component name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "l2c" | "l2" => Some(ComponentKind::L2c),
+            "mcu" | "dram" => Some(ComponentKind::Mcu),
+            "ccx" | "crossbar" => Some(ComponentKind::Ccx),
+            "pcie" | "pci" => Some(ComponentKind::Pcie),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Common observability interface over the detailed component models,
+/// used by the injection framework and the inventory census.
+pub trait UncoreRtl {
+    /// Which component this is.
+    fn kind(&self) -> ComponentKind;
+
+    /// The component's complete flip-flop state.
+    fn flops(&self) -> &FlopSpace;
+
+    /// Mutable access to the flip-flop state (error injection).
+    fn flops_mut(&mut self) -> &mut FlopSpace;
+
+    /// Returns `true` if the flop-state difference at global bit `bit`
+    /// between `self` (target) and `golden` is *benign*: it cannot cause
+    /// any functional difference because the guarding valid bit is clear
+    /// in both copies (Fig. 2 step 7, condition 2 of the paper).
+    fn is_benign_diff(&self, golden: &Self, bit: usize) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_names_round_trip() {
+        for k in ComponentKind::ALL {
+            assert_eq!(ComponentKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ComponentKind::parse("nope"), None);
+    }
+}

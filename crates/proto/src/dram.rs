@@ -1,0 +1,97 @@
+//! L2-bank ↔ DRAM-controller traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{BankId, LineAddr};
+
+/// Kinds of commands an L2 bank issues to its DRAM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCmdKind {
+    /// Read a full cache line (cache fill).
+    Fill,
+    /// Write a full cache line back (dirty eviction).
+    Writeback,
+}
+
+impl core::fmt::Display for DramCmdKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DramCmdKind::Fill => "fill",
+            DramCmdKind::Writeback => "writeback",
+        })
+    }
+}
+
+/// A command from an L2 bank to a DRAM controller.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramCmd {
+    /// Tag used to match the response to the issuing miss-buffer entry.
+    pub tag: u32,
+    /// Issuing L2 bank.
+    pub bank: BankId,
+    /// Command kind.
+    pub kind: DramCmdKind,
+    /// Target cache line.
+    pub line: LineAddr,
+    /// Line data for writebacks (unused for fills).
+    pub data: [u64; 8],
+}
+
+impl DramCmd {
+    /// Builds a fill (read) command.
+    pub fn fill(tag: u32, bank: BankId, line: LineAddr) -> Self {
+        DramCmd {
+            tag,
+            bank,
+            kind: DramCmdKind::Fill,
+            line,
+            data: [0; 8],
+        }
+    }
+
+    /// Builds a writeback command carrying `data`.
+    pub fn writeback(tag: u32, bank: BankId, line: LineAddr, data: [u64; 8]) -> Self {
+        DramCmd {
+            tag,
+            bank,
+            kind: DramCmdKind::Writeback,
+            line,
+            data,
+        }
+    }
+}
+
+/// A DRAM controller's response to a [`DramCmd`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramResp {
+    /// Tag of the command being answered.
+    pub tag: u32,
+    /// Destination L2 bank.
+    pub bank: BankId,
+    /// The line that was read/written.
+    pub line: LineAddr,
+    /// Line data for fill responses (echoes the write data for writebacks).
+    pub data: [u64; 8],
+    /// `true` for writeback acknowledgements.
+    pub is_writeback_ack: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_has_zero_payload() {
+        let c = DramCmd::fill(3, BankId::new(1), LineAddr::new(0x99));
+        assert_eq!(c.kind, DramCmdKind::Fill);
+        assert_eq!(c.data, [0; 8]);
+    }
+
+    #[test]
+    fn writeback_carries_payload() {
+        let d = [1, 2, 3, 4, 5, 6, 7, 8];
+        let c = DramCmd::writeback(4, BankId::new(0), LineAddr::new(1), d);
+        assert_eq!(c.kind, DramCmdKind::Writeback);
+        assert_eq!(c.data, d);
+    }
+}

@@ -1,0 +1,72 @@
+//! SoC topology description.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr;
+
+/// Static description of the modeled SoC's topology.
+///
+/// The default matches the OpenSPARC T2 studied in the paper: 8 cores ×
+/// 8 threads, 8 L2 banks, 4 DRAM controllers, one crossbar, one PCIe
+/// controller. A reduced topology (4 threads, 1 core) is used for the
+/// RTL-only accuracy comparison of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of processor cores.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Number of L2 cache banks.
+    pub l2_banks: usize,
+    /// Number of DRAM controllers.
+    pub mcus: usize,
+}
+
+impl Topology {
+    /// The full T2-like topology (64 hardware threads).
+    pub const fn t2() -> Self {
+        Topology {
+            cores: addr::NUM_CORES,
+            threads_per_core: addr::THREADS_PER_CORE,
+            l2_banks: addr::NUM_L2_BANKS,
+            mcus: addr::NUM_MCUS,
+        }
+    }
+
+    /// The reduced topology used for the Fig. 7 RTL-only comparison
+    /// ("running on 4 threads without an OS").
+    pub const fn reduced() -> Self {
+        Topology {
+            cores: 1,
+            threads_per_core: 4,
+            l2_banks: addr::NUM_L2_BANKS,
+            mcus: addr::NUM_MCUS,
+        }
+    }
+
+    /// Total hardware threads.
+    pub const fn total_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_has_64_threads() {
+        assert_eq!(Topology::t2().total_threads(), 64);
+    }
+
+    #[test]
+    fn reduced_has_4_threads() {
+        assert_eq!(Topology::reduced().total_threads(), 4);
+    }
+}

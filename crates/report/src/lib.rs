@@ -1,0 +1,187 @@
+//! Plain-text table and figure rendering for the reproduction harness.
+//!
+//! The `repro` binary prints every table and figure of the paper as
+//! aligned ASCII tables, percentage series, and log-x CDF plots. This
+//! crate holds the (dependency-free) formatting machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use nestsim_report::Table;
+//!
+//! let mut t = Table::new(["bench", "OMM", "UT"]);
+//! t.row(["barn", "0.02%", "1.34%"]);
+//! t.row(["fft", "0.05%", "0.71%"]);
+//! let s = t.render();
+//! assert!(s.contains("barn"));
+//! assert!(s.lines().count() >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nestsim_stats::Cdf;
+
+/// An aligned plain-text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with a header underline.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().take(cols).enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            #[allow(clippy::needless_range_loop)] // i indexes cells and widths
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width[i] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with `digits` decimals.
+pub fn pct(x: f64, digits: usize) -> String {
+    format!("{:.*}%", digits, x * 100.0)
+}
+
+/// Formats a fraction with its confidence interval, e.g.
+/// `"1.34% [1.21, 1.47]"`.
+pub fn pct_ci(rate: f64, lo: f64, hi: f64) -> String {
+    format!("{} [{:.2}, {:.2}]", pct(rate, 2), lo * 100.0, hi * 100.0)
+}
+
+/// Renders a CDF as `(decade boundary, cumulative %)` rows plus a
+/// small horizontal bar chart — the format used for the paper's
+/// Figs. 6, 8 and 9.
+pub fn render_cdf(title: &str, cdf: &mut Cdf, max_decade: u32) -> String {
+    let mut out = format!("{title}\n");
+    if cdf.is_empty() {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+    for (bound, frac) in cdf.decade_series(max_decade) {
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        out.push_str(&format!(
+            "  <= 10^{:<2} {:>7}  |{bar}\n",
+            bound.ilog10(),
+            pct(frac, 1)
+        ));
+    }
+    out
+}
+
+/// Renders a convergence curve (the Fig. 5 format): sampled points of
+/// a per-cycle series.
+pub fn render_curve(title: &str, points: &[f64], samples: usize) -> String {
+    let mut out = format!("{title}\n");
+    if points.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let step = (points.len() / samples.max(1)).max(1);
+    let peak = points.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    for (i, v) in points.iter().enumerate().step_by(step) {
+        let bar = "#".repeat((v / peak * 40.0).round() as usize);
+        out.push_str(&format!("  cycle {i:>5} {:>8}  |{bar}\n", pct(*v, 2)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_pads_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["xxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The second column starts at the same offset in every line.
+        let off = lines[0].find("long-header").unwrap();
+        assert!(lines[2].len() >= off);
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0123, 2), "1.23%");
+        assert_eq!(pct(1.0, 0), "100%");
+    }
+
+    #[test]
+    fn cdf_rendering_contains_all_decades() {
+        let mut c: Cdf = [5u64, 50, 500].into_iter().collect();
+        let s = render_cdf("test", &mut c, 3);
+        assert!(s.contains("10^0"));
+        assert!(s.contains("10^3"));
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn curve_rendering_samples_points() {
+        let pts: Vec<f64> = (0..100).map(|i| 0.04 * (1.0 - i as f64 / 100.0)).collect();
+        let s = render_curve("warmup", &pts, 10);
+        assert!(s.lines().count() >= 10);
+    }
+
+    #[test]
+    fn pct_ci_formats_interval() {
+        let s = pct_ci(0.0134, 0.0121, 0.0147);
+        assert!(s.contains("1.34%"));
+        assert!(s.contains("[1.21, 1.47]"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+}

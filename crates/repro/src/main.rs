@@ -1,0 +1,168 @@
+//! `repro` — regenerates every table and figure of *Understanding Soft
+//! Errors in Uncore Components* (Cho et al., DAC 2015).
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   table2   mixed-mode performance model (+ measured rates)
+//!   table3   component inventory
+//!   table4   injection-target flop partition
+//!   table5   benchmark applications (+ measured lengths)
+//!   table6   QRR area/power overhead
+//!   fig3     outcome rates per benchmark   (--component l2c|mcu|ccx|pcie)
+//!   fig4     OMM rates: uncore vs processor cores
+//!   fig5     warm-up state convergence
+//!   fig6     error persistence beyond co-simulation cycles
+//!   fig7     RTL-only vs mixed-mode accuracy
+//!   fig8     error-propagation latency CDF
+//!   fig9     required rollback distance CDF
+//!   qrr      QRR recovery evaluation (+ --worst-case)
+//!   burst    multi-bit burst extension: blocked vs interleaved parity
+//!   validate platform self-checks (mode equivalence, determinism)
+//!   all      everything above with quick defaults
+//!
+//! options:
+//!   --samples N      injection runs per cell        (default 120)
+//!   --scale N        extra benchmark length divisor (default 20)
+//!   --benchmarks a,b comma-separated subset          (default: per experiment)
+//!   --seed N         campaign seed                   (default 2015)
+//!   --component X    component for fig3
+//!   --csv DIR        also write raw per-run records as CSV into DIR
+//! ```
+//!
+//! Paper reference values are printed alongside every reproduced
+//! number. Absolute rates differ from the paper's (different chip,
+//! scaled workloads); the *shape* — which outcomes dominate, which
+//! components are worst, where distributions have mass — is the
+//! reproduction target (see EXPERIMENTS.md).
+
+mod figs;
+mod qrreval;
+mod tables;
+
+use std::process::ExitCode;
+
+use nestsim_models::ComponentKind;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    pub samples: u64,
+    pub scale: u64,
+    pub seed: u64,
+    pub component: ComponentKind,
+    pub benchmarks: Option<Vec<String>>,
+    pub csv: Option<String>,
+    pub worst_case: bool,
+    pub runs: usize,
+    pub window: u64,
+    pub flops: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            samples: 120,
+            scale: 20,
+            seed: 2015,
+            component: ComponentKind::L2c,
+            benchmarks: None,
+            csv: None,
+            worst_case: false,
+            runs: 10,
+            window: 1_000,
+            flops: 64,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<(String, Opts), String> {
+    let mut opts = Opts::default();
+    let cmd = args.first().cloned().ok_or_else(usage)?;
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--samples" => opts.samples = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => opts.scale = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--runs" => opts.runs = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => opts.window = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--flops" => opts.flops = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--component" => {
+                let v = take(&mut i)?;
+                opts.component =
+                    ComponentKind::parse(&v).ok_or_else(|| format!("unknown component {v}"))?;
+            }
+            "--benchmarks" => {
+                opts.benchmarks = Some(take(&mut i)?.split(',').map(str::to_string).collect());
+            }
+            "--csv" => opts.csv = Some(take(&mut i)?),
+            "--worst-case" => opts.worst_case = true,
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok((cmd, opts))
+}
+
+fn usage() -> String {
+    "usage: repro <table2|table3|table4|table5|table6|fig3|fig4|fig5|fig6|fig7|fig8|fig9|qrr|all> [options]".to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "table2" => tables::table2(&opts),
+        "table3" => tables::table3(),
+        "table4" => tables::table4(),
+        "table5" => tables::table5(&opts),
+        "table6" => tables::table6(),
+        "fig3" => figs::fig3(&opts),
+        "fig4" => figs::fig4(&opts),
+        "fig5" => figs::fig5(&opts),
+        "fig6" => figs::fig6(&opts),
+        "fig7" => figs::fig7(&opts),
+        "fig8" => figs::fig8(&opts),
+        "fig9" => figs::fig9(&opts),
+        "qrr" => qrreval::qrr(&opts),
+        "burst" => qrreval::burst(&opts),
+        "validate" => tables::validate(&opts),
+        "all" => {
+            tables::table3();
+            tables::table4();
+            tables::table5(&opts);
+            tables::table2(&opts);
+            tables::table6();
+            let mut o = opts.clone();
+            o.samples = opts.samples.min(60);
+            figs::fig3(&o);
+            figs::fig4(&o);
+            figs::fig5(&o);
+            figs::fig6(&o);
+            figs::fig7(&o);
+            figs::fig8(&o);
+            figs::fig9(&o);
+            qrreval::qrr(&o);
+            qrreval::burst(&o);
+        }
+        other => {
+            eprintln!("unknown experiment {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,295 @@
+//! Dense bit vectors backing flop state.
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length dense bit vector stored in 64-bit words.
+///
+/// `BitBuf` is the raw storage behind a [`FlopSpace`](crate::FlopSpace):
+/// one bit per flip-flop. It supports the operations the mixed-mode
+/// platform needs on every co-simulation cycle: word-range reads/writes,
+/// single-bit flips (error injection), and fast diffing against a golden
+/// copy.
+///
+/// # Examples
+///
+/// ```
+/// use nestsim_rtl::BitBuf;
+///
+/// let mut target = BitBuf::zeroed(128);
+/// let golden = target.clone();
+/// target.write_bits(40, 16, 0xbeef);
+/// target.flip(100); // inject a soft error
+/// assert_eq!(target.read_bits(40, 16), 0xbeef);
+/// assert_eq!(target.diff_count(&golden), 14); // 13 set data bits + 1 flip
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBuf {
+    /// Creates an all-zero buffer of `len` bits.
+    pub fn zeroed(len: usize) -> Self {
+        BitBuf {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let m = 1u64 << (i % WORD_BITS);
+        if v {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Inverts bit `i` (the error-injection primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Reads `width` bits starting at `offset` as a little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range exceeds the buffer.
+    pub fn read_bits(&self, offset: usize, width: usize) -> u64 {
+        assert!(width <= 64, "field width {width} > 64");
+        assert!(offset + width <= self.len, "range out of bounds");
+        if width == 0 {
+            return 0;
+        }
+        let w0 = offset / WORD_BITS;
+        let shift = offset % WORD_BITS;
+        let mut v = self.words[w0] >> shift;
+        if shift + width > WORD_BITS {
+            v |= self.words[w0 + 1] << (WORD_BITS - shift);
+        }
+        if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Writes the low `width` bits of `value` starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range exceeds the buffer.
+    pub fn write_bits(&mut self, offset: usize, width: usize, value: u64) {
+        assert!(width <= 64, "field width {width} > 64");
+        assert!(offset + width <= self.len, "range out of bounds");
+        if width == 0 {
+            return;
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let value = value & mask;
+        let w0 = offset / WORD_BITS;
+        let shift = offset % WORD_BITS;
+        self.words[w0] = (self.words[w0] & !(mask << shift)) | (value << shift);
+        if shift + width > WORD_BITS {
+            let hi_bits = shift + width - WORD_BITS;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[w0 + 1] =
+                (self.words[w0 + 1] & !hi_mask) | ((value >> (WORD_BITS - shift)) & hi_mask);
+        }
+    }
+
+    /// Number of bit positions at which `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn diff_count(&self, other: &BitBuf) -> usize {
+        assert_eq!(self.len, other.len, "diffing buffers of unequal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the bit indices at which `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn diff_bits<'a>(&'a self, other: &'a BitBuf) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.len, other.len, "diffing buffers of unequal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(move |(wi, (a, b))| {
+                let mut x = a ^ b;
+                core::iter::from_fn(move || {
+                    if x == 0 {
+                        None
+                    } else {
+                        let tz = x.trailing_zeros() as usize;
+                        x &= x - 1;
+                        Some(wi * WORD_BITS + tz)
+                    }
+                })
+            })
+            .filter(move |&i| i < self.len)
+    }
+
+    /// XOR-reduction (even parity bit) of bits in `[offset, offset+width)`.
+    pub fn parity_of_range(&self, offset: usize, width: usize) -> bool {
+        let mut p = false;
+        let mut o = offset;
+        let end = offset + width;
+        while o < end {
+            let chunk = (end - o).min(64 - o % 64).min(64);
+            p ^= self.read_bits(o, chunk).count_ones() % 2 == 1;
+            o += chunk;
+        }
+        p
+    }
+
+    /// Sets every bit to zero.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_flip_round_trip() {
+        let mut b = BitBuf::zeroed(130);
+        assert!(!b.get(129));
+        b.set(129, true);
+        assert!(b.get(129));
+        b.flip(129);
+        assert!(!b.get(129));
+        b.flip(0);
+        assert!(b.get(0));
+    }
+
+    #[test]
+    fn read_write_bits_within_word() {
+        let mut b = BitBuf::zeroed(64);
+        b.write_bits(4, 8, 0xab);
+        assert_eq!(b.read_bits(4, 8), 0xab);
+        assert_eq!(b.read_bits(0, 4), 0);
+        assert_eq!(b.read_bits(12, 4), 0);
+    }
+
+    #[test]
+    fn read_write_bits_across_word_boundary() {
+        let mut b = BitBuf::zeroed(200);
+        b.write_bits(60, 16, 0xbeef);
+        assert_eq!(b.read_bits(60, 16), 0xbeef);
+        // Neighbours untouched.
+        assert_eq!(b.read_bits(44, 16), 0);
+        assert_eq!(b.read_bits(76, 16), 0);
+    }
+
+    #[test]
+    fn write_full_width_64() {
+        let mut b = BitBuf::zeroed(128);
+        b.write_bits(32, 64, u64::MAX);
+        assert_eq!(b.read_bits(32, 64), u64::MAX);
+        assert_eq!(b.read_bits(0, 32), 0);
+        assert_eq!(b.read_bits(96, 32), 0);
+    }
+
+    #[test]
+    fn write_masks_excess_value_bits() {
+        let mut b = BitBuf::zeroed(32);
+        b.write_bits(8, 4, 0xff);
+        assert_eq!(b.read_bits(8, 4), 0xf);
+        assert_eq!(b.read_bits(12, 4), 0);
+    }
+
+    #[test]
+    fn diff_count_and_bits() {
+        let mut a = BitBuf::zeroed(100);
+        let b = BitBuf::zeroed(100);
+        a.flip(3);
+        a.flip(77);
+        assert_eq!(a.diff_count(&b), 2);
+        let d: Vec<usize> = a.diff_bits(&b).collect();
+        assert_eq!(d, vec![3, 77]);
+    }
+
+    #[test]
+    fn parity_of_range_matches_popcount() {
+        let mut b = BitBuf::zeroed(96);
+        b.set(5, true);
+        b.set(70, true);
+        b.set(71, true);
+        assert!(b.parity_of_range(0, 96)); // 3 ones → odd
+        assert!(b.parity_of_range(0, 64)); // 1 one
+        assert!(!b.parity_of_range(64, 32)); // 2 ones
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut b = BitBuf::zeroed(70);
+        b.set(69, true);
+        b.set(1, true);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let b = BitBuf::zeroed(10);
+        let _ = b.get(10);
+    }
+}

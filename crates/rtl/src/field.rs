@@ -1,0 +1,482 @@
+//! Named, classed flip-flop fields over a [`BitBuf`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitbuf::BitBuf;
+
+/// Protection/eligibility class of a flip-flop field.
+///
+/// Mirrors the partition of Table 4 (error-injection targets vs.
+/// protected vs. inactive flops) plus the QRR-specific classes of
+/// Sec. 6.4 (configuration flops excluded from reset, QRR-controller
+/// flops protected by hardening).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlopClass {
+    /// Eligible for soft-error injection (the "target" column of Table 4).
+    Target,
+    /// Stores ECC-encoded data; a single flip is corrected, so the flop is
+    /// excluded from injection (Sec. 3.1).
+    EccProtected,
+    /// Stores CRC-encoded link data (PCIe); excluded from injection.
+    CrcProtected,
+    /// Dedicated to BIST / redundant-array repair; inactive on a
+    /// defect-free chip and excluded from injection (Sec. 3.1).
+    Inactive,
+    /// Configuration state (e.g. cache-disable bits) that must survive a
+    /// QRR reset; selectively radiation-hardened under QRR (Sec. 6).
+    Config,
+    /// Timing-critical flops where a parity XOR tree does not fit in the
+    /// slack; radiation-hardened under QRR (Sec. 6.4 item 1).
+    TimingCritical,
+}
+
+impl FlopClass {
+    /// Returns `true` for classes eligible for error injection
+    /// (everything that is neither protected nor inactive).
+    pub fn is_injection_target(self) -> bool {
+        matches!(
+            self,
+            FlopClass::Target | FlopClass::Config | FlopClass::TimingCritical
+        )
+    }
+
+    /// Returns `true` for classes cleared by a QRR reset pulse.
+    ///
+    /// Configuration flops keep their values (Sec. 6, property 2).
+    pub fn reset_by_qrr(self) -> bool {
+        !matches!(self, FlopClass::Config)
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlopClass::Target => "target",
+            FlopClass::EccProtected => "ecc",
+            FlopClass::CrcProtected => "crc",
+            FlopClass::Inactive => "inactive",
+            FlopClass::Config => "config",
+            FlopClass::TimingCritical => "timing",
+        }
+    }
+}
+
+impl core::fmt::Display for FlopClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Definition of one named flop field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Hierarchical field name, e.g. `"iq.entry3.addr"`.
+    pub name: String,
+    /// Bit offset within the component's flop space.
+    pub offset: usize,
+    /// Width in bits (≤ 64).
+    pub width: usize,
+    /// Protection class.
+    pub class: FlopClass,
+}
+
+/// Handle to a field registered in a [`FlopSpace`].
+///
+/// Handles are cheap indices; they are only valid for the space (or an
+/// identically built space, e.g. the golden copy) that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldHandle(u32);
+
+impl FieldHandle {
+    /// Raw index of the field within its space.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Builder for a [`FlopSpace`].
+#[derive(Debug)]
+pub struct FlopSpaceBuilder {
+    component: String,
+    fields: Vec<FieldDef>,
+    next_offset: usize,
+}
+
+impl FlopSpaceBuilder {
+    /// Starts a new space for the named component.
+    pub fn new(component: impl Into<String>) -> Self {
+        FlopSpaceBuilder {
+            component: component.into(),
+            fields: Vec::new(),
+            next_offset: 0,
+        }
+    }
+
+    /// Registers a field of `width` bits and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn field(
+        &mut self,
+        name: impl Into<String>,
+        width: usize,
+        class: FlopClass,
+    ) -> FieldHandle {
+        assert!(width > 0 && width <= 64, "field width must be 1..=64");
+        let h = FieldHandle(self.fields.len() as u32);
+        self.fields.push(FieldDef {
+            name: name.into(),
+            offset: self.next_offset,
+            width,
+            class,
+        });
+        self.next_offset += width;
+        h
+    }
+
+    /// Registers `n` identically-shaped fields (e.g. queue entries),
+    /// named `"{name}{i}.{suffix}"`, returning their handles.
+    pub fn field_array(
+        &mut self,
+        name: &str,
+        n: usize,
+        width: usize,
+        class: FlopClass,
+    ) -> Vec<FieldHandle> {
+        (0..n)
+            .map(|i| self.field(format!("{name}[{i}]"), width, class))
+            .collect()
+    }
+
+    /// Total bits declared so far (the next field's offset).
+    pub fn declared_bits(&self) -> usize {
+        self.next_offset
+    }
+
+    /// Finalizes the space with all registered fields zeroed.
+    pub fn build(self) -> FlopSpace {
+        let bits = BitBuf::zeroed(self.next_offset);
+        FlopSpace {
+            component: self.component,
+            fields: self.fields,
+            bits,
+        }
+    }
+}
+
+/// A component's complete flip-flop state: named fields over dense bits.
+///
+/// Cloning a `FlopSpace` yields the *golden copy* used by the mixed-mode
+/// platform's end-of-co-simulation check (Fig. 1b ⑤).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopSpace {
+    component: String,
+    fields: Vec<FieldDef>,
+    bits: BitBuf,
+}
+
+impl FlopSpace {
+    /// Component name this space belongs to.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Total number of flip-flops (bits).
+    pub fn num_flops(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// All field definitions, in registration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Looks up a field definition by its exact name.
+    pub fn field_by_name(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Global bit index of bit `bit` of the field named `name`.
+    ///
+    /// Convenient for targeted injection experiments and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no field has that name or `bit` exceeds its width.
+    pub fn named_bit(&self, name: &str, bit: usize) -> usize {
+        let f = self
+            .field_by_name(name)
+            .unwrap_or_else(|| panic!("no field named {name}"));
+        assert!(bit < f.width, "bit {bit} out of width {}", f.width);
+        f.offset + bit
+    }
+
+    /// Reads a field's value.
+    pub fn read(&self, h: FieldHandle) -> u64 {
+        let f = &self.fields[h.index()];
+        self.bits.read_bits(f.offset, f.width)
+    }
+
+    /// Writes a field's value (excess high bits of `v` are masked off).
+    pub fn write(&mut self, h: FieldHandle, v: u64) {
+        let f = &self.fields[h.index()];
+        self.bits.write_bits(f.offset, f.width, v);
+    }
+
+    /// Reads a single-bit field as a boolean.
+    pub fn read_bool(&self, h: FieldHandle) -> bool {
+        self.read(h) != 0
+    }
+
+    /// Writes a boolean into a single-bit field.
+    pub fn write_bool(&mut self, h: FieldHandle, v: bool) {
+        self.write(h, v as u64);
+    }
+
+    /// Global bit index of bit `bit` of field `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= width`.
+    pub fn field_bit_index(&self, h: FieldHandle, bit: usize) -> usize {
+        let f = &self.fields[h.index()];
+        assert!(bit < f.width, "bit {bit} out of field width {}", f.width);
+        f.offset + bit
+    }
+
+    /// Flips the flip-flop at global bit index `bit` (error injection).
+    pub fn flip(&mut self, bit: usize) {
+        self.bits.flip(bit);
+    }
+
+    /// Reads the flip-flop at global bit index `bit`.
+    pub fn get_bit(&self, bit: usize) -> bool {
+        self.bits.get(bit)
+    }
+
+    /// Returns the field containing global bit index `bit`.
+    pub fn field_of_bit(&self, bit: usize) -> &FieldDef {
+        // Fields are laid out in offset order; binary search.
+        let idx = self
+            .fields
+            .partition_point(|f| f.offset + f.width <= bit)
+            .min(self.fields.len() - 1);
+        let f = &self.fields[idx];
+        debug_assert!(bit >= f.offset && bit < f.offset + f.width);
+        f
+    }
+
+    /// Returns the class of the flop at global bit index `bit`.
+    pub fn class_of_bit(&self, bit: usize) -> FlopClass {
+        self.field_of_bit(bit).class
+    }
+
+    /// Global bit indices of all flops whose class satisfies `pred`.
+    pub fn bits_where(&self, mut pred: impl FnMut(FlopClass) -> bool) -> Vec<usize> {
+        let mut v = Vec::new();
+        for f in &self.fields {
+            if pred(f.class) {
+                v.extend(f.offset..f.offset + f.width);
+            }
+        }
+        v
+    }
+
+    /// Count of flops per class, as `(class, count)` pairs in a stable
+    /// order. Feeds the Table 4 reproduction.
+    pub fn class_census(&self) -> Vec<(FlopClass, usize)> {
+        use FlopClass::*;
+        let all = [
+            Target,
+            EccProtected,
+            CrcProtected,
+            Inactive,
+            Config,
+            TimingCritical,
+        ];
+        all.iter()
+            .map(|&c| {
+                (
+                    c,
+                    self.fields
+                        .iter()
+                        .filter(|f| f.class == c)
+                        .map(|f| f.width)
+                        .sum(),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of differing flops vs. another (identically built) space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two spaces have different sizes.
+    pub fn diff_count(&self, other: &FlopSpace) -> usize {
+        self.bits.diff_count(&other.bits)
+    }
+
+    /// Bit indices that differ vs. another (identically built) space.
+    pub fn diff_bits<'a>(&'a self, other: &'a FlopSpace) -> impl Iterator<Item = usize> + 'a {
+        self.bits.diff_bits(&other.bits)
+    }
+
+    /// Clears all flops whose class is reset by QRR (everything except
+    /// [`FlopClass::Config`]); see Sec. 6.2 of the paper.
+    pub fn reset_except_config(&mut self) {
+        for i in 0..self.fields.len() {
+            let f = &self.fields[i];
+            if f.class.reset_by_qrr() {
+                let (offset, width) = (f.offset, f.width);
+                self.bits.write_bits(offset, width, 0);
+            }
+        }
+    }
+
+    /// Clears every flop, including configuration state (power-on reset).
+    pub fn reset_all(&mut self) {
+        self.bits.clear();
+    }
+
+    /// Copies `width` bits from global offset `src` to `dst` (used by
+    /// shifting-queue microarchitectures). The ranges must not overlap.
+    pub fn copy_range(&mut self, src: usize, dst: usize, width: usize) {
+        debug_assert!(src + width <= dst || dst + width <= src, "overlapping copy");
+        let mut done = 0;
+        while done < width {
+            let chunk = (width - done).min(64);
+            let v = self.bits.read_bits(src + done, chunk);
+            self.bits.write_bits(dst + done, chunk, v);
+            done += chunk;
+        }
+    }
+
+    /// Clears `width` bits starting at global offset `offset` (the
+    /// zero shifted into the tail of a shifting queue).
+    pub fn zero_range(&mut self, offset: usize, width: usize) {
+        let mut done = 0;
+        while done < width {
+            let chunk = (width - done).min(64);
+            self.bits.write_bits(offset + done, chunk, 0);
+            done += chunk;
+        }
+    }
+
+    /// Raw access to the backing bits (read-only).
+    pub fn raw_bits(&self) -> &BitBuf {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_space() -> (FlopSpace, FieldHandle, FieldHandle, FieldHandle) {
+        let mut b = FlopSpaceBuilder::new("demo");
+        let v = b.field("valid", 1, FlopClass::Target);
+        let a = b.field("addr", 40, FlopClass::Target);
+        let c = b.field("cfg.enable", 2, FlopClass::Config);
+        b.field("ecc.syndrome", 8, FlopClass::EccProtected);
+        b.field("bist.chain", 16, FlopClass::Inactive);
+        (b.build(), v, a, c)
+    }
+
+    #[test]
+    fn field_read_write_round_trip() {
+        let (mut s, v, a, _) = demo_space();
+        s.write(a, 0xff_1234_5678);
+        s.write_bool(v, true);
+        assert_eq!(s.read(a), 0xff_1234_5678);
+        assert!(s.read_bool(v));
+    }
+
+    #[test]
+    fn census_matches_declared_widths() {
+        let (s, ..) = demo_space();
+        let census: std::collections::HashMap<_, _> = s.class_census().into_iter().collect();
+        assert_eq!(census[&FlopClass::Target], 41);
+        assert_eq!(census[&FlopClass::Config], 2);
+        assert_eq!(census[&FlopClass::EccProtected], 8);
+        assert_eq!(census[&FlopClass::Inactive], 16);
+        assert_eq!(s.num_flops(), 41 + 2 + 8 + 16);
+    }
+
+    #[test]
+    fn injection_target_selection_excludes_protected() {
+        let (s, ..) = demo_space();
+        let targets = s.bits_where(|c| c.is_injection_target());
+        assert_eq!(targets.len(), 43); // 41 target + 2 config
+        for &b in &targets {
+            assert!(s.class_of_bit(b).is_injection_target());
+        }
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_field() {
+        let (mut s, _, a, _) = demo_space();
+        let golden = s.clone();
+        let bit = s.field_bit_index(a, 3);
+        s.flip(bit);
+        assert_eq!(s.diff_count(&golden), 1);
+        assert_eq!(s.diff_bits(&golden).next(), Some(bit));
+        assert_eq!(s.read(a), 1 << 3);
+    }
+
+    #[test]
+    fn field_of_bit_finds_owner() {
+        let (s, v, a, _) = demo_space();
+        assert_eq!(s.field_of_bit(s.field_bit_index(v, 0)).name, "valid");
+        assert_eq!(s.field_of_bit(s.field_bit_index(a, 39)).name, "addr");
+    }
+
+    #[test]
+    fn qrr_reset_preserves_config() {
+        let (mut s, v, a, c) = demo_space();
+        s.write_bool(v, true);
+        s.write(a, 0xabc);
+        s.write(c, 0b11);
+        s.reset_except_config();
+        assert!(!s.read_bool(v));
+        assert_eq!(s.read(a), 0);
+        assert_eq!(s.read(c), 0b11);
+        s.reset_all();
+        assert_eq!(s.read(c), 0);
+    }
+
+    #[test]
+    fn named_lookup() {
+        let (s, ..) = demo_space();
+        assert_eq!(s.field_by_name("addr").unwrap().width, 40);
+        assert!(s.field_by_name("nope").is_none());
+        assert_eq!(s.named_bit("addr", 3), s.field_by_name("addr").unwrap().offset + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field named")]
+    fn named_bit_unknown_field_panics() {
+        let (s, ..) = demo_space();
+        let _ = s.named_bit("ghost", 0);
+    }
+
+    #[test]
+    fn field_array_names_and_layout() {
+        let mut b = FlopSpaceBuilder::new("x");
+        let hs = b.field_array("q.addr", 4, 10, FlopClass::Target);
+        let s = b.build();
+        assert_eq!(hs.len(), 4);
+        assert_eq!(s.fields()[1].name, "q.addr[1]");
+        assert_eq!(s.fields()[3].offset, 30);
+        assert_eq!(s.num_flops(), 40);
+    }
+
+    #[test]
+    fn golden_copy_is_identical_until_divergence() {
+        let (mut s, _, a, _) = demo_space();
+        let golden = s.clone();
+        assert_eq!(s.diff_count(&golden), 0);
+        s.write(a, 1);
+        assert!(s.diff_count(&golden) > 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! On-chip SRAM array models.
+//!
+//! The paper excludes SRAM arrays from flip-flop error injection because
+//! they are ECC/CRC protected (Sec. 3.1), but their contents are the
+//! *architectural* ("high-level uncore") state of Table 1 that is
+//! transferred between the accelerated mode and the co-simulation mode.
+//! [`SramArray`] therefore supports bulk load/store (state transfer) and
+//! diffing against a golden copy (end-of-co-simulation check).
+
+use serde::{Deserialize, Serialize};
+
+/// A word-addressed on-chip memory array.
+///
+/// Words are 64-bit. Arrays are ECC-protected by construction: injection
+/// never targets them, but erroneous *writes* into them (from corrupted
+/// flops upstream) are exactly what the mixed-mode platform must detect
+/// and transfer back to the high-level model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramArray {
+    name: String,
+    words: Vec<u64>,
+}
+
+impl SramArray {
+    /// Creates a zeroed array of `words` 64-bit words.
+    pub fn new(name: impl Into<String>, words: usize) -> Self {
+        SramArray {
+            name: name.into(),
+            words: vec![0; words],
+        }
+    }
+
+    /// Array name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of 64-bit words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the array has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn read(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Writes word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn write(&mut self, i: usize, v: u64) {
+        self.words[i] = v;
+    }
+
+    /// Reads `n` consecutive words starting at `i`.
+    pub fn read_row(&self, i: usize, n: usize) -> &[u64] {
+        &self.words[i..i + n]
+    }
+
+    /// Writes a row of consecutive words starting at `i`.
+    pub fn write_row(&mut self, i: usize, row: &[u64]) {
+        self.words[i..i + row.len()].copy_from_slice(row);
+    }
+
+    /// Overwrites the whole array (state transfer into RTL, Fig. 1b ③).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents.len() != self.len()`.
+    pub fn load(&mut self, contents: &[u64]) {
+        assert_eq!(contents.len(), self.words.len(), "size mismatch");
+        self.words.copy_from_slice(contents);
+    }
+
+    /// Snapshot of the whole array (state transfer back, Fig. 2 step 10).
+    pub fn dump(&self) -> Vec<u64> {
+        self.words.clone()
+    }
+
+    /// Word indices that differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays have different sizes.
+    pub fn diff_words<'a>(&'a self, other: &'a SramArray) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.words.len(), other.words.len(), "size mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+    }
+
+    /// Number of words that differ from `other`.
+    pub fn diff_count(&self, other: &SramArray) -> usize {
+        self.diff_words(other).count()
+    }
+
+    /// Clears all words to zero.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut a = SramArray::new("tag", 16);
+        a.write(5, 0x1234);
+        assert_eq!(a.read(5), 0x1234);
+        assert_eq!(a.read(4), 0);
+    }
+
+    #[test]
+    fn rows() {
+        let mut a = SramArray::new("data", 16);
+        a.write_row(4, &[1, 2, 3]);
+        assert_eq!(a.read_row(4, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn load_dump_round_trip() {
+        let mut a = SramArray::new("x", 4);
+        a.load(&[9, 8, 7, 6]);
+        assert_eq!(a.dump(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn diff_detects_corrupted_write() {
+        let mut a = SramArray::new("x", 8);
+        let g = a.clone();
+        a.write(3, 1);
+        assert_eq!(a.diff_count(&g), 1);
+        assert_eq!(a.diff_words(&g).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn load_size_checked() {
+        let mut a = SramArray::new("x", 4);
+        a.load(&[1, 2]);
+    }
+}

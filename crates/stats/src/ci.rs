@@ -1,0 +1,221 @@
+//! Binomial proportion estimates and confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// An observed binomial proportion: `successes` out of `trials`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of observed events.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Proportion {
+    /// Creates a proportion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "successes exceed trials");
+        Proportion { successes, trials }
+    }
+
+    /// The point estimate `successes / trials` (0 when `trials == 0`).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Normal-approximation ("Wald") confidence interval, as used by the
+    /// paper's footnote 2 (citing [Choi 90]). Clamped to `[0, 1]`.
+    pub fn normal_interval(&self, confidence: f64) -> (f64, f64) {
+        let z = z_for_confidence(confidence);
+        let p = self.rate();
+        let n = self.trials.max(1) as f64;
+        let half = z * (p * (1.0 - p) / n).sqrt();
+        ((p - half).max(0.0), (p + half).min(1.0))
+    }
+
+    /// Wilson score interval — better behaved for rates near 0, which is
+    /// where the paper's outcome rates live (≤ a few percent).
+    pub fn wilson_interval(&self, confidence: f64) -> (f64, f64) {
+        let z = z_for_confidence(confidence);
+        let n = self.trials.max(1) as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Half-width of the normal-approximation interval.
+    pub fn normal_half_width(&self, confidence: f64) -> f64 {
+        let (lo, hi) = self.normal_interval(confidence);
+        (hi - lo) / 2.0
+    }
+
+    /// Merges another proportion (same Bernoulli process) into this one.
+    pub fn merge(&mut self, other: Proportion) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+impl core::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.3}%)",
+            self.successes,
+            self.trials,
+            self.rate() * 100.0
+        )
+    }
+}
+
+/// Two-sided z-value for a confidence level (e.g. 0.95 → 1.96).
+///
+/// Uses the Acklam/Moro-style rational approximation of the inverse
+/// normal CDF; accurate to ~1e-9 over the relevant range, dependency-free.
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0,1)"
+    );
+    inverse_normal_cdf(0.5 + confidence / 2.0)
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    // Peter Acklam's rational approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// Number of samples needed to estimate a proportion near `p` to within
+/// `±half_width` at the given confidence, under the normal approximation
+/// (the paper's footnote-2 calculation).
+pub fn required_samples(p: f64, half_width: f64, confidence: f64) -> u64 {
+    assert!(half_width > 0.0, "half_width must be positive");
+    let z = z_for_confidence(confidence);
+    (z * z * p * (1.0 - p) / (half_width * half_width)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values_match_tables() {
+        assert!((z_for_confidence(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575829).abs() < 1e-4);
+        assert!((z_for_confidence(0.90) - 1.644854).abs() < 1e-4);
+    }
+
+    #[test]
+    fn paper_footnote2_sample_size() {
+        // ±0.1% at 95% confidence at an observed rate of 1% → ~38,032;
+        // the paper rounds up to "more than 40,000".
+        let n = required_samples(0.01, 0.001, 0.95);
+        assert!((38_000..39_000).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn wald_interval_sane() {
+        let p = Proportion::new(100, 10_000);
+        let (lo, hi) = p.normal_interval(0.95);
+        assert!(lo < 0.01 && 0.01 < hi);
+        assert!((hi - lo) < 0.005);
+    }
+
+    #[test]
+    fn wilson_never_negative_at_zero_rate() {
+        let p = Proportion::new(0, 1000);
+        let (lo, hi) = p.wilson_interval(0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01);
+        // Wald collapses to zero width here, which is why Wilson exists.
+        let (wlo, whi) = p.normal_interval(0.95);
+        assert_eq!((wlo, whi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Proportion::new(3, 10);
+        a.merge(Proportion::new(7, 90));
+        assert_eq!(a, Proportion::new(10, 100));
+        assert!((a.rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trials_rate_is_zero() {
+        assert_eq!(Proportion::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn inverse_cdf_symmetry() {
+        for &p in &[0.001, 0.01, 0.2, 0.4] {
+            let a = inverse_normal_cdf(p);
+            let b = inverse_normal_cdf(1.0 - p);
+            assert!((a + b).abs() < 1e-8, "asymmetric at {p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn proportion_validated() {
+        let _ = Proportion::new(2, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the shifting-queue microarchitecture and the QRR
+//! record table — the mechanisms the warm-up convergence (Fig. 5) and
+//! replay correctness (Sec. 6.3) arguments rest on.
+
+use proptest::prelude::*;
+
+use nestsim::models::fields::{collapse_queue_at, shift_queue_down, Guard, PcxSlot};
+use nestsim::proto::addr::{PAddr, ThreadId};
+use nestsim::proto::{PcxKind, PcxPacket, ReqId};
+use nestsim::qrr::controller::QrrController;
+use nestsim::rtl::{FlopClass, FlopSpace, FlopSpaceBuilder};
+
+fn pkt(id: u64) -> PcxPacket {
+    PcxPacket {
+        id: ReqId(id & 0xffff_ffff),
+        thread: ThreadId::new((id % 64) as usize),
+        kind: match id % 4 {
+            0 => PcxKind::Load,
+            1 => PcxKind::Store,
+            2 => PcxKind::Ifetch,
+            _ => PcxKind::Atomic,
+        },
+        addr: PAddr::new(0x1000_0000 + (id % 1024) * 8),
+        data: id.wrapping_mul(0x9e37),
+    }
+}
+
+fn queue(n: usize) -> (FlopSpace, Vec<PcxSlot>, Vec<Guard>) {
+    let mut b = FlopSpaceBuilder::new("prop");
+    let slots: Vec<PcxSlot> = (0..n)
+        .map(|i| PcxSlot::declare_guarded(&mut b, &format!("q[{i}]"), FlopClass::Target))
+        .collect();
+    let guards: Vec<Guard> = slots.iter().map(|s| s.guard()).collect();
+    (b.build(), slots, guards)
+}
+
+proptest! {
+    /// A shifting queue behaves exactly like a VecDeque under any
+    /// push/pop interleaving, and a fully drained queue is bit-zero —
+    /// the convergence property Fig. 5 depends on.
+    #[test]
+    fn shifting_queue_matches_vecdeque(ops in proptest::collection::vec(any::<bool>(), 1..120)) {
+        use std::collections::VecDeque;
+        let (mut f, slots, guards) = queue(8);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next_id = 1u64;
+        for push in ops {
+            if push {
+                if model.len() < 8 {
+                    slots[model.len()].store(&mut f, &pkt(next_id));
+                    model.push_back(next_id);
+                    next_id += 1;
+                }
+            } else if let Some(want) = model.pop_front() {
+                prop_assert!(slots[0].is_valid(&f));
+                let got = slots[0].load(&f);
+                prop_assert_eq!(got.id.0, want & 0xffff_ffff);
+                shift_queue_down(&mut f, &guards);
+            }
+            // Entry i is valid iff i < len; contents match in order.
+            for (i, want) in model.iter().enumerate() {
+                prop_assert!(slots[i].is_valid(&f));
+                prop_assert_eq!(slots[i].load(&f).id.0, want & 0xffff_ffff);
+            }
+            for i in model.len()..8 {
+                prop_assert!(!slots[i].is_valid(&f));
+            }
+        }
+        // Drain: afterwards the flop state is all-zero (stale bits
+        // flushed), so a cold copy is bit-identical.
+        while !model.is_empty() {
+            model.pop_front();
+            shift_queue_down(&mut f, &guards);
+        }
+        prop_assert_eq!(f.raw_bits().count_ones(), 0);
+    }
+
+    /// Collapsing out a middle entry preserves the relative order of
+    /// the rest (the MCU's bank-parallel scheduler relies on this).
+    #[test]
+    fn collapse_preserves_relative_order(
+        n in 2usize..8,
+        remove_at in 0usize..8
+    ) {
+        let (mut f, slots, guards) = queue(8);
+        for i in 0..n {
+            slots[i].store(&mut f, &pkt(100 + i as u64));
+        }
+        let idx = remove_at % n;
+        collapse_queue_at(&mut f, &guards, idx);
+        let mut expect: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        expect.remove(idx);
+        for (i, want) in expect.iter().enumerate() {
+            prop_assert!(slots[i].is_valid(&f));
+            prop_assert_eq!(slots[i].load(&f).id.0, *want);
+        }
+        prop_assert!(!slots[n - 1].is_valid(&f));
+    }
+
+    /// The QRR record table replays exactly the incomplete requests, in
+    /// arrival order, no matter how arrivals and completions interleave.
+    #[test]
+    fn record_table_replays_incomplete_in_order(
+        ops in proptest::collection::vec(any::<bool>(), 1..60)
+    ) {
+        let mut ctrl: QrrController = QrrController::new();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 1u64;
+        for arrive in ops {
+            if arrive {
+                if ctrl.can_record() {
+                    ctrl.on_request_accepted(next, &pkt(next));
+                    live.push(next);
+                    next += 1;
+                }
+            } else if !live.is_empty() {
+                // Complete the oldest outstanding request.
+                let id = live.remove(0);
+                ctrl.on_return_packet(id, false);
+            }
+        }
+        ctrl.on_error_detected(1_000);
+        ctrl.on_reset_done();
+        let mut replayed = Vec::new();
+        while let Some(p) = ctrl.next_replay() {
+            replayed.push(p.id.0);
+        }
+        prop_assert_eq!(replayed, live);
+    }
+
+    /// Entries flagged as already-answered (store-miss early acks) are
+    /// gated as duplicates during replay; others are not.
+    #[test]
+    fn was_answered_tracks_early_acks(ids in proptest::collection::hash_set(1u64..1000, 1..20)) {
+        let mut ctrl: QrrController = QrrController::new();
+        let ids: Vec<u64> = ids.into_iter().collect();
+        for &id in &ids {
+            if !ctrl.can_record() {
+                break;
+            }
+            ctrl.on_request_accepted(id, &pkt(id));
+            if id % 2 == 0 {
+                ctrl.on_return_packet(id, true); // early ack, still busy
+            }
+        }
+        for &id in ids.iter().take(ctrl.recorded()) {
+            prop_assert_eq!(ctrl.was_answered(id), id % 2 == 0);
+        }
+    }
+}
