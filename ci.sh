@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The single local CI gate, mirrored by .github/workflows/ci.yml.
+#
+# The workspace is hermetic by construction — no external crates — so
+# every step runs with `--offline`: a clean checkout plus a bare
+# rustc/cargo toolchain must be enough. If a step here fails, CI fails.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> bench smoke run (1 iteration per bench)"
+NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
+    cargo bench --offline -p nestsim-bench
+
+echo "==> ci.sh: all gates green"

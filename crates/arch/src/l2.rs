@@ -11,14 +11,12 @@
 //! identical architectural decisions and the mixed-mode state transfer
 //! is outcome-preserving.
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::addr::{LineAddr, PAddr, NUM_L2_BANKS};
 
 use crate::mem::{LineBackend, WORDS_PER_LINE};
 
 /// Geometry of one L2 bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Geometry {
     /// Number of sets (power of two).
     pub sets: usize,
@@ -96,7 +94,7 @@ pub struct StoreResult {
 
 /// Architectural state of one L2 bank (Table 1's "high-level uncore
 /// state" for the L2 cache controller).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct L2BankArch {
     geo: L2Geometry,
     /// Which bank of the SoC this is (needed to reconstruct line

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::addr::{LineAddr, PAddr, LINE_BYTES};
 
 /// Words (u64) per cache line.
@@ -14,7 +12,7 @@ pub const WORDS_PER_LINE: usize = (LINE_BYTES / 8) as usize;
 /// The paper models 4 GB of DRAM per controller; applications touch only
 /// megabytes, so contents are stored sparsely. Unbacked lines read as
 /// zero (the modeled DRAM is initialized to zero at "boot").
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramContents {
     lines: HashMap<u64, [u64; WORDS_PER_LINE]>,
 }
@@ -75,7 +73,7 @@ impl DramContents {
 /// base memory. Diffing the two overlays at the end of co-simulation
 /// yields exactly the set of memory lines the soft error corrupted —
 /// the quantity Sec. 5.2's rollback-distance analysis is built on.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramOverlay {
     writes: HashMap<u64, [u64; WORDS_PER_LINE]>,
 }

@@ -6,15 +6,13 @@
 //! holds outbound frames (unused by the input-file workloads but still
 //! part of the architectural state and the Fig. 5 warm-up comparison).
 
-use serde::{Deserialize, Serialize};
-
 /// RX buffer size in 64-bit words (8 KB).
 pub const RX_WORDS: usize = 8 * 1024 / 8;
 /// TX buffer size in 64-bit words (4 KB).
 pub const TX_WORDS: usize = 4 * 1024 / 8;
 
 /// The PCIe controller's architectural transfer buffers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcieBuffers {
     rx: Vec<u64>,
     tx: Vec<u64>,

@@ -9,13 +9,15 @@
 //! * **target-bit filtering** (Table 4) — sampling flops with vs.
 //!   without the protected/inactive exclusion (the latter wastes runs
 //!   on flips that cannot matter).
+//!
+//! Writes `BENCH_ablations.json` via the in-repo harness runner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use nestsim_bench::bench_base;
 use nestsim_core::campaign::{draw_samples, injection_target_bits, CampaignSpec};
 use nestsim_core::inject::run_injection;
+use nestsim_harness::bench::Suite;
 use nestsim_hlsim::workload::by_name;
 use nestsim_models::{ComponentKind, L2cBank, UncoreRtl};
 use nestsim_proto::addr::BankId;
@@ -32,16 +34,14 @@ fn spec(cap: u64, interval: u64) -> CampaignSpec {
     }
 }
 
-fn early_exit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/early_exit");
-    g.sample_size(10);
+fn early_exit(suite: &mut Suite) {
     let (base, golden) = bench_base("radi", 100);
     let profile = by_name("radi").unwrap();
 
     // With early exit: the default flow.
     let s = draw_samples(profile, &spec(20_000, 16), &golden);
-    g.bench_function("enabled", |b| {
-        b.iter(|| black_box(run_injection(&base, &golden, &s[0])))
+    suite.bench("ablation/early_exit", "enabled", || {
+        black_box(run_injection(&base, &golden, &s[0]))
     });
 
     // Without: force the run to burn the whole co-simulation budget by
@@ -49,58 +49,55 @@ fn early_exit(c: &mut Criterion) {
     let mut no_exit = s[0];
     no_exit.cosim_cap = 20_000;
     no_exit.check_interval = 30_000;
-    g.bench_function("disabled", |b| {
-        b.iter(|| black_box(run_injection(&base, &golden, &no_exit)))
+    suite.bench("ablation/early_exit", "disabled", || {
+        black_box(run_injection(&base, &golden, &no_exit))
     });
-    g.finish();
 }
 
-fn check_interval(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/check_interval");
-    g.sample_size(10);
+fn check_interval(suite: &mut Suite) {
     let (base, golden) = bench_base("lu-c", 100);
     let profile = by_name("lu-c").unwrap();
     for interval in [1u64, 16, 128] {
         let s = draw_samples(profile, &spec(20_000, interval), &golden);
-        g.bench_function(format!("every_{interval}"), |b| {
-            b.iter(|| black_box(run_injection(&base, &golden, &s[0])))
-        });
+        suite.bench(
+            "ablation/check_interval",
+            &format!("every_{interval}"),
+            || black_box(run_injection(&base, &golden, &s[0])),
+        );
     }
-    g.finish();
 }
 
-fn target_filtering(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/target_filtering");
+fn target_filtering(suite: &mut Suite) {
     // The Table 4 filter itself: building the target-bit list with the
     // class predicate vs. enumerating every flop.
-    g.bench_function("filtered_targets", |b| {
-        b.iter(|| black_box(injection_target_bits(ComponentKind::L2c)))
+    suite.bench("ablation/target_filtering", "filtered_targets", || {
+        black_box(injection_target_bits(ComponentKind::L2c))
     });
-    g.bench_function("all_flops", |b| {
-        b.iter(|| {
-            let bank = L2cBank::new(BankId::new(0));
-            black_box(bank.flops().bits_where(|_| true))
-        })
+    suite.bench("ablation/target_filtering", "all_flops", || {
+        let bank = L2cBank::new(BankId::new(0));
+        black_box(bank.flops().bits_where(|_| true))
     });
     // And its statistical effect: how many of 256 unfiltered draws land
     // on protected/inactive flops (wasted runs under the paper's
     // methodology).
-    g.bench_function("wasted_draw_fraction", |b| {
-        b.iter(|| {
-            let bank = L2cBank::new(BankId::new(0));
-            let total = bank.flops().num_flops() as u64;
-            let mut rng = SeedSeq::new(1).rng();
-            let wasted = (0..256)
-                .filter(|_| {
-                    let bit = rng.below(total) as usize;
-                    !bank.flops().class_of_bit(bit).is_injection_target()
-                })
-                .count();
-            black_box(wasted)
-        })
+    suite.bench("ablation/target_filtering", "wasted_draw_fraction", || {
+        let bank = L2cBank::new(BankId::new(0));
+        let total = bank.flops().num_flops() as u64;
+        let mut rng = SeedSeq::new(1).rng();
+        let wasted = (0..256)
+            .filter(|_| {
+                let bit = rng.below(total) as usize;
+                !bank.flops().class_of_bit(bit).is_injection_target()
+            })
+            .count();
+        black_box(wasted)
     });
-    g.finish();
 }
 
-criterion_group!(benches, early_exit, check_interval, target_filtering);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("ablations");
+    early_exit(&mut suite);
+    check_interval(&mut suite);
+    target_filtering(&mut suite);
+    suite.finish();
+}

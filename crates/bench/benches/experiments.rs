@@ -1,9 +1,10 @@
 //! One smoke bench per experiment pipeline (Tables 3–6, Figs. 3–9,
 //! QRR): each bench runs a miniature version of the pipeline that
 //! regenerates the corresponding table/figure, so a performance
-//! regression in any reproduction path shows up in `cargo bench`.
+//! regression in any reproduction path shows up in the bench run.
+//!
+//! Writes `BENCH_experiments.json` via the in-repo harness runner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use nestsim_bench::bench_base;
@@ -15,6 +16,7 @@ use nestsim_core::rtl_only::{
 };
 use nestsim_core::warmup::warmup_experiment;
 use nestsim_cost::CostModel;
+use nestsim_harness::bench::Suite;
 use nestsim_hlsim::workload::by_name;
 use nestsim_models::inventory::model_census;
 use nestsim_models::ComponentKind;
@@ -30,73 +32,52 @@ fn quick_spec(component: ComponentKind) -> CampaignSpec {
     }
 }
 
-fn tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/tables");
-    g.bench_function("table3_table4_census", |b| {
-        b.iter(|| {
-            for kind in ComponentKind::ALL {
-                black_box(model_census(kind));
-            }
-        })
+fn tables(suite: &mut Suite) {
+    suite.bench("experiments/tables", "table3_table4_census", || {
+        for kind in ComponentKind::ALL {
+            black_box(model_census(kind));
+        }
     });
-    g.bench_function("table6_cost_model", |b| {
-        b.iter(|| black_box(CostModel::default().table6()))
+    suite.bench("experiments/tables", "table6_cost_model", || {
+        black_box(CostModel::default().table6())
     });
-    g.finish();
 }
 
-fn fig3_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/fig3");
-    g.sample_size(10);
-    g.bench_function("l2c_cell_4_injections", |b| {
-        b.iter(|| {
-            black_box(run_campaign(
-                by_name("radi").unwrap(),
-                &quick_spec(ComponentKind::L2c),
-            ))
-        })
+fn fig3_cell(suite: &mut Suite) {
+    suite.bench("experiments/fig3", "l2c_cell_4_injections", || {
+        black_box(run_campaign(
+            by_name("radi").unwrap(),
+            &quick_spec(ComponentKind::L2c),
+        ))
     });
-    g.finish();
 }
 
-fn fig5_warmup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/fig5");
-    g.sample_size(10);
-    g.bench_function("l2c_one_window", |b| {
-        b.iter(|| {
-            black_box(warmup_experiment(
-                ComponentKind::L2c,
-                by_name("radi").unwrap(),
-                1,
-                200,
-                99,
-                200,
-            ))
-        })
+fn fig5_warmup(suite: &mut Suite) {
+    suite.bench("experiments/fig5", "l2c_one_window", || {
+        black_box(warmup_experiment(
+            ComponentKind::L2c,
+            by_name("radi").unwrap(),
+            1,
+            200,
+            99,
+            200,
+        ))
     });
-    g.finish();
 }
 
-fn fig6_persistence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/fig6");
-    g.sample_size(10);
-    g.bench_function("l2c_4_flops", |b| {
-        b.iter(|| {
-            black_box(persistence_sweep(
-                ComponentKind::L2c,
-                by_name("radi").unwrap(),
-                4,
-                4_000,
-                &quick_spec(ComponentKind::L2c),
-            ))
-        })
+fn fig6_persistence(suite: &mut Suite) {
+    suite.bench("experiments/fig6", "l2c_4_flops", || {
+        black_box(persistence_sweep(
+            ComponentKind::L2c,
+            by_name("radi").unwrap(),
+            4,
+            4_000,
+            &quick_spec(ComponentKind::L2c),
+        ))
     });
-    g.finish();
 }
 
-fn fig7_rtl_only(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/fig7");
-    g.sample_size(10);
+fn fig7_rtl_only(suite: &mut Suite) {
     let cfg = RtlOnlyConfig {
         length_scale: 400,
         seed: 99,
@@ -104,32 +85,24 @@ fn fig7_rtl_only(c: &mut Criterion) {
     };
     let golden = rtl_only_golden(&cfg);
     let samples = draw_fig7_samples(&cfg, &golden, 1);
-    g.bench_function("one_rtl_only_injection", |b| {
-        b.iter(|| {
-            let (bit, cycle) = samples[0];
-            black_box(run_rtl_only_injection(&cfg, &golden, bit, cycle))
-        })
+    suite.bench("experiments/fig7", "one_rtl_only_injection", || {
+        let (bit, cycle) = samples[0];
+        black_box(run_rtl_only_injection(&cfg, &golden, bit, cycle))
     });
-    g.finish();
 }
 
-fn fig8_fig9_injection(c: &mut Criterion) {
+fn fig8_fig9_injection(suite: &mut Suite) {
     // Figs. 3/8/9 all consume the same per-run records; benchmark one
     // full Fig. 2 injection flow end to end.
-    let mut g = c.benchmark_group("experiments/injection_flow");
-    g.sample_size(10);
     let (base, golden) = bench_base("radi", 100);
     let spec = quick_spec(ComponentKind::L2c);
     let samples = draw_samples(by_name("radi").unwrap(), &spec, &golden);
-    g.bench_function("one_l2c_injection", |b| {
-        b.iter(|| black_box(run_injection(&base, &golden, &samples[0])))
+    suite.bench("experiments/injection_flow", "one_l2c_injection", || {
+        black_box(run_injection(&base, &golden, &samples[0]))
     });
-    g.finish();
 }
 
-fn qrr_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments/qrr");
-    g.sample_size(10);
+fn qrr_recovery(suite: &mut Suite) {
     let (base, golden) = bench_base("radi", 100);
     use nestsim_models::{L2cBank, UncoreRtl};
     let bank = L2cBank::new(nestsim_proto::addr::BankId::new(0));
@@ -140,20 +113,19 @@ fn qrr_recovery(c: &mut Criterion) {
         .find(|f| f.name == "iq[0].valid")
         .map(|f| f.offset)
         .unwrap();
-    g.bench_function("detect_reset_replay", |b| {
-        b.iter(|| black_box(run_qrr_injection(&base, &golden, 0, bit, 2_000, 1_000)))
+    suite.bench("experiments/qrr", "detect_reset_replay", || {
+        black_box(run_qrr_injection(&base, &golden, 0, bit, 2_000, 1_000))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    tables,
-    fig3_cell,
-    fig5_warmup,
-    fig6_persistence,
-    fig7_rtl_only,
-    fig8_fig9_injection,
-    qrr_recovery
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("experiments");
+    tables(&mut suite);
+    fig3_cell(&mut suite);
+    fig5_warmup(&mut suite);
+    fig6_persistence(&mut suite);
+    fig7_rtl_only(&mut suite);
+    fig8_fig9_injection(&mut suite);
+    qrr_recovery(&mut suite);
+    suite.finish();
+}

@@ -1,11 +1,15 @@
 //! Simulation-kernel hot paths: bit-state operations and per-cycle
 //! component ticks. These rates bound the co-simulation mode's
 //! cycles/second (Table 2's "steps 3–10" row).
+//!
+//! Runs on the in-repo `nestsim-harness` bench runner and writes
+//! `BENCH_kernel.json` at the workspace root (`--smoke` or
+//! `NESTSIM_BENCH_SMOKE=1` for the 1-iteration CI gate).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use nestsim_arch::DramContents;
+use nestsim_harness::bench::Suite;
 use nestsim_models::ccx::CcxInputs;
 use nestsim_models::l2c::L2cInputs;
 use nestsim_models::mcu::McuInputs;
@@ -14,21 +18,18 @@ use nestsim_proto::addr::{BankId, McuId, PAddr, ThreadId};
 use nestsim_proto::{PcxKind, PcxPacket, ReqId};
 use nestsim_rtl::BitBuf;
 
-fn bitbuf_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel/bitbuf");
-    g.throughput(Throughput::Elements(1));
+fn bitbuf_ops(suite: &mut Suite) {
     let mut buf = BitBuf::zeroed(32 * 1024);
-    g.bench_function("read_bits_64", |b| {
-        b.iter(|| black_box(buf.read_bits(black_box(12_345), 64)))
+    suite.bench("kernel/bitbuf", "read_bits_64", || {
+        black_box(buf.read_bits(black_box(12_345), 64))
     });
-    g.bench_function("write_bits_64", |b| {
-        b.iter(|| buf.write_bits(black_box(12_345), 64, black_box(0xdead_beef)))
+    suite.bench("kernel/bitbuf", "write_bits_64", || {
+        buf.write_bits(black_box(12_345), 64, black_box(0xdead_beef))
     });
     let other = BitBuf::zeroed(32 * 1024);
-    g.bench_function("diff_count_32k", |b| {
-        b.iter(|| black_box(buf.diff_count(&other)))
+    suite.bench("kernel/bitbuf", "diff_count_32k", || {
+        black_box(buf.diff_count(&other))
     });
-    g.finish();
 }
 
 fn pcx(i: u64) -> PcxPacket {
@@ -45,57 +46,48 @@ fn pcx(i: u64) -> PcxPacket {
     }
 }
 
-fn component_ticks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel/tick");
-    g.throughput(Throughput::Elements(1));
-
+fn component_ticks(suite: &mut Suite) {
     let mut bank = L2cBank::new(BankId::new(0));
     let mut i = 0u64;
-    g.bench_function("l2c", |b| {
-        b.iter(|| {
-            let inp = L2cInputs {
-                pcx: if bank.ready() { Some(pcx(i)) } else { None },
-                dram_resp: None,
-            };
-            i += 1;
-            black_box(bank.tick(&inp))
-        })
+    suite.bench("kernel/tick", "l2c", || {
+        let inp = L2cInputs {
+            pcx: if bank.ready() { Some(pcx(i)) } else { None },
+            dram_resp: None,
+        };
+        i += 1;
+        black_box(bank.tick(&inp))
     });
 
     let mut mcu = Mcu::new(McuId::new(0));
     let mut mem = DramContents::new();
     let mut j = 0u64;
-    g.bench_function("mcu", |b| {
-        b.iter(|| {
-            let inp = McuInputs {
-                cmd: if mcu.ready(false) {
-                    Some(nestsim_proto::DramCmd::fill(
-                        (j % 200) as u32,
-                        BankId::new(0),
-                        nestsim_proto::LineAddr::new((j % 512) * 8),
-                    ))
-                } else {
-                    None
-                },
-            };
-            j += 1;
-            black_box(mcu.tick(&inp, &mut mem))
-        })
+    suite.bench("kernel/tick", "mcu", || {
+        let inp = McuInputs {
+            cmd: if mcu.ready(false) {
+                Some(nestsim_proto::DramCmd::fill(
+                    (j % 200) as u32,
+                    BankId::new(0),
+                    nestsim_proto::LineAddr::new((j % 512) * 8),
+                ))
+            } else {
+                None
+            },
+        };
+        j += 1;
+        black_box(mcu.tick(&inp, &mut mem))
     });
 
     let mut ccx = Ccx::new();
     let ready = [true; 8];
     let mut k = 0u64;
-    g.bench_function("ccx", |b| {
-        b.iter(|| {
-            let mut inp = CcxInputs::default();
-            let core = (k % 8) as usize;
-            if ccx.core_ready(core) {
-                inp.from_cores[core] = Some(pcx(k));
-            }
-            k += 1;
-            black_box(ccx.tick(&inp, &ready))
-        })
+    suite.bench("kernel/tick", "ccx", || {
+        let mut inp = CcxInputs::default();
+        let core = (k % 8) as usize;
+        if ccx.core_ready(core) {
+            inp.from_cores[core] = Some(pcx(k));
+        }
+        k += 1;
+        black_box(ccx.tick(&inp, &ready))
     });
 
     let mut pcie = Pcie::new();
@@ -104,24 +96,25 @@ fn component_ticks(c: &mut Criterion) {
         len: 1 << 26,
         stream_seed: 7,
     });
-    g.bench_function("pcie", |b| b.iter(|| black_box(pcie.tick(&mut mem))));
-
-    g.finish();
+    suite.bench("kernel/tick", "pcie", || black_box(pcie.tick(&mut mem)));
 }
 
-fn golden_compare(c: &mut Criterion) {
+fn golden_compare(suite: &mut Suite) {
     // The per-check cost of the Fig. 2 step-7 comparison.
-    let mut g = c.benchmark_group("kernel/golden_compare");
     let bank = L2cBank::new(BankId::new(0));
     let golden = bank.clone();
-    g.bench_function("l2c_flop_diff", |b| {
-        b.iter(|| black_box(bank.flops().diff_count(golden.flops())))
+    suite.bench("kernel/golden_compare", "l2c_flop_diff", || {
+        black_box(bank.flops().diff_count(golden.flops()))
     });
-    g.bench_function("l2c_arch_diff", |b| {
-        b.iter(|| black_box(bank.arch().diff_slots(golden.arch()).len()))
+    suite.bench("kernel/golden_compare", "l2c_arch_diff", || {
+        black_box(bank.arch().diff_slots(golden.arch()).len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bitbuf_ops, component_ticks, golden_compare);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("kernel");
+    bitbuf_ops(&mut suite);
+    component_ticks(&mut suite);
+    golden_compare(&mut suite);
+    suite.finish();
+}

@@ -3,79 +3,69 @@
 //! ratio is the analogue of the paper's 20,000× speedup over RTL-only
 //! simulation), plus the cost of the mixed-mode plumbing itself
 //! (state transfer, snapshot clone, warm-up window).
+//!
+//! Writes `BENCH_mixed_speedup.json` via the in-repo harness runner.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use nestsim_bench::bench_base;
 use nestsim_core::cosim::{CosimDriver, L2cDriver};
+use nestsim_harness::bench::Suite;
 use nestsim_proto::addr::BankId;
 
-fn accelerated_mode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/accelerated");
-    g.sample_size(10);
-    let (base, golden) = bench_base("radi", 50);
-    g.throughput(Throughput::Elements(golden.cycles));
-    g.bench_function("full_run", |b| {
-        b.iter(|| {
-            let mut sys = base.clone();
-            black_box(sys.run_to_end())
-        })
+fn accelerated_mode(suite: &mut Suite) {
+    let (base, _golden) = bench_base("radi", 50);
+    suite.bench("table2/accelerated", "full_run", || {
+        let mut sys = base.clone();
+        black_box(sys.run_to_end())
     });
-    g.finish();
 }
 
-fn cosim_mode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/cosim");
-    g.sample_size(10);
+fn cosim_mode(suite: &mut Suite) {
     let window = 4_000u64;
-    g.throughput(Throughput::Elements(window));
     let (base, _) = bench_base("radi", 50);
-    g.bench_function("target_plus_golden_window", |b| {
-        b.iter(|| {
-            let mut sys = base.clone();
-            sys.run_until(500);
-            let mut drv = L2cDriver::attach(sys, BankId::new(0));
-            drv.snapshot_golden();
-            for _ in 0..window {
-                drv.step();
-            }
-            black_box(drv.cycle())
-        })
+    suite.bench("table2/cosim", "target_plus_golden_window", || {
+        let mut sys = base.clone();
+        sys.run_until(500);
+        let mut drv = L2cDriver::attach(sys, BankId::new(0));
+        drv.snapshot_golden();
+        for _ in 0..window {
+            drv.step();
+        }
+        black_box(drv.cycle())
     });
-    g.finish();
 }
 
-fn mixed_mode_plumbing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/plumbing");
-    g.sample_size(20);
+fn mixed_mode_plumbing(suite: &mut Suite) {
     let (base, _) = bench_base("radi", 50);
 
     // Snapshot restore = clone of the full system (Fig. 2 step 1).
-    g.bench_function("snapshot_clone", |b| b.iter(|| black_box(base.clone())));
+    suite.bench("table2/plumbing", "snapshot_clone", || {
+        black_box(base.clone())
+    });
 
     // State transfer into RTL (Fig. 2 step 3).
-    g.bench_function("state_transfer_attach", |b| {
-        b.iter(|| {
-            let sys = base.clone();
-            black_box(L2cDriver::attach(sys, BankId::new(0)))
-        })
+    suite.bench("table2/plumbing", "state_transfer_attach", || {
+        let sys = base.clone();
+        black_box(L2cDriver::attach(sys, BankId::new(0)))
     });
 
     // The 1,000-cycle warm-up window (Fig. 2 step 4).
-    g.bench_function("warmup_1000", |b| {
-        b.iter(|| {
-            let mut sys = base.clone();
-            sys.run_until(500);
-            let mut drv = L2cDriver::attach(sys, BankId::new(0));
-            for _ in 0..1_000 {
-                drv.step();
-            }
-            black_box(drv.cycle())
-        })
+    suite.bench("table2/plumbing", "warmup_1000", || {
+        let mut sys = base.clone();
+        sys.run_until(500);
+        let mut drv = L2cDriver::attach(sys, BankId::new(0));
+        for _ in 0..1_000 {
+            drv.step();
+        }
+        black_box(drv.cycle())
     });
-    g.finish();
 }
 
-criterion_group!(benches, accelerated_mode, cosim_mode, mixed_mode_plumbing);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("mixed_speedup");
+    accelerated_mode(&mut suite);
+    cosim_mode(&mut suite);
+    mixed_mode_plumbing(&mut suite);
+    suite.finish();
+}

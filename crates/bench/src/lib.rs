@@ -1,4 +1,5 @@
-//! Shared setup helpers for the nestsim criterion benches.
+//! Shared setup helpers for the nestsim bench suites (run on the
+//! in-repo `nestsim-harness` bench runner).
 //!
 //! The benches cover (a) the simulation-kernel hot paths, (b) the
 //! Table 2 / Sec. 2.3 performance claims (accelerated vs. co-simulated

@@ -12,8 +12,6 @@
 //! point — the restored state is identical to a snapshot restore, with
 //! no snapshot storage (see DESIGN.md).
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_hlsim::{RunResult, System, SystemConfig};
 use nestsim_models::{inventory, Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
@@ -27,7 +25,7 @@ use crate::inject::{
 use crate::outcome::OutcomeCounts;
 
 /// Parameters of one campaign cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignSpec {
     /// Component under test.
     pub component: ComponentKind,
@@ -70,7 +68,7 @@ impl CampaignSpec {
 }
 
 /// Results of one campaign cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Benchmark name.
     pub benchmark: &'static str,

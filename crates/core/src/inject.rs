@@ -1,7 +1,5 @@
 //! One error-injection run: the Fig. 2 flow.
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_hlsim::{RunResult, System};
 use nestsim_models::ComponentKind;
 use nestsim_proto::addr::{BankId, McuId};
@@ -20,7 +18,7 @@ pub const DEFAULT_CHECK_INTERVAL: u64 = 16;
 pub const WATCHDOG_MARGIN: u64 = 50_000;
 
 /// Reference data from the one-time error-free execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GoldenRef {
     /// Error-free output digest.
     pub digest: u64,
@@ -29,7 +27,7 @@ pub struct GoldenRef {
 }
 
 /// Parameters of one injection run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionSpec {
     /// Component under test.
     pub component: ComponentKind,
@@ -50,7 +48,7 @@ pub struct InjectionSpec {
 }
 
 /// What one injection run produced.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionRecord {
     /// Application-level outcome.
     pub outcome: Outcome,

@@ -1,13 +1,11 @@
 //! Application-level outcome categories (Sec. 3.2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_stats::Proportion;
 
 /// The five outcome categories of the paper ([Cho 13, Sanda 08,
 /// Wang 04]) plus the Sec. 4.2 persists-past-cap bucket, which the
 /// paper tracks separately and does *not* report as erroneous.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Application Output Not Affected: the error was observable
     /// (erroneous packets or architectural state) but the final output
@@ -68,7 +66,7 @@ impl core::fmt::Display for Outcome {
 }
 
 /// Outcome tallies for one campaign cell (component × benchmark).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
     /// Count per [`Outcome::ALL`] order.
     counts: [u64; 6],

@@ -10,8 +10,6 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_hlsim::{System, SystemConfig};
 use nestsim_proto::addr::BankId;
@@ -19,7 +17,7 @@ use nestsim_proto::addr::BankId;
 use crate::cosim::{CosimDriver, L2cDriver};
 
 /// One row of Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Step label.
     pub step: &'static str,
@@ -71,7 +69,7 @@ pub fn paper_throughput(l_cycles: f64) -> f64 {
 pub const PAPER_RTL_ONLY_RATE: f64 = 100.0;
 
 /// Measured rates of this implementation's two modes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredRates {
     /// Accelerated-mode rate in cycles/second.
     pub accelerated: f64,

@@ -6,8 +6,6 @@
 //! uncore state). Fig. 6 plots, per component, the fraction of
 //! flip-flops whose errors persist beyond a given cycle count.
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_models::ComponentKind;
 use nestsim_proto::addr::{BankId, McuId};
@@ -18,7 +16,7 @@ use crate::cosim::{CcxDriver, CosimDriver, L2cDriver, McuDriver, PcieDriver};
 use crate::inject::MIN_WARMUP;
 
 /// Persistence of one sampled flop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlopPersistence {
     /// The sampled flop bit.
     pub bit: usize,
@@ -30,7 +28,7 @@ pub struct FlopPersistence {
 }
 
 /// Result of the persistence sweep for one component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PersistenceSweep {
     /// Component measured.
     pub component: ComponentKind,

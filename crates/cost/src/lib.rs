@@ -29,13 +29,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_models::inventory::{table3_for, table4_for};
 use nestsim_models::ComponentKind;
 
 /// Protection partition sizes the cost model prices (per instance).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtectionCounts {
     /// Parity-covered flops.
     pub parity_covered: usize,
@@ -85,7 +83,7 @@ impl ProtectionCounts {
 /// assert!((t6.qrr_area.total() - 0.459).abs() < 0.02);
 /// assert!((t6.qrr_area_chip - 0.0332).abs() < 0.004);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Flip-flop area in GE.
     pub flop_area: f64,
@@ -146,7 +144,7 @@ impl Default for CostModel {
 }
 
 /// Area/power of one component instance (the 100% baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentBudget {
     /// Baseline area in GE (the Table 3 gate count).
     pub area: f64,
@@ -155,7 +153,7 @@ pub struct ComponentBudget {
 }
 
 /// One overhead breakdown (component-level fractions).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Overhead {
     /// Parity share.
     pub parity: f64,
@@ -173,7 +171,7 @@ impl Overhead {
 }
 
 /// The full Table 6 reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table6 {
     /// QRR area overhead breakdown (component level).
     pub qrr_area: Overhead,

@@ -1,0 +1,101 @@
+//! The harness PRNG: splitmix64 seeding feeding an xorshift256**-style
+//! generator.
+//!
+//! Deliberately independent of `nestsim-stats` so the test harness can
+//! exercise that crate without a circular dev-dependency, and so a
+//! harness bug can never mask (or be masked by) a bug in the simulator's
+//! own seeding stack.
+
+/// One splitmix64 step. Used to expand a single `u64` seed into the
+/// generator state and to derive per-case seeds from a run seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** — fast, tiny, and more than random enough for test-case
+/// generation. Not cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessRng {
+    s: [u64; 4],
+}
+
+impl HarnessRng {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        HarnessRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `[0, bound)` by widening-multiply rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = HarnessRng::new(0xdead_beef);
+        let mut b = HarnessRng::new(0xdead_beef);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HarnessRng::new(1);
+        let mut b = HarnessRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut rng = HarnessRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1 << 33] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

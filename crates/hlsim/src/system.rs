@@ -1314,7 +1314,10 @@ mod tests {
             }
         }
         let r = sys.run_to_end();
-        assert!(matches!(r, RunResult::Hang { .. }), "runaway must hang: {r:?}");
+        assert!(
+            matches!(r, RunResult::Hang { .. }),
+            "runaway must hang: {r:?}"
+        );
     }
 
     #[test]

@@ -1,14 +1,12 @@
 //! Per-hardware-thread execution state and the OS-lite runtime rules.
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::addr::{region, PAddr, ThreadId};
 use nestsim_proto::ReqId;
 
 use crate::workload::ProgGen;
 
 /// How a thread consumes a loaded value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadUse {
     /// Fold into the running accumulator (feeds the output digest).
     Data,
@@ -36,7 +34,7 @@ pub enum LoadUse {
 }
 
 /// One operation of the workload op stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Load the aligned 8-byte word at `addr`.
     Load {
@@ -69,7 +67,7 @@ pub enum Op {
 }
 
 /// Why a thread trapped (Unexpected Termination causes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrapCause {
     /// Access outside every valid region.
     InvalidAddress,
@@ -94,7 +92,7 @@ impl core::fmt::Display for TrapCause {
 }
 
 /// Scheduling state of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Ready to issue its next op.
     Ready,
@@ -140,7 +138,7 @@ pub fn control_error_path(bad_value: u64) -> ControlErrorPath {
 }
 
 /// Per-hardware-thread execution context.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThreadCtx {
     /// This thread's id.
     pub id: ThreadId,

@@ -14,8 +14,6 @@
 //! `CYCLE_SCALE = 1000`; input files are divided by 1024 (DESIGN.md
 //! scale-down constants).
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::addr::PAddr;
 use nestsim_proto::pcie::DmaDescriptor;
 use nestsim_stats::seed::SplitRng;
@@ -35,7 +33,7 @@ const AVG_MEM_LATENCY: u64 = 22;
 const IFETCH_FRAC: f64 = 0.03;
 
 /// Benchmark suite of origin (Table 5 grouping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPLASH-2 [Woo 95].
     Splash2,
@@ -56,7 +54,7 @@ impl core::fmt::Display for Suite {
 }
 
 /// Static description of one benchmark workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchProfile {
     /// Short name as used in the paper's figures (e.g. `"barn"`).
     pub name: &'static str,
@@ -466,7 +464,7 @@ pub fn with_input_files() -> impl Iterator<Item = &'static BenchProfile> {
 }
 
 /// Execution phase of the deterministic program generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     PollInput,
     CheckHeader,
@@ -484,13 +482,11 @@ enum Phase {
 /// the stream is a pure function of `(profile, campaign seed, thread)`,
 /// so golden and erroneous runs replay identically until an injected
 /// error actually changes an observed value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProgGen {
-    #[serde(skip, default = "default_profile")]
     profile: &'static BenchProfile,
     thread: usize,
     threads: usize,
-    length_scale: u64,
     rng: SplitRng,
     phase: Phase,
     op_idx: u64,
@@ -500,10 +496,6 @@ pub struct ProgGen {
     ptr: u64,
     input_loads: u64,
     input_step: u64,
-}
-
-fn default_profile() -> &'static BenchProfile {
-    &BENCHMARKS[0]
 }
 
 impl ProgGen {
@@ -541,7 +533,6 @@ impl ProgGen {
             profile,
             thread,
             threads,
-            length_scale,
             rng,
             phase: if profile.has_input_file() {
                 Phase::PollInput

@@ -7,15 +7,13 @@
 //! Table 4 themselves) and our model census (so readers can judge the
 //! scale of the substitution).
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::addr::{BankId, McuId};
 use nestsim_rtl::FlopClass;
 
 use crate::{Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
 
 /// One row of the paper's Table 3 (per-instance counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table3Row {
     /// Component name as printed in the paper.
     pub component: &'static str,
@@ -81,7 +79,7 @@ pub const TABLE3: [Table3Row; 8] = [
 ];
 
 /// One row of the paper's Table 4 (injection-target partition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table4Row {
     /// Component.
     pub kind: ComponentKind,
@@ -159,7 +157,7 @@ pub fn table3_for(kind: ComponentKind) -> Table3Row {
 }
 
 /// Census of one of *our* scaled models, in the Table 4 partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelCensus {
     /// Component.
     pub kind: ComponentKind,

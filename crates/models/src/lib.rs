@@ -52,10 +52,9 @@ pub use mcu::Mcu;
 pub use pcie::Pcie;
 
 use nestsim_rtl::FlopSpace;
-use serde::{Deserialize, Serialize};
 
 /// The four uncore component kinds studied in the paper (Sec. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComponentKind {
     /// L2 cache bank controller.
     L2c,

@@ -778,7 +778,12 @@ mod tests {
         let data = [0xabu64; 8];
         mcu.tick(
             &McuInputs {
-                cmd: Some(DramCmd::writeback(9, BankId::new(0), LineAddr::new(24), data)),
+                cmd: Some(DramCmd::writeback(
+                    9,
+                    BankId::new(0),
+                    LineAddr::new(24),
+                    data,
+                )),
             },
             &mut mem,
         );

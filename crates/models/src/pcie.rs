@@ -22,7 +22,6 @@ use nestsim_arch::{LineBackend, PcieBuffers};
 use nestsim_proto::addr::{PAddr, LINE_BYTES};
 use nestsim_proto::pcie::{stream_word, DmaDescriptor};
 use nestsim_rtl::{FieldHandle, FlopClass, FlopSpace, FlopSpaceBuilder};
-use serde::{Deserialize, Serialize};
 
 use crate::fields::benign_in;
 use crate::fields::Guard;
@@ -40,7 +39,7 @@ pub const RX_FRAMES: u64 = 16;
 /// registers (these are architecturally readable by software, so they
 /// transfer between simulation modes rather than being warm-up state —
 /// see DESIGN.md substitutions).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcieArchState {
     /// RX/TX transfer buffers.
     pub bufs: PcieBuffers,

@@ -6,8 +6,6 @@
 //! our scaled geometry. Each DRAM controller (MCU) serves two adjacent L2
 //! banks, as in the T2 (Sec. 6, footnote 12 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per cache line.
 pub const LINE_BYTES: u64 = 64;
 /// log2 of [`LINE_BYTES`].
@@ -27,9 +25,7 @@ pub const NUM_THREADS: usize = NUM_CORES * THREADS_PER_CORE;
 ///
 /// Newtype over `u64` so that byte addresses, line addresses, and plain
 /// data values cannot be confused (C-NEWTYPE).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PAddr(u64);
 
 impl PAddr {
@@ -92,9 +88,7 @@ impl core::fmt::LowerHex for PAddr {
 
 /// A cache-line address (a physical address shifted right by
 /// [`LINE_SHIFT`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -121,9 +115,7 @@ impl core::fmt::Display for LineAddr {
 }
 
 /// Identifier of an L2 cache bank (0..[`NUM_L2_BANKS`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BankId(u8);
 
 impl BankId {
@@ -155,9 +147,7 @@ impl core::fmt::Display for BankId {
 }
 
 /// Identifier of a DRAM controller (0..[`NUM_MCUS`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct McuId(u8);
 
 impl McuId {
@@ -189,9 +179,7 @@ impl core::fmt::Display for McuId {
 }
 
 /// Identifier of a processor core (0..[`NUM_CORES`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(u8);
 
 impl CoreId {
@@ -223,9 +211,7 @@ impl core::fmt::Display for CoreId {
 }
 
 /// Global hardware-thread identifier (0..[`NUM_THREADS`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(u8);
 
 impl ThreadId {

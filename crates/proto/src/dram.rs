@@ -1,11 +1,9 @@
 //! L2-bank ↔ DRAM-controller traffic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{BankId, LineAddr};
 
 /// Kinds of commands an L2 bank issues to its DRAM controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramCmdKind {
     /// Read a full cache line (cache fill).
     Fill,
@@ -23,7 +21,7 @@ impl core::fmt::Display for DramCmdKind {
 }
 
 /// A command from an L2 bank to a DRAM controller.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DramCmd {
     /// Tag used to match the response to the issuing miss-buffer entry.
     pub tag: u32,
@@ -62,7 +60,7 @@ impl DramCmd {
 }
 
 /// A DRAM controller's response to a [`DramCmd`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DramResp {
     /// Tag of the command being answered.
     pub tag: u32,

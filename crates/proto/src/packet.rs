@@ -1,7 +1,5 @@
 //! Core↔uncore request/return packets (PCX / CPX analogues).
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{BankId, PAddr, ThreadId};
 
 /// Globally unique identifier of an in-flight request.
@@ -9,9 +7,7 @@ use crate::addr::{BankId, PAddr, ThreadId};
 /// Request ids are assigned by the issuing core and echoed back in the
 /// matching [`CpxPacket`]; the QRR record table and the outcome monitors
 /// key on them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ReqId(pub u64);
 
 impl core::fmt::Display for ReqId {
@@ -21,7 +17,7 @@ impl core::fmt::Display for ReqId {
 }
 
 /// Kinds of processor-to-uncore requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcxKind {
     /// Data load (fills the thread's destination register).
     Load,
@@ -59,7 +55,7 @@ impl core::fmt::Display for PcxKind {
 
 /// A request packet travelling from a processor core through the crossbar
 /// to an L2 cache bank (analogue of a T2 "PCX" packet).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PcxPacket {
     /// Request identifier (echoed in the return packet).
     pub id: ReqId,
@@ -81,7 +77,7 @@ impl PcxPacket {
 }
 
 /// Kinds of uncore-to-processor return packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpxKind {
     /// Load data return.
     LoadReturn,
@@ -110,7 +106,7 @@ impl core::fmt::Display for CpxKind {
 
 /// A return packet travelling from an uncore component back to a core
 /// (analogue of a T2 "CPX" packet).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpxPacket {
     /// Identifier of the request this packet answers.
     pub id: ReqId,

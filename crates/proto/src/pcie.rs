@@ -5,15 +5,13 @@
 //! engine that streams file payload frames from a (simulated) host into
 //! the input-staging region of physical memory.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::PAddr;
 
 /// Payload bytes per DMA frame (one cache line).
 pub const FRAME_BYTES: usize = 64;
 
 /// A DMA transfer descriptor programmed into the PCIe controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DmaDescriptor {
     /// Destination physical address of the first byte.
     pub dst: PAddr,
@@ -32,7 +30,7 @@ impl DmaDescriptor {
 }
 
 /// One link-layer frame of DMA payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PcieFrame {
     /// Frame sequence number within the transfer.
     pub seq: u64,

@@ -1,7 +1,5 @@
 //! SoC topology description.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr;
 
 /// Static description of the modeled SoC's topology.
@@ -10,7 +8,7 @@ use crate::addr;
 /// 8 threads, 8 L2 banks, 4 DRAM controllers, one crossbar, one PCIe
 /// controller. A reduced topology (4 threads, 1 core) is used for the
 /// RTL-only accuracy comparison of Fig. 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     /// Number of processor cores.
     pub cores: usize,

@@ -8,15 +8,13 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_proto::PcxPacket;
 
 /// Record-table capacity (Sec. 6: "Record Table (32 entries)").
 pub const RECORD_TABLE_ENTRIES: usize = 32;
 
 /// One record-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry<P> {
     id: u64,
     pkt: P,
@@ -26,7 +24,7 @@ struct Entry<P> {
 }
 
 /// Recovery state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QrrState {
     /// Normal operation: recording and monitoring.
     Normal,
@@ -64,7 +62,7 @@ pub enum QrrState {
 /// ctrl.on_reset_done();
 /// assert_eq!(ctrl.next_replay().unwrap().id, ReqId(7));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QrrController<P = PcxPacket> {
     table: VecDeque<Entry<P>>,
     state: QrrState,

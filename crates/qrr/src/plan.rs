@@ -1,8 +1,6 @@
 //! The QRR protection partition and residual-failure arithmetic
 //! (Sec. 6.4).
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_models::{ComponentKind, UncoreRtl};
 use nestsim_rtl::{FlopClass, ParityPlan};
 
@@ -15,7 +13,7 @@ pub const PAPER_QRR_CONTROLLER_FLOPS: usize = 812;
 pub const HARDENING_SER_REDUCTION: f64 = 1000.0;
 
 /// The Sec. 6.4 protection partition of one component's flip-flops.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QrrPlan {
     /// Component the plan protects.
     pub component: ComponentKind,

@@ -18,8 +18,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use nestsim_core::inject::{GoldenRef, MIN_WARMUP};
 use nestsim_core::Outcome;
 use nestsim_hlsim::workload::BenchProfile;
@@ -41,7 +39,7 @@ pub const QRR_DRAM_LATENCY: u64 = 40;
 pub const PAPER_WORST_CASE_RECOVERY: u64 = 5_000;
 
 /// Result of one QRR-protected injection run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QrrRecord {
     /// Application outcome.
     pub outcome: Outcome,
@@ -305,7 +303,7 @@ pub fn run_qrr_injection(
 }
 
 /// Aggregate results of a QRR evaluation campaign.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QrrEval {
     /// Runs with a parity-covered flip.
     pub covered_runs: u64,
@@ -363,7 +361,7 @@ pub fn qrr_campaign(
 
 /// Aggregate results of a burst-injection campaign (the multi-bit
 /// extension experiment).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BurstEval {
     /// Bursts injected.
     pub runs: u64,

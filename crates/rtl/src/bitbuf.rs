@@ -1,7 +1,5 @@
 //! Dense bit vectors backing flop state.
 
-use serde::{Deserialize, Serialize};
-
 const WORD_BITS: usize = 64;
 
 /// A fixed-length dense bit vector stored in 64-bit words.
@@ -24,7 +22,7 @@ const WORD_BITS: usize = 64;
 /// assert_eq!(target.read_bits(40, 16), 0xbeef);
 /// assert_eq!(target.diff_count(&golden), 14); // 13 set data bits + 1 flip
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BitBuf {
     words: Vec<u64>,
     len: usize,

@@ -1,7 +1,5 @@
 //! Named, classed flip-flop fields over a [`BitBuf`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitbuf::BitBuf;
 
 /// Protection/eligibility class of a flip-flop field.
@@ -10,7 +8,7 @@ use crate::bitbuf::BitBuf;
 /// protected vs. inactive flops) plus the QRR-specific classes of
 /// Sec. 6.4 (configuration flops excluded from reset, QRR-controller
 /// flops protected by hardening).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlopClass {
     /// Eligible for soft-error injection (the "target" column of Table 4).
     Target,
@@ -67,7 +65,7 @@ impl core::fmt::Display for FlopClass {
 }
 
 /// Definition of one named flop field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDef {
     /// Hierarchical field name, e.g. `"iq.entry3.addr"`.
     pub name: String,
@@ -83,7 +81,7 @@ pub struct FieldDef {
 ///
 /// Handles are cheap indices; they are only valid for the space (or an
 /// identically built space, e.g. the golden copy) that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FieldHandle(u32);
 
 impl FieldHandle {
@@ -168,7 +166,7 @@ impl FlopSpaceBuilder {
 ///
 /// Cloning a `FlopSpace` yields the *golden copy* used by the mixed-mode
 /// platform's end-of-co-simulation check (Fig. 1b ⑤).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlopSpace {
     component: String,
     fields: Vec<FieldDef>,
@@ -450,7 +448,10 @@ mod tests {
         let (s, ..) = demo_space();
         assert_eq!(s.field_by_name("addr").unwrap().width, 40);
         assert!(s.field_by_name("nope").is_none());
-        assert_eq!(s.named_bit("addr", 3), s.field_by_name("addr").unwrap().offset + 3);
+        assert_eq!(
+            s.named_bit("addr", 3),
+            s.field_by_name("addr").unwrap().offset + 3
+        );
     }
 
     #[test]

@@ -17,8 +17,6 @@
 //! group count and sizes) also feeds the XOR-tree area/power cost model
 //! of Table 6.
 
-use serde::{Deserialize, Serialize};
-
 use crate::field::{FlopClass, FlopSpace};
 
 /// Default number of flops sharing one parity bit/XOR tree.
@@ -29,7 +27,7 @@ pub const DEFAULT_GROUP_BITS: usize = 16;
 pub const DEFAULT_AGGREGATION_LATENCY: u64 = 3;
 
 /// How covered flops are assigned to XOR-tree groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupLayout {
     /// Consecutive flops share a tree (cheap routing; adjacent-bit
     /// bursts can cancel under one tree).
@@ -42,7 +40,7 @@ pub enum GroupLayout {
 
 /// Structural parity plan for a component: which flops are covered and
 /// how they are grouped into XOR trees.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParityPlan {
     component: String,
     /// Sorted global bit indices covered by parity.
@@ -139,7 +137,7 @@ impl ParityPlan {
 }
 
 /// Behavioural parity detector with aggregation latency.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParityDetector {
     plan: ParityPlan,
     aggregation_latency: u64,

@@ -7,15 +7,13 @@
 //! [`SramArray`] therefore supports bulk load/store (state transfer) and
 //! diffing against a golden copy (end-of-co-simulation check).
 
-use serde::{Deserialize, Serialize};
-
 /// A word-addressed on-chip memory array.
 ///
 /// Words are 64-bit. Arrays are ECC-protected by construction: injection
 /// never targets them, but erroneous *writes* into them (from corrupted
 /// flops upstream) are exactly what the mixed-mode platform must detect
 /// and transfer back to the high-level model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SramArray {
     name: String,
     words: Vec<u64>,

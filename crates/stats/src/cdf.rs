@@ -5,8 +5,6 @@
 //! latency, and required rollback distance. [`LogHistogram`] buckets
 //! samples by decade; [`Cdf`] keeps the raw samples for exact quantiles.
 
-use serde::{Deserialize, Serialize};
-
 /// An exact empirical CDF over `u64` samples.
 ///
 /// # Examples
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(latencies.quantile(0.5), 4_500);
 /// assert!(latencies.fraction_at_most(1_000) >= 0.4);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cdf {
     samples: Vec<u64>,
     sorted: bool,
@@ -115,7 +113,7 @@ impl Extend<u64> for Cdf {
 }
 
 /// A histogram with one bucket per decade (`[10^k, 10^(k+1))`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,

@@ -1,9 +1,7 @@
 //! Binomial proportion estimates and confidence intervals.
 
-use serde::{Deserialize, Serialize};
-
 /// An observed binomial proportion: `successes` out of `trials`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Proportion {
     /// Number of observed events.
     pub successes: u64,

@@ -5,8 +5,6 @@
 //! [`SeedSeq`], so experiments are bit-for-bit reproducible and can be
 //! sharded across worker threads without coordination.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 step: mixes `state + GOLDEN_GAMMA` into a 64-bit output.
 pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -40,7 +38,7 @@ fn label_hash(label: &str) -> u64 {
 /// assert_eq!(a.seed(), b.seed()); // reproducible
 /// assert_ne!(a.seed(), root.derive("campaign.mcu").derive_index(7).seed());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeedSeq {
     seed: u64,
 }
@@ -83,7 +81,7 @@ impl SeedSeq {
 /// A minimal SplitMix64-based PRNG.
 ///
 /// Not cryptographic; used only for reproducible experiment sampling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitRng {
     state: u64,
 }

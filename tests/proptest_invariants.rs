@@ -1,7 +1,11 @@
 //! Property-based tests over the core data structures and the
 //! architectural invariants the mixed-mode platform relies on.
+//!
+//! Run on the in-repo `nestsim-harness` property runner: every case is
+//! derived deterministically from a fixed root seed, and a failure
+//! message carries a `NESTSIM_PROP_SEED=<seed>` replay handle.
 
-use proptest::prelude::*;
+use nestsim_harness::{check_with, properties, Config, Source};
 
 use nestsim::arch::{DramContents, L2BankArch, L2Geometry};
 use nestsim::proto::addr::{l2_bank_of, PAddr};
@@ -10,19 +14,21 @@ use nestsim::stats::{Cdf, SeedSeq};
 
 // ── BitBuf ─────────────────────────────────────────────────────────
 
-proptest! {
-    #[test]
-    fn bitbuf_field_roundtrip(offset in 0usize..190, width in 1usize..=64, value: u64) {
+properties! {
+    fn bitbuf_field_roundtrip(src) {
+        let offset = src.range_usize(0, 190);
+        let width = src.range_usize_inclusive(1, 64);
+        let value = src.u64();
         let mut b = BitBuf::zeroed(256);
         b.write_bits(offset, width, value);
         let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-        prop_assert_eq!(b.read_bits(offset, width), value & mask);
+        assert_eq!(b.read_bits(offset, width), value & mask);
     }
 
-    #[test]
-    fn bitbuf_write_does_not_disturb_neighbours(
-        offset in 8usize..180, width in 1usize..=64, value: u64
-    ) {
+    fn bitbuf_write_does_not_disturb_neighbours(src) {
+        let offset = src.range_usize(8, 180);
+        let width = src.range_usize_inclusive(1, 64);
+        let value = src.u64();
         let mut b = BitBuf::zeroed(256);
         // Sentinels around the written range.
         b.set(offset - 1, true);
@@ -30,14 +36,14 @@ proptest! {
             b.set(offset + width, true);
         }
         b.write_bits(offset, width, value);
-        prop_assert!(b.get(offset - 1));
+        assert!(b.get(offset - 1));
         if offset + width < 255 {
-            prop_assert!(b.get(offset + width));
+            assert!(b.get(offset + width));
         }
     }
 
-    #[test]
-    fn bitbuf_double_flip_is_identity(bits in proptest::collection::vec(0usize..128, 0..20)) {
+    fn bitbuf_double_flip_is_identity(src) {
+        let bits = src.vec(0, 20, |s| s.below(128) as usize);
         let mut b = BitBuf::zeroed(128);
         let orig = b.clone();
         for &i in &bits {
@@ -46,33 +52,31 @@ proptest! {
         for &i in bits.iter().rev() {
             b.flip(i);
         }
-        prop_assert_eq!(b, orig);
+        assert_eq!(b, orig);
     }
 
-    #[test]
-    fn bitbuf_diff_count_equals_flip_set(bits in proptest::collection::hash_set(0usize..512, 0..30)) {
+    fn bitbuf_diff_count_equals_flip_set(src) {
+        let bits = src.distinct_vec(0, 30, |s| s.below(512) as usize);
         let a = BitBuf::zeroed(512);
         let mut b = a.clone();
         for &i in &bits {
             b.flip(i);
         }
-        prop_assert_eq!(a.diff_count(&b), bits.len());
+        assert_eq!(a.diff_count(&b), bits.len());
         let mut found: Vec<usize> = a.diff_bits(&b).collect();
         found.sort_unstable();
-        let mut expect: Vec<usize> = bits.into_iter().collect();
+        let mut expect = bits;
         expect.sort_unstable();
-        prop_assert_eq!(found, expect);
+        assert_eq!(found, expect);
     }
 }
 
 // ── FlopSpace ──────────────────────────────────────────────────────
 
-proptest! {
-    #[test]
-    fn flopspace_fields_are_independent(
-        vals in proptest::collection::vec(any::<u64>(), 8),
-        widths in proptest::collection::vec(1usize..=64, 8)
-    ) {
+properties! {
+    fn flopspace_fields_are_independent(src) {
+        let vals = src.vec(8, 9, |s| s.u64());
+        let widths = src.vec(8, 9, |s| s.range_usize_inclusive(1, 64));
         let mut builder = FlopSpaceBuilder::new("prop");
         let handles: Vec<_> = widths
             .iter()
@@ -85,14 +89,13 @@ proptest! {
         }
         for ((h, v), w) in handles.iter().zip(&vals).zip(&widths) {
             let mask = if *w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-            prop_assert_eq!(space.read(*h), v & mask);
+            assert_eq!(space.read(*h), v & mask);
         }
     }
 
-    #[test]
-    fn reset_except_config_preserves_exactly_config(
-        target_v: u64, config_v in 1u64..u64::MAX
-    ) {
+    fn reset_except_config_preserves_exactly_config(src) {
+        let target_v = src.u64();
+        let config_v = src.range_u64(1, u64::MAX);
         let mut b = FlopSpaceBuilder::new("prop");
         let t = b.field("t", 64, FlopClass::Target);
         let c = b.field("c", 64, FlopClass::Config);
@@ -100,8 +103,8 @@ proptest! {
         s.write(t, target_v);
         s.write(c, config_v);
         s.reset_except_config();
-        prop_assert_eq!(s.read(t), 0);
-        prop_assert_eq!(s.read(c), config_v);
+        assert_eq!(s.read(t), 0);
+        assert_eq!(s.read(c), config_v);
     }
 }
 
@@ -118,49 +121,53 @@ enum MemOp {
     Flush,
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        (any::<u8>()).prop_map(MemOp::Load),
-        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| MemOp::Store(a, v)),
-        Just(MemOp::Flush),
-    ]
+fn mem_op(src: &mut Source) -> MemOp {
+    match src.below(3) {
+        0 => MemOp::Load(src.u8()),
+        1 => MemOp::Store(src.u8(), src.u64()),
+        _ => MemOp::Flush,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn cache_is_value_transparent(ops in proptest::collection::vec(mem_op(), 1..120)) {
-        use std::collections::HashMap;
-        // A tiny 2-set × 2-way cache maximises evictions.
-        let mut cache = L2BankArch::new(L2Geometry { sets: 2, ways: 2 });
-        let mut dram = DramContents::new();
-        let mut flat: HashMap<u64, u64> = HashMap::new();
-        for op in &ops {
-            match op {
-                MemOp::Load(slot) => {
-                    // Addresses in bank 0, spread over sets and tags.
-                    let addr = PAddr::new(0x1000_0000 + *slot as u64 * 8 * 64);
-                    prop_assert_eq!(l2_bank_of(addr).index(), 0);
-                    let got = cache.load(addr, &mut dram).value;
-                    let want = flat.get(&addr.raw()).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "load {:#x}", addr.raw());
-                }
-                MemOp::Store(slot, v) => {
-                    let addr = PAddr::new(0x1000_0000 + *slot as u64 * 8 * 64);
-                    cache.store(addr, *v, &mut dram);
-                    flat.insert(addr.raw(), *v);
-                }
-                MemOp::Flush => {
-                    cache.flush_all(&mut dram);
+#[test]
+fn cache_is_value_transparent() {
+    check_with(
+        Config::with_cases(64),
+        "cache_is_value_transparent",
+        |src| {
+            use std::collections::HashMap;
+            let ops = src.vec(1, 120, mem_op);
+            // A tiny 2-set × 2-way cache maximises evictions.
+            let mut cache = L2BankArch::new(L2Geometry { sets: 2, ways: 2 });
+            let mut dram = DramContents::new();
+            let mut flat: HashMap<u64, u64> = HashMap::new();
+            for op in &ops {
+                match op {
+                    MemOp::Load(slot) => {
+                        // Addresses in bank 0, spread over sets and tags.
+                        let addr = PAddr::new(0x1000_0000 + *slot as u64 * 8 * 64);
+                        assert_eq!(l2_bank_of(addr).index(), 0);
+                        let got = cache.load(addr, &mut dram).value;
+                        let want = flat.get(&addr.raw()).copied().unwrap_or(0);
+                        assert_eq!(got, want, "load {:#x}", addr.raw());
+                    }
+                    MemOp::Store(slot, v) => {
+                        let addr = PAddr::new(0x1000_0000 + *slot as u64 * 8 * 64);
+                        cache.store(addr, *v, &mut dram);
+                        flat.insert(addr.raw(), *v);
+                    }
+                    MemOp::Flush => {
+                        cache.flush_all(&mut dram);
+                    }
                 }
             }
-        }
-        // After a final flush, DRAM alone holds every stored value.
-        cache.flush_all(&mut dram);
-        for (addr, v) in &flat {
-            prop_assert_eq!(dram.read_word(PAddr::new(*addr)), *v);
-        }
-    }
+            // After a final flush, DRAM alone holds every stored value.
+            cache.flush_all(&mut dram);
+            for (addr, v) in &flat {
+                assert_eq!(dram.read_word(PAddr::new(*addr)), *v);
+            }
+        },
+    );
 }
 
 // ── Replay idempotence (Sec. 6.3 property 1) ───────────────────────
@@ -181,79 +188,83 @@ enum ReplayOp {
     Store(u8, u64),
 }
 
-fn replay_op() -> impl Strategy<Value = ReplayOp> {
-    prop_oneof![
-        any::<u8>().prop_map(ReplayOp::Load),
-        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| ReplayOp::Store(a, v)),
-    ]
+fn replay_op(src: &mut Source) -> ReplayOp {
+    if src.bool() {
+        ReplayOp::Load(src.u8())
+    } else {
+        ReplayOp::Store(src.u8(), src.u64())
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn replaying_a_suffix_is_idempotent(
-        ops in proptest::collection::vec(replay_op(), 1..80),
-        split in any::<proptest::sample::Index>()
-    ) {
-        let run = |replay_from: Option<usize>| {
-            let mut cache = L2BankArch::new(L2Geometry { sets: 2, ways: 2 });
-            let mut dram = DramContents::new();
-            let apply = |cache: &mut L2BankArch, dram: &mut DramContents, op: &ReplayOp| {
-                let addr = |slot: u8| PAddr::new(0x1000_0000 + slot as u64 * 8 * 64);
-                match op {
-                    ReplayOp::Load(s) => {
-                        cache.load(addr(*s), dram);
+#[test]
+fn replaying_a_suffix_is_idempotent() {
+    check_with(
+        Config::with_cases(48),
+        "replaying_a_suffix_is_idempotent",
+        |src| {
+            let ops = src.vec(1, 80, replay_op);
+            let from = src.index(ops.len());
+            let run = |replay_from: Option<usize>| {
+                let mut cache = L2BankArch::new(L2Geometry { sets: 2, ways: 2 });
+                let mut dram = DramContents::new();
+                let apply = |cache: &mut L2BankArch, dram: &mut DramContents, op: &ReplayOp| {
+                    let addr = |slot: u8| PAddr::new(0x1000_0000 + slot as u64 * 8 * 64);
+                    match op {
+                        ReplayOp::Load(s) => {
+                            cache.load(addr(*s), dram);
+                        }
+                        ReplayOp::Store(s, v) => {
+                            cache.store(addr(*s), *v, dram);
+                        }
                     }
-                    ReplayOp::Store(s, v) => {
-                        cache.store(addr(*s), *v, dram);
-                    }
-                }
-            };
-            for op in &ops {
-                apply(&mut cache, &mut dram, op);
-            }
-            if let Some(from) = replay_from {
-                // Re-execute the suffix in the original order — what
-                // the QRR record table does after a reset.
-                for op in &ops[from..] {
+                };
+                for op in &ops {
                     apply(&mut cache, &mut dram, op);
                 }
-            }
-            cache.flush_all(&mut dram);
-            dram
-        };
-        let from = split.index(ops.len());
-        prop_assert_eq!(run(None), run(Some(from)));
-    }
+                if let Some(from) = replay_from {
+                    // Re-execute the suffix in the original order — what
+                    // the QRR record table does after a reset.
+                    for op in &ops[from..] {
+                        apply(&mut cache, &mut dram, op);
+                    }
+                }
+                cache.flush_all(&mut dram);
+                dram
+            };
+            assert_eq!(run(None), run(Some(from)));
+        },
+    );
 }
 
 // ── Statistics ─────────────────────────────────────────────────────
 
-proptest! {
-    #[test]
-    fn cdf_fraction_is_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+properties! {
+    fn cdf_fraction_is_monotone(src) {
+        let samples = src.vec(1, 200, |s| s.below(1_000_000));
         let mut cdf: Cdf = samples.into_iter().collect();
         let mut prev = 0.0;
         for d in 0..=6u32 {
             let f = cdf.fraction_at_most(10u64.pow(d));
-            prop_assert!(f >= prev);
+            assert!(f >= prev);
             prev = f;
         }
-        prop_assert!((0.0..=1.0).contains(&prev));
+        assert!((0.0..=1.0).contains(&prev));
     }
 
-    #[test]
-    fn rng_below_always_in_bounds(seed: u64, bound in 1u64..1_000_000) {
+    fn rng_below_always_in_bounds(src) {
+        let seed = src.u64();
+        let bound = src.range_u64(1, 1_000_000);
         let mut rng = SeedSeq::new(seed).rng();
         for _ in 0..64 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
 
-    #[test]
-    fn derived_seeds_differ_from_parent(seed: u64, label in "[a-z]{1,12}") {
+    fn derived_seeds_differ_from_parent(src) {
+        let seed = src.u64();
+        let label = src.lowercase_string(1, 12);
         let root = SeedSeq::new(seed);
         let child = root.derive(&label);
-        prop_assert_eq!(child.seed(), root.derive(&label).seed());
+        assert_eq!(child.seed(), root.derive(&label).seed());
     }
 }

@@ -1,8 +1,11 @@
 //! Property tests for the shifting-queue microarchitecture and the QRR
 //! record table — the mechanisms the warm-up convergence (Fig. 5) and
 //! replay correctness (Sec. 6.3) arguments rest on.
+//!
+//! Run on the in-repo `nestsim-harness` property runner (see
+//! `tests/proptest_invariants.rs` for the replay-seed workflow).
 
-use proptest::prelude::*;
+use nestsim_harness::properties;
 
 use nestsim::models::fields::{collapse_queue_at, shift_queue_down, Guard, PcxSlot};
 use nestsim::proto::addr::{PAddr, ThreadId};
@@ -34,13 +37,13 @@ fn queue(n: usize) -> (FlopSpace, Vec<PcxSlot>, Vec<Guard>) {
     (b.build(), slots, guards)
 }
 
-proptest! {
+properties! {
     /// A shifting queue behaves exactly like a VecDeque under any
     /// push/pop interleaving, and a fully drained queue is bit-zero —
     /// the convergence property Fig. 5 depends on.
-    #[test]
-    fn shifting_queue_matches_vecdeque(ops in proptest::collection::vec(any::<bool>(), 1..120)) {
+    fn shifting_queue_matches_vecdeque(src) {
         use std::collections::VecDeque;
+        let ops = src.vec(1, 120, |s| s.bool());
         let (mut f, slots, guards) = queue(8);
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut next_id = 1u64;
@@ -52,18 +55,18 @@ proptest! {
                     next_id += 1;
                 }
             } else if let Some(want) = model.pop_front() {
-                prop_assert!(slots[0].is_valid(&f));
+                assert!(slots[0].is_valid(&f));
                 let got = slots[0].load(&f);
-                prop_assert_eq!(got.id.0, want & 0xffff_ffff);
+                assert_eq!(got.id.0, want & 0xffff_ffff);
                 shift_queue_down(&mut f, &guards);
             }
             // Entry i is valid iff i < len; contents match in order.
             for (i, want) in model.iter().enumerate() {
-                prop_assert!(slots[i].is_valid(&f));
-                prop_assert_eq!(slots[i].load(&f).id.0, want & 0xffff_ffff);
+                assert!(slots[i].is_valid(&f));
+                assert_eq!(slots[i].load(&f).id.0, want & 0xffff_ffff);
             }
-            for i in model.len()..8 {
-                prop_assert!(!slots[i].is_valid(&f));
+            for slot in slots.iter().skip(model.len()) {
+                assert!(!slot.is_valid(&f));
             }
         }
         // Drain: afterwards the flop state is all-zero (stale bits
@@ -72,37 +75,33 @@ proptest! {
             model.pop_front();
             shift_queue_down(&mut f, &guards);
         }
-        prop_assert_eq!(f.raw_bits().count_ones(), 0);
+        assert_eq!(f.raw_bits().count_ones(), 0);
     }
 
     /// Collapsing out a middle entry preserves the relative order of
     /// the rest (the MCU's bank-parallel scheduler relies on this).
-    #[test]
-    fn collapse_preserves_relative_order(
-        n in 2usize..8,
-        remove_at in 0usize..8
-    ) {
+    fn collapse_preserves_relative_order(src) {
+        let n = src.range_usize(2, 8);
+        let remove_at = src.range_usize(0, 8);
         let (mut f, slots, guards) = queue(8);
-        for i in 0..n {
-            slots[i].store(&mut f, &pkt(100 + i as u64));
+        for (i, slot) in slots.iter().enumerate().take(n) {
+            slot.store(&mut f, &pkt(100 + i as u64));
         }
         let idx = remove_at % n;
         collapse_queue_at(&mut f, &guards, idx);
         let mut expect: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
         expect.remove(idx);
         for (i, want) in expect.iter().enumerate() {
-            prop_assert!(slots[i].is_valid(&f));
-            prop_assert_eq!(slots[i].load(&f).id.0, *want);
+            assert!(slots[i].is_valid(&f));
+            assert_eq!(slots[i].load(&f).id.0, *want);
         }
-        prop_assert!(!slots[n - 1].is_valid(&f));
+        assert!(!slots[n - 1].is_valid(&f));
     }
 
     /// The QRR record table replays exactly the incomplete requests, in
     /// arrival order, no matter how arrivals and completions interleave.
-    #[test]
-    fn record_table_replays_incomplete_in_order(
-        ops in proptest::collection::vec(any::<bool>(), 1..60)
-    ) {
+    fn record_table_replays_incomplete_in_order(src) {
+        let ops = src.vec(1, 60, |s| s.bool());
         let mut ctrl: QrrController = QrrController::new();
         let mut live: Vec<u64> = Vec::new();
         let mut next = 1u64;
@@ -125,15 +124,14 @@ proptest! {
         while let Some(p) = ctrl.next_replay() {
             replayed.push(p.id.0);
         }
-        prop_assert_eq!(replayed, live);
+        assert_eq!(replayed, live);
     }
 
     /// Entries flagged as already-answered (store-miss early acks) are
     /// gated as duplicates during replay; others are not.
-    #[test]
-    fn was_answered_tracks_early_acks(ids in proptest::collection::hash_set(1u64..1000, 1..20)) {
+    fn was_answered_tracks_early_acks(src) {
+        let ids = src.distinct_vec(1, 20, |s| s.range_u64(1, 1000));
         let mut ctrl: QrrController = QrrController::new();
-        let ids: Vec<u64> = ids.into_iter().collect();
         for &id in &ids {
             if !ctrl.can_record() {
                 break;
@@ -144,7 +142,7 @@ proptest! {
             }
         }
         for &id in ids.iter().take(ctrl.recorded()) {
-            prop_assert_eq!(ctrl.was_answered(id), id % 2 == 0);
+            assert_eq!(ctrl.was_answered(id), id % 2 == 0);
         }
     }
 }
