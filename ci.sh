@@ -23,4 +23,17 @@ echo "==> bench smoke run (1 iteration per bench)"
 NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
     cargo bench --offline -p nestsim-bench
 
+echo "==> bench regression gate (kernel vs committed BENCH_kernel.json, >15% fails)"
+# Three measured runs; the gate compares the best-of-runs fastest
+# sample against the committed baseline median, which keeps it robust
+# to background load on shared machines (see bench_compare's docs).
+BENCH_RUNS=()
+for i in 1 2 3; do
+    BENCH_TMP="$(mktemp -d)"
+    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench kernel
+    BENCH_RUNS+=("$BENCH_TMP/BENCH_kernel.json")
+done
+cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
+    BENCH_kernel.json "${BENCH_RUNS[@]}"
+
 echo "==> ci.sh: all gates green"

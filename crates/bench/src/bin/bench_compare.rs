@@ -1,0 +1,189 @@
+//! `bench_compare` — fails when a fresh bench run regresses the
+//! committed baseline.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json>... [--tolerance FRAC] [--floor-ns NS]
+//! ```
+//!
+//! Compares every bench present in the baseline and at least one
+//! current file by `(group, name)`. A bench **regresses** when
+//!
+//! ```text
+//! current_min > baseline_median * (1 + tolerance) + floor
+//! ```
+//!
+//! with `tolerance = 0.15` and `floor = 10 ns` by default. The relative
+//! bound is the contract (observability hooks must stay within 15% of
+//! the committed baseline); the small absolute floor keeps
+//! nanosecond-scale benches from flaking on timer granularity. The
+//! current side is represented by its *fastest* sample across every
+//! supplied run rather than a median because the gate runs on shared
+//! machines: a genuine code regression slows every sample of every
+//! run, including the fastest, while transient background load only
+//! inflates some samples of some runs — so best-of-runs vs.
+//! baseline-median separates the two where median vs. median flakes.
+//! Pass several current files (ci.sh runs the suite three times) to
+//! ride out load spikes that span a whole run. Benches present on only
+//! one side are reported but never fail the gate — suites grow over
+//! time.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use nestsim_harness::bench::Record;
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Record::from_json(line)
+            .ok_or_else(|| format!("{path}:{}: unparsable bench record", i + 1))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut floor_ns = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<f64, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))?
+                .parse()
+                .map_err(|e| format!("{e}"))
+        };
+        match args[i].as_str() {
+            "--tolerance" => tolerance = take(&mut i)?,
+            "--floor-ns" => floor_ns = take(&mut i)?,
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_paths @ ..] = paths.as_slice() else {
+        return Err("usage: bench_compare <baseline.json> <current.json>... \
+                    [--tolerance FRAC] [--floor-ns NS]"
+            .into());
+    };
+    if current_paths.is_empty() {
+        return Err("need at least one current-run file".into());
+    }
+    let baseline = load(baseline_path)?;
+    // Best-of-runs: keep, per bench, the record with the fastest sample.
+    let mut current: Vec<Record> = Vec::new();
+    for path in current_paths {
+        for rec in load(path)? {
+            match current
+                .iter_mut()
+                .find(|c| c.group == rec.group && c.name == rec.name)
+            {
+                Some(best) if best.min_ns <= rec.min_ns => {}
+                Some(best) => *best = rec,
+                None => current.push(rec),
+            }
+        }
+    }
+
+    let mut regressed = false;
+    let mut compared = 0;
+    println!(
+        "{:<28} {:<28} {:>12} {:>12} {:>7}  status",
+        "group", "name", "base med", "cur min", "ratio"
+    );
+    for cur in &current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.group == cur.group && b.name == cur.name)
+        else {
+            println!(
+                "{:<28} {:<28} {:>12} {:>12} {:>7}  new (not gated)",
+                cur.group,
+                cur.name,
+                "-",
+                fmt_ns(cur.min_ns),
+                "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let bound = base.median_ns * (1.0 + tolerance) + floor_ns;
+        let ratio = cur.min_ns / base.median_ns.max(f64::MIN_POSITIVE);
+        let status = if cur.min_ns > bound {
+            regressed = true;
+            "REGRESSION"
+        } else if ratio > 1.0 + tolerance {
+            // Over the relative bound but under the absolute floor:
+            // timer noise on a nanosecond-scale bench, not a failure.
+            "noisy (under floor)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} {:<28} {:>12} {:>12} {:>6.2}x  {status}",
+            cur.group,
+            cur.name,
+            fmt_ns(base.median_ns),
+            fmt_ns(cur.min_ns),
+            ratio
+        );
+    }
+    for base in &baseline {
+        if !current
+            .iter()
+            .any(|c| c.group == base.group && c.name == base.name)
+        {
+            println!(
+                "{:<28} {:<28} {:>12} {:>12} {:>7}  missing from current run",
+                base.group,
+                base.name,
+                fmt_ns(base.median_ns),
+                "-",
+                "-"
+            );
+        }
+    }
+    if compared == 0 {
+        return Err("no overlapping benches between baseline and current run".into());
+    }
+    println!(
+        "\ncompared {compared} benches (tolerance {:.0}%, floor {})",
+        tolerance * 100.0,
+        fmt_ns(floor_ns)
+    );
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => {
+            println!("bench_compare: no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!("bench_compare: median regression beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

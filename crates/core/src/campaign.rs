@@ -17,9 +17,10 @@ use nestsim_hlsim::{RunResult, System, SystemConfig};
 use nestsim_models::{inventory, Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
 use nestsim_proto::addr::{BankId, McuId};
 use nestsim_stats::SeedSeq;
+use nestsim_telemetry::{CampaignTelemetry, Recorder, TelemetryConfig};
 
 use crate::inject::{
-    run_injection, GoldenRef, InjectionRecord, InjectionSpec, DEFAULT_CHECK_INTERVAL,
+    run_injection_with, GoldenRef, InjectionRecord, InjectionSpec, DEFAULT_CHECK_INTERVAL,
     DEFAULT_COSIM_CAP, MIN_WARMUP,
 };
 use crate::outcome::OutcomeCounts;
@@ -80,6 +81,9 @@ pub struct CampaignResult {
     pub records: Vec<InjectionRecord>,
     /// The error-free reference.
     pub golden: GoldenRef,
+    /// Merged campaign telemetry (disabled unless the campaign was run
+    /// through [`run_campaign_with`] with a telemetry configuration).
+    pub telemetry: CampaignTelemetry,
 }
 
 /// Global bit indices eligible for injection in a component model
@@ -187,12 +191,52 @@ pub fn draw_samples(
 /// Panics if the component is PCIe and the benchmark has no input file
 /// (the paper only runs PCIe injections for the 12 file-fed benchmarks).
 pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> CampaignResult {
+    run_campaign_with(profile, spec, None)
+}
+
+/// [`run_campaign`] with optional telemetry. When `telemetry` is given,
+/// each injection run records into its own per-run [`Recorder`]; the
+/// recorders are merged back **in sample order**, so the merged
+/// telemetry (like the outcome counts) is bit-identical across worker
+/// counts. Worker utilisation — the only genuinely shard-dependent
+/// datum — is reported separately in
+/// [`CampaignTelemetry::worker_samples`], outside the merged recorder.
+///
+/// # Panics
+///
+/// Panics if the component is PCIe and the benchmark has no input file
+/// (the paper only runs PCIe injections for the 12 file-fed benchmarks).
+pub fn run_campaign_with(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> CampaignResult {
     assert!(
         spec.component != ComponentKind::Pcie || profile.has_input_file(),
         "PCIe campaigns require a benchmark with an input file"
     );
     let (base, golden) = golden_reference(profile, spec);
     let samples = draw_samples(profile, spec, &golden);
+
+    // An empty campaign short-circuits: no workers are spawned and the
+    // result carries valid (empty) telemetry rather than the artifacts
+    // of an idle worker thread.
+    if samples.is_empty() {
+        return CampaignResult {
+            benchmark: profile.name,
+            component: spec.component,
+            counts: OutcomeCounts::new(),
+            records: Vec::new(),
+            golden,
+            telemetry: match telemetry {
+                Some(cfg) => CampaignTelemetry {
+                    merged: Recorder::active(cfg),
+                    worker_samples: Vec::new(),
+                },
+                None => CampaignTelemetry::disabled(),
+            },
+        };
+    }
 
     // Order samples by co-simulation entry point; each worker replays
     // one forward pass over its (ascending) shard.
@@ -204,13 +248,13 @@ pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> Camp
     } else {
         spec.workers
     }
-    .min(order.len().max(1));
+    .min(order.len());
 
     let shards: Vec<Vec<usize>> = (0..workers)
         .map(|w| order.iter().copied().skip(w).step_by(workers).collect())
         .collect();
 
-    let mut indexed: Vec<(usize, InjectionRecord)> = std::thread::scope(|scope| {
+    let mut indexed: Vec<(usize, InjectionRecord, Recorder)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
@@ -223,7 +267,12 @@ pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> Camp
                     for &i in shard {
                         let s = &samples[i];
                         my_base.run_until(entry_cycle(s));
-                        out.push((i, run_injection(&my_base, golden, s)));
+                        let mut rec = match telemetry {
+                            Some(cfg) => Recorder::active(cfg),
+                            None => Recorder::null(),
+                        };
+                        let r = run_injection_with(&my_base, golden, s, &mut rec);
+                        out.push((i, r, rec));
                     }
                     out
                 })
@@ -234,16 +283,27 @@ pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> Camp
             .flat_map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     });
-    indexed.sort_by_key(|(i, _)| *i);
+    indexed.sort_by_key(|(i, _, _)| *i);
 
     let mut counts = OutcomeCounts::new();
+    let mut merged = match telemetry {
+        Some(cfg) => Recorder::active(cfg),
+        None => Recorder::null(),
+    };
     let records: Vec<InjectionRecord> = indexed
         .into_iter()
-        .map(|(_, r)| {
+        .map(|(_, r, rec)| {
             counts.record(r.outcome);
+            merged.merge(&rec);
             r
         })
         .collect();
+
+    let worker_samples = if telemetry.is_some() {
+        shards.iter().map(Vec::len).collect()
+    } else {
+        Vec::new()
+    };
 
     CampaignResult {
         benchmark: profile.name,
@@ -251,6 +311,10 @@ pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> Camp
         counts,
         records,
         golden,
+        telemetry: CampaignTelemetry {
+            merged,
+            worker_samples,
+        },
     }
 }
 

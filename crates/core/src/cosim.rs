@@ -24,6 +24,7 @@ use nestsim_models::pcie::PcieArchState;
 use nestsim_models::{Ccx, L2cBank, Mcu, Pcie, UncoreRtl};
 use nestsim_proto::addr::{BankId, LineAddr, McuId, NUM_CORES, NUM_L2_BANKS};
 use nestsim_proto::{CpxPacket, DramCmd, PcxPacket};
+use nestsim_telemetry::{names, Recorder};
 
 /// DRAM round-trip latency seen by a co-simulated L2 bank.
 pub const COSIM_DRAM_LATENCY: u64 = 40;
@@ -114,6 +115,13 @@ pub trait CosimDriver: Sized {
     /// Ends co-simulation: transfers architectural state back to the
     /// high-level model and releases interception.
     fn detach(self) -> Detach;
+
+    /// Records the component's queue occupancies into `rec`. Called by
+    /// the injection loop at golden-compare points only (never on the
+    /// per-cycle path), and only when the recorder is active.
+    fn sample_telemetry(&self, rec: &mut Recorder) {
+        let _ = rec;
+    }
 }
 
 // ─────────────────────────── L2C driver ───────────────────────────
@@ -328,6 +336,12 @@ impl CosimDriver for L2cDriver {
         self.first_err_out
     }
 
+    fn sample_telemetry(&self, rec: &mut Recorder) {
+        rec.record_hist(names::H_Q_L2C_IQ, self.target.iq_occupancy() as u64);
+        rec.record_hist(names::H_Q_L2C_OQ, self.target.oq_occupancy() as u64);
+        rec.record_hist(names::H_Q_L2C_MB, self.target.mb_occupancy() as u64);
+    }
+
     fn detach(mut self) -> Detach {
         // Corrupted lines: cache-resident divergence + memory-side
         // divergence through the overlays.
@@ -535,6 +549,11 @@ impl CosimDriver for McuDriver {
         self.first_err_out
     }
 
+    fn sample_telemetry(&self, rec: &mut Recorder) {
+        rec.record_hist(names::H_Q_MCU_RQ, self.target.rq_occupancy() as u64);
+        rec.record_hist(names::H_Q_MCU_RETQ, self.target.retq_occupancy() as u64);
+    }
+
     fn detach(mut self) -> Detach {
         let mut corrupted: Vec<LineAddr> = if self.golden.is_some() {
             self.t_ov.diff_lines(&self.g_ov, self.sys.dram())
@@ -716,6 +735,11 @@ impl CosimDriver for CcxDriver {
 
     fn erroneous_output(&self) -> Option<u64> {
         self.first_err_out
+    }
+
+    fn sample_telemetry(&self, rec: &mut Recorder) {
+        rec.record_hist(names::H_Q_CCX_PCX, self.target.pcx_occupancy() as u64);
+        rec.record_hist(names::H_Q_CCX_CPX, self.target.cpx_occupancy() as u64);
     }
 
     fn detach(mut self) -> Detach {
@@ -921,6 +945,10 @@ impl CosimDriver for PcieDriver {
 
     fn erroneous_output(&self) -> Option<u64> {
         self.first_err_out
+    }
+
+    fn sample_telemetry(&self, rec: &mut Recorder) {
+        rec.record_hist(names::H_Q_PCIE_BUF, self.target.buffer_occupancy() as u64);
     }
 
     fn detach(mut self) -> Detach {

@@ -3,6 +3,7 @@
 use nestsim_hlsim::{RunResult, System};
 use nestsim_models::ComponentKind;
 use nestsim_proto::addr::{BankId, McuId};
+use nestsim_telemetry::{names, EventKind, ExitReason, Recorder};
 
 use crate::cosim::{CcxDriver, CosimCheck, CosimDriver, L2cDriver, McuDriver, PcieDriver};
 use crate::outcome::Outcome;
@@ -80,6 +81,19 @@ pub struct InjectionRecord {
 ///
 /// Panics if `base` has already passed the co-simulation entry point.
 pub fn run_injection(base: &System, golden: &GoldenRef, spec: &InjectionSpec) -> InjectionRecord {
+    run_injection_with(base, golden, spec, &mut Recorder::null())
+}
+
+/// [`run_injection`] with telemetry: every phase boundary of the Fig. 2
+/// flow is recorded into `rec` (a [`Recorder::null`] recorder makes
+/// every hook a no-op). Each run emits exactly one `SnapshotGolden`,
+/// one `BitFlip` and one `CosimExit` event.
+pub fn run_injection_with(
+    base: &System,
+    golden: &GoldenRef,
+    spec: &InjectionSpec,
+    rec: &mut Recorder,
+) -> InjectionRecord {
     let entry = spec
         .inject_cycle
         .saturating_sub(spec.warmup.max(MIN_WARMUP));
@@ -92,22 +106,38 @@ pub fn run_injection(base: &System, golden: &GoldenRef, spec: &InjectionSpec) ->
     // Phase 1 (steps 1–2): restore the snapshot and run to the entry
     // point in accelerated mode.
     let mut sys = base.clone();
+    if rec.is_active() {
+        let cost = base.snapshot_cost();
+        rec.count(names::SNAPSHOT_CLONES, 1);
+        rec.record_hist(names::H_SNAPSHOT_DRAM_LINES, cost.dram_lines as u64);
+        rec.record_hist(
+            names::H_SNAPSHOT_RESIDENT_LINES,
+            cost.resident_l2_lines as u64,
+        );
+    }
     sys.set_watchdog(2 * golden.cycles + WATCHDOG_MARGIN);
     sys.run_until(entry);
+    let comp = spec.component.name();
+    rec.count(names::STATE_TRANSFER_TO_RTL, 1);
+    rec.count(names::COSIM_ENTER, 1);
+    rec.event(entry, comp, EventKind::StateTransfer, 0);
+    rec.event(entry, comp, EventKind::CosimEnter, 0);
 
     match spec.component {
         ComponentKind::L2c => drive(
             L2cDriver::attach(sys, BankId::new(spec.instance % 8)),
             golden,
             spec,
+            rec,
         ),
         ComponentKind::Mcu => drive(
             McuDriver::attach(sys, McuId::new(spec.instance % 4)),
             golden,
             spec,
+            rec,
         ),
-        ComponentKind::Ccx => drive(CcxDriver::attach(sys), golden, spec),
-        ComponentKind::Pcie => drive(PcieDriver::attach(sys), golden, spec),
+        ComponentKind::Ccx => drive(CcxDriver::attach(sys), golden, spec, rec),
+        ComponentKind::Pcie => drive(PcieDriver::attach(sys), golden, spec, rec),
     }
 }
 
@@ -116,21 +146,28 @@ fn drive<D: CosimDriver>(
     mut driver: D,
     golden: &GoldenRef,
     spec: &InjectionSpec,
+    rec: &mut Recorder,
 ) -> InjectionRecord {
+    let comp = spec.component.name();
     // Phase 1, step 4: warm-up with live traffic to reconstruct the
     // microarchitectural state not carried by the high-level model.
     let warmup = spec.warmup.max(MIN_WARMUP);
+    let mut warmup_done = 0u64;
     for _ in 0..warmup {
         driver.step();
+        warmup_done += 1;
         if driver.sys().trap().is_some() {
             break;
         }
     }
+    rec.record_hist(names::H_WARMUP, warmup_done);
 
     // Phase 2, step 5: golden snapshot, then the bit flip.
     driver.snapshot_golden();
+    rec.event(driver.cycle(), comp, EventKind::SnapshotGolden, 0);
     driver.inject(spec.bit);
     let inject_cycle = driver.cycle();
+    rec.event(inject_cycle, comp, EventKind::BitFlip, spec.bit as u64);
 
     // Phase 2, steps 6–9: co-simulate until the error vanishes, maps to
     // high-level state, or the cap is reached.
@@ -138,6 +175,7 @@ fn drive<D: CosimDriver>(
     let mut cosim_cycles = 0u64;
     let mut exit_check = CosimCheck::Microarch;
     let mut aborted = false;
+    let mut exited_early = false;
     while cosim_cycles < cap {
         driver.step();
         cosim_cycles += 1;
@@ -146,13 +184,43 @@ fn drive<D: CosimDriver>(
             break;
         }
         if cosim_cycles.is_multiple_of(spec.check_interval) {
+            rec.count(names::GOLDEN_COMPARES, 1);
+            if rec.is_active() {
+                driver.sample_telemetry(rec);
+            }
             let c = driver.check();
             if c.exitable() && driver.drained() {
                 exit_check = c;
+                exited_early = true;
                 break;
             }
         }
     }
+
+    // Sec. 4.2 exit taxonomy — exactly one CosimExit per run, on every
+    // path out of the loop (including the early returns below).
+    let exit_reason = if exited_early {
+        ExitReason::Converged
+    } else if aborted {
+        ExitReason::Mismatch
+    } else {
+        ExitReason::Cap
+    };
+    rec.count(
+        match exit_reason {
+            ExitReason::Converged => names::COSIM_EXIT_CONVERGED,
+            ExitReason::Cap => names::COSIM_EXIT_CAP,
+            ExitReason::Mismatch => names::COSIM_EXIT_MISMATCH,
+        },
+        1,
+    );
+    rec.event(
+        driver.cycle(),
+        comp,
+        EventKind::CosimExit,
+        exit_reason.payload(),
+    );
+    rec.record_hist(names::H_COSIM_RESIDENCY, cosim_cycles);
 
     let erroneous_output_cycle = driver.erroneous_output();
     let error_observed = erroneous_output_cycle.is_some();
@@ -164,6 +232,9 @@ fn drive<D: CosimDriver>(
         && !error_observed
         && matches!(exit_check, CosimCheck::Identical | CosimCheck::BenignOnly)
     {
+        rec.count(names::EARLY_TERM_VANISHED, 1);
+        rec.count(names::INJECT_RUNS, 1);
+        rec.event(driver.cycle(), comp, EventKind::EarlyTermination, 0);
         return InjectionRecord {
             outcome: Outcome::Vanished,
             bit: spec.bit,
@@ -178,23 +249,32 @@ fn drive<D: CosimDriver>(
 
     // Cap reached with the error still confined to unmapped microarch
     // state and no divergence observed: the Sec. 4.2 "persists" bucket.
-    if !aborted && cosim_cycles >= cap && !error_observed && !driver.check().exitable() {
-        return InjectionRecord {
-            outcome: Outcome::Persist,
-            bit: spec.bit,
-            inject_cycle,
-            cosim_cycles,
-            erroneous_output_cycle: None,
-            propagation_latency: None,
-            corrupted_line_count: 0,
-            rollback_distance: None,
-        };
+    if !aborted && cosim_cycles >= cap && !error_observed {
+        rec.count(names::GOLDEN_COMPARES, 1);
+        if !driver.check().exitable() {
+            rec.count(names::EARLY_TERM_PERSIST, 1);
+            rec.count(names::INJECT_RUNS, 1);
+            rec.event(driver.cycle(), comp, EventKind::EarlyTermination, 1);
+            return InjectionRecord {
+                outcome: Outcome::Persist,
+                bit: spec.bit,
+                inject_cycle,
+                cosim_cycles,
+                erroneous_output_cycle: None,
+                propagation_latency: None,
+                corrupted_line_count: 0,
+                rollback_distance: None,
+            };
+        }
     }
 
     // Phase 3 (steps 10–12): transfer the (possibly erroneous) state
     // back and finish the application in accelerated mode.
+    rec.count(names::STATE_TRANSFER_TO_HIGH, 1);
+    rec.event(driver.cycle(), comp, EventKind::StateTransfer, 1);
     let detach = driver.detach();
     let corrupted = detach.corrupted_lines;
+    rec.record_hist(names::H_CORRUPTED_LINES, corrupted.len() as u64);
     let mut sys = detach.sys;
     let rollback_distance = corrupted
         .iter()
@@ -223,6 +303,10 @@ fn drive<D: CosimDriver>(
     let propagation_latency = erroneous_output_cycle
         .or(sys.first_taint_read())
         .map(|c| c.saturating_sub(inject_cycle));
+    if let Some(p) = propagation_latency {
+        rec.record_hist(names::H_PROPAGATION, p);
+    }
+    rec.count(names::INJECT_RUNS, 1);
 
     InjectionRecord {
         outcome,

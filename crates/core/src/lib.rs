@@ -50,6 +50,6 @@ pub mod persistence;
 pub mod rtl_only;
 pub mod warmup;
 
-pub use campaign::{run_campaign, CampaignResult, CampaignSpec};
-pub use inject::{InjectionRecord, InjectionSpec};
+pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignSpec};
+pub use inject::{run_injection, run_injection_with, InjectionRecord, InjectionSpec};
 pub use outcome::{Outcome, OutcomeCounts};

@@ -51,7 +51,8 @@ pub mod thread;
 pub mod workload;
 
 pub use system::{
-    CoreReg, InterceptMode, OutMsg, RunResult, System, SystemConfig, UNCORE_REQ_ID_LIMIT,
+    CoreReg, InterceptMode, OutMsg, RunResult, SnapshotCost, System, SystemConfig,
+    UNCORE_REQ_ID_LIMIT,
 };
 pub use thread::{LoadUse, Op, TrapCause};
 pub use workload::{BenchProfile, Suite, BENCHMARKS};

@@ -197,6 +197,24 @@ struct FuncDma {
     suspended: bool,
 }
 
+/// Deterministic size metrics of one system snapshot (what a
+/// [`System::clone`] actually captures). Campaign telemetry records
+/// these instead of wall-clock times so the numbers are reproducible
+/// across machines and worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotCost {
+    /// Cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Hardware threads captured.
+    pub threads: usize,
+    /// Backed (written-at-least-once) DRAM lines captured.
+    pub dram_lines: usize,
+    /// Valid lines across all L2 bank tag arrays.
+    pub resident_l2_lines: usize,
+    /// Entries in the last-store tracking map (rollback analysis state).
+    pub tracked_stores: usize,
+}
+
 /// The full-system simulator.
 ///
 /// Cloning a `System` captures a complete snapshot (Fig. 2 step 1 uses
@@ -381,6 +399,17 @@ impl System {
     /// Cycle at which a core first loaded a tainted line, if it has.
     pub fn first_taint_read(&self) -> Option<u64> {
         self.first_taint_read
+    }
+
+    /// Size metrics of a snapshot (clone) taken right now.
+    pub fn snapshot_cost(&self) -> SnapshotCost {
+        SnapshotCost {
+            cycle: self.cycle,
+            threads: self.threads.len(),
+            dram_lines: self.dram.backed_lines(),
+            resident_l2_lines: self.l2.iter().map(|b| b.valid_lines()).sum(),
+            tracked_stores: self.last_store.len(),
+        }
     }
 
     /// Cycle at which a core last stored to `line` (None = never; the

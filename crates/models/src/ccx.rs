@@ -170,6 +170,24 @@ impl Ccx {
             && self.cpx_stage.iter().all(|s| !s.is_valid(&self.flops))
     }
 
+    /// Total request-side (PCX) FIFO occupancy across all core ports
+    /// (sampled by campaign telemetry).
+    pub fn pcx_occupancy(&self) -> usize {
+        self.pcx_fifos
+            .iter()
+            .map(|f| self.flops.read(f.count) as usize)
+            .sum()
+    }
+
+    /// Total return-side (CPX) FIFO occupancy across all bank ports
+    /// (sampled by campaign telemetry).
+    pub fn cpx_occupancy(&self) -> usize {
+        self.cpx_fifos
+            .iter()
+            .map(|f| self.flops.read(f.count) as usize)
+            .sum()
+    }
+
     /// Extracts and clears every in-flight packet (FIFOs and staging
     /// registers), in port order. Used by the mixed-mode platform when
     /// detaching co-simulation: the crossbar has no architectural state

@@ -290,6 +290,24 @@ impl L2cBank {
         &self.arch
     }
 
+    /// Current input-queue occupancy (sampled by campaign telemetry).
+    pub fn iq_occupancy(&self) -> usize {
+        self.flops.read(self.iq_count) as usize
+    }
+
+    /// Current output-queue occupancy (sampled by campaign telemetry).
+    pub fn oq_occupancy(&self) -> usize {
+        self.flops.read(self.oq_count) as usize
+    }
+
+    /// Current miss-buffer occupancy (sampled by campaign telemetry).
+    pub fn mb_occupancy(&self) -> usize {
+        self.mb
+            .iter()
+            .filter(|m| m.pcx.is_valid(&self.flops))
+            .count()
+    }
+
     /// Request ids of all in-flight (incomplete) miss-buffer entries.
     pub fn inflight_miss_ids(&self) -> Vec<ReqId> {
         self.mb

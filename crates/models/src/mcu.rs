@@ -297,6 +297,16 @@ impl Mcu {
         self.flops.read(self.rq_count) == 0 && self.flops.read(self.retq_count) == 0
     }
 
+    /// Current request-queue occupancy (sampled by campaign telemetry).
+    pub fn rq_occupancy(&self) -> usize {
+        self.flops.read(self.rq_count) as usize
+    }
+
+    /// Current return-queue occupancy (sampled by campaign telemetry).
+    pub fn retq_occupancy(&self) -> usize {
+        self.flops.read(self.retq_count) as usize
+    }
+
     /// Engages or releases the QRR write-disable (Sec. 6.2).
     pub fn set_write_block(&mut self, block: bool) {
         self.write_block = block;

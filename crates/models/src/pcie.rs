@@ -221,6 +221,11 @@ impl Pcie {
         self.write_block = block;
     }
 
+    /// Current staging-buffer occupancy (sampled by campaign telemetry).
+    pub fn buffer_occupancy(&self) -> usize {
+        self.flops.read(self.occ) as usize
+    }
+
     /// Captures the architectural state (mixed-mode state transfer).
     pub fn arch(&self) -> PcieArchState {
         let raw_pos = self.flops.read(self.pos);

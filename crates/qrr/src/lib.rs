@@ -29,4 +29,7 @@ pub mod recovery;
 pub use controller::{QrrController, RECORD_TABLE_ENTRIES};
 pub use mcu_recovery::{qrr_mcu_campaign, run_qrr_mcu_injection, QrrMcuDriver};
 pub use plan::QrrPlan;
-pub use recovery::{burst_campaign, run_qrr_injection, BurstEval, QrrRecord};
+pub use recovery::{
+    burst_campaign, qrr_campaign, qrr_campaign_with, run_qrr_injection, run_qrr_injection_with,
+    BurstEval, QrrRecord,
+};

@@ -28,6 +28,7 @@ use nestsim_proto::addr::BankId;
 use nestsim_proto::{DramCmd, DramCmdKind, DramResp, PcxPacket};
 use nestsim_rtl::{ParityDetector, ParityPlan};
 use nestsim_stats::SeedSeq;
+use nestsim_telemetry::{names, EventKind, Recorder};
 
 use crate::controller::QrrController;
 
@@ -256,6 +257,29 @@ pub fn run_qrr_injection(
     inject_cycle: u64,
     warmup: u64,
 ) -> QrrRecord {
+    run_qrr_injection_with(
+        base,
+        golden,
+        bank,
+        bit,
+        inject_cycle,
+        warmup,
+        &mut Recorder::null(),
+    )
+}
+
+/// [`run_qrr_injection`] with telemetry: parity detections, replay
+/// attempts and recovery outcomes are recorded into `rec`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qrr_injection_with(
+    base: &System,
+    golden: &GoldenRef,
+    bank: usize,
+    bit: usize,
+    inject_cycle: u64,
+    warmup: u64,
+    rec: &mut Recorder,
+) -> QrrRecord {
     let entry = inject_cycle.saturating_sub(warmup.max(MIN_WARMUP));
     let mut sys = base.clone();
     sys.set_watchdog(2 * golden.cycles + 50_000);
@@ -265,6 +289,16 @@ pub fn run_qrr_injection(
         drv.step();
     }
     let detected = drv.inject(bit);
+    rec.count(names::QRR_RUNS, 1);
+    if detected {
+        rec.count(names::QRR_DETECTED, 1);
+        rec.event(
+            drv.sys().cycle(),
+            "L2C",
+            EventKind::ParityDetected,
+            bit as u64,
+        );
+    }
 
     // Run co-simulation until recovery completes and traffic drains
     // (bounded; undetected flips may simply never show activity).
@@ -280,6 +314,7 @@ pub fn run_qrr_injection(
         }
     }
     let recovery_cycles = drv.ctrl.last_recovery_cycles;
+    rec.count(names::QRR_REPLAY_ATTEMPTS, drv.ctrl.recoveries);
     let mut sys = drv.detach();
     let result = sys.run_to_end();
     let (outcome, recovered) = match result {
@@ -293,6 +328,20 @@ pub fn run_qrr_injection(
             }
         }
     };
+    if detected {
+        if recovered {
+            rec.count(names::QRR_RECOVERED, 1);
+            rec.record_hist(names::H_QRR_RECOVERY, recovery_cycles);
+        } else {
+            rec.count(names::QRR_FAILED, 1);
+        }
+        rec.event(
+            sys.cycle(),
+            "L2C",
+            EventKind::ReplayOutcome,
+            u64::from(!recovered),
+        );
+    }
     QrrRecord {
         outcome,
         bit,
@@ -322,6 +371,19 @@ pub fn qrr_campaign(
     seed: u64,
     length_scale: u64,
 ) -> (QrrEval, Vec<QrrRecord>) {
+    qrr_campaign_with(profile, samples, seed, length_scale, &mut Recorder::null())
+}
+
+/// [`qrr_campaign`] with telemetry: per-run QRR telemetry is merged
+/// into `rec` in sample order (the campaign is serial, so the merge
+/// order is the execution order).
+pub fn qrr_campaign_with(
+    profile: &'static BenchProfile,
+    samples: u64,
+    seed: u64,
+    length_scale: u64,
+    rec: &mut Recorder,
+) -> (QrrEval, Vec<QrrRecord>) {
     use nestsim_core::campaign::{golden_reference, CampaignSpec};
     use nestsim_models::ComponentKind;
 
@@ -350,7 +412,7 @@ pub fn qrr_campaign(
         let cycle = rng.range(MIN_WARMUP + 64, hi.max(MIN_WARMUP + 65));
         let warmup = MIN_WARMUP + rng.below(1_000);
         let bank = rng.below(8) as usize;
-        let r = run_qrr_injection(&base, &golden, bank, bit, cycle, warmup);
+        let r = run_qrr_injection_with(&base, &golden, bank, bit, cycle, warmup, rec);
         eval.covered_runs += u64::from(r.detected);
         eval.covered_recovered += u64::from(r.detected && r.recovered);
         eval.max_recovery_cycles = eval.max_recovery_cycles.max(r.recovery_cycles);

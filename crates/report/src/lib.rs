@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use nestsim_stats::Cdf;
+use nestsim_telemetry::{names, Recorder};
 
 /// An aligned plain-text table.
 #[derive(Debug, Clone)]
@@ -114,6 +115,56 @@ pub fn render_cdf(title: &str, cdf: &mut Cdf, max_decade: u32) -> String {
     out
 }
 
+/// Renders a campaign-telemetry provenance footer: how the numbers
+/// above were produced (runs, co-simulation exits, state transfers,
+/// golden compares, mean residency/warm-up), so every figure carries
+/// its own methodological audit trail. Empty string when telemetry was
+/// disabled.
+pub fn render_provenance(rec: &Recorder) -> String {
+    if !rec.is_active() {
+        return String::new();
+    }
+    let runs = rec.counter(names::INJECT_RUNS);
+    let conv = rec.counter(names::COSIM_EXIT_CONVERGED);
+    let cap = rec.counter(names::COSIM_EXIT_CAP);
+    let mism = rec.counter(names::COSIM_EXIT_MISMATCH);
+    let mut out = String::from("provenance:\n");
+    out.push_str(&format!(
+        "  runs {runs}  cosim exits: converged {conv} / cap {cap} / mismatch {mism}\n"
+    ));
+    out.push_str(&format!(
+        "  early terminations: vanished {} / persist {}  state transfers: {}→RTL, {}→high\n",
+        rec.counter(names::EARLY_TERM_VANISHED),
+        rec.counter(names::EARLY_TERM_PERSIST),
+        rec.counter(names::STATE_TRANSFER_TO_RTL),
+        rec.counter(names::STATE_TRANSFER_TO_HIGH),
+    ));
+    out.push_str(&format!(
+        "  golden compares {}  snapshot clones {}\n",
+        rec.counter(names::GOLDEN_COMPARES),
+        rec.counter(names::SNAPSHOT_CLONES),
+    ));
+    let mean = |name: &str| {
+        rec.histogram(name)
+            .map_or("n/a".to_string(), |h| format!("{:.0}", h.mean()))
+    };
+    out.push_str(&format!(
+        "  mean cycles: warm-up {}, cosim residency {}, propagation latency {}\n",
+        mean(names::H_WARMUP),
+        mean(names::H_COSIM_RESIDENCY),
+        mean(names::H_PROPAGATION),
+    ));
+    if let Some(t) = rec.trace() {
+        out.push_str(&format!(
+            "  trace: {} events retained (capacity {}, {} dropped)\n",
+            t.len(),
+            t.capacity(),
+            t.dropped()
+        ));
+    }
+    out
+}
+
 /// Renders a convergence curve (the Fig. 5 format): sampled points of
 /// a per-cycle series.
 pub fn render_curve(title: &str, points: &[f64], samples: usize) -> String {
@@ -175,6 +226,22 @@ mod tests {
         let s = pct_ci(0.0134, 0.0121, 0.0147);
         assert!(s.contains("1.34%"));
         assert!(s.contains("[1.21, 1.47]"));
+    }
+
+    #[test]
+    fn provenance_renders_counters_and_trace() {
+        use nestsim_telemetry::{names, EventKind, Recorder, TelemetryConfig};
+        let mut r = Recorder::active(&TelemetryConfig::default());
+        r.count(names::INJECT_RUNS, 3);
+        r.count(names::COSIM_EXIT_CONVERGED, 2);
+        r.count(names::COSIM_EXIT_CAP, 1);
+        r.record_hist(names::H_COSIM_RESIDENCY, 128);
+        r.event(1, "l2c", EventKind::BitFlip, 0);
+        let s = render_provenance(&r);
+        assert!(s.contains("runs 3"));
+        assert!(s.contains("converged 2 / cap 1 / mismatch 0"));
+        assert!(s.contains("1 events retained"));
+        assert_eq!(render_provenance(&Recorder::null()), "");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Figure reproductions (Figs. 3–9 of the paper).
 
 use nestsim_ckpt::{propagation_cdf, rollback_cdf};
-use nestsim_core::campaign::{run_campaign, CampaignSpec};
+use nestsim_core::campaign::{run_campaign_with, CampaignSpec};
 use nestsim_core::rtl_only::{
     draw_fig7_samples, rtl_only_golden, run_mixed_injection_reduced, run_rtl_only_injection,
     RtlOnlyConfig,
@@ -10,8 +10,9 @@ use nestsim_core::warmup::warmup_experiment;
 use nestsim_core::{persistence, CampaignResult, Outcome};
 use nestsim_hlsim::workload::{by_name, with_input_files, BenchProfile, BENCHMARKS};
 use nestsim_models::ComponentKind;
-use nestsim_report::{pct, pct_ci, render_cdf, render_curve, Table};
+use nestsim_report::{pct, pct_ci, render_cdf, render_curve, render_provenance, Table};
 use nestsim_stats::Proportion;
+use nestsim_telemetry::{Recorder, TelemetryConfig};
 
 use crate::Opts;
 
@@ -100,7 +101,21 @@ fn cell(profile: &'static BenchProfile, opts: &Opts, component: ComponentKind) -
         length_scale: opts.scale.max(1),
         ..CampaignSpec::new(component, opts.samples)
     };
-    run_campaign(profile, &spec)
+    let tcfg = TelemetryConfig::default();
+    run_campaign_with(profile, &spec, opts.telemetry.as_ref().map(|_| &tcfg))
+}
+
+/// Writes the merged telemetry of a figure's campaign cells as
+/// JSON-lines and prints the provenance footer.
+fn export_telemetry(opts: &Opts, merged: &Recorder) {
+    let Some(path) = &opts.telemetry else {
+        return;
+    };
+    match std::fs::write(path, merged.to_jsonl()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("telemetry export failed: {e}"),
+    }
+    print!("\n{}", render_provenance(merged));
 }
 
 /// Fig. 3: application-level outcome rates per benchmark.
@@ -161,6 +176,13 @@ pub fn fig3(opts: &Opts) {
         c.count(Outcome::Persist),
         c.total()
     );
+    if opts.telemetry.is_some() {
+        let mut merged = Recorder::active(&TelemetryConfig::default());
+        for r in &results {
+            merged.merge(&r.telemetry.merged);
+        }
+        export_telemetry(opts, &merged);
+    }
 }
 
 /// Fig. 4: OMM rates of uncore components vs. processor cores.

@@ -29,6 +29,9 @@
 //!   --seed N         campaign seed                   (default 2015)
 //!   --component X    component for fig3
 //!   --csv DIR        also write raw per-run records as CSV into DIR
+//!   --telemetry FILE record campaign telemetry, write the merged
+//!                    JSON-lines export to FILE, and print a
+//!                    provenance footer under the figure
 //! ```
 //!
 //! Paper reference values are printed alongside every reproduced
@@ -54,6 +57,7 @@ pub struct Opts {
     pub component: ComponentKind,
     pub benchmarks: Option<Vec<String>>,
     pub csv: Option<String>,
+    pub telemetry: Option<String>,
     pub worst_case: bool,
     pub runs: usize,
     pub window: u64,
@@ -69,6 +73,7 @@ impl Default for Opts {
             component: ComponentKind::L2c,
             benchmarks: None,
             csv: None,
+            telemetry: None,
             worst_case: false,
             runs: 10,
             window: 1_000,
@@ -104,6 +109,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                 opts.benchmarks = Some(take(&mut i)?.split(',').map(str::to_string).collect());
             }
             "--csv" => opts.csv = Some(take(&mut i)?),
+            "--telemetry" => opts.telemetry = Some(take(&mut i)?),
             "--worst-case" => opts.worst_case = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }

@@ -1,0 +1,119 @@
+//! # nestsim-telemetry
+//!
+//! Zero-dependency campaign observability: monotonic counters,
+//! log-bucketed histograms, and a bounded ring-buffer event trace,
+//! bundled in a [`Recorder`] that merges **associatively** — sharded
+//! campaign workers each record into their own per-run recorder and the
+//! campaign folds them back together in sample order, so the merged
+//! telemetry is bit-identical no matter how many workers ran (the same
+//! property the campaign layer already guarantees for its
+//! `OutcomeCounts`).
+//!
+//! Everything is deterministic by construction: no wall clocks, no
+//! atomics, no map types with nondeterministic iteration order. The
+//! JSON-lines export ([`Recorder::to_jsonl`]) is therefore byte-stable
+//! across worker counts and across runs, which makes telemetry itself a
+//! testable artifact (see `tests/telemetry_invariants.rs` at the
+//! workspace root).
+//!
+//! A disabled ([`Recorder::null`]) recorder turns every hook into a
+//! cheap branch-on-null no-op, so instrumented hot paths carry no
+//! observability tax — enforced by the `ci.sh` bench-regression gate,
+//! not just asserted.
+//!
+//! ```
+//! use nestsim_telemetry::{names, EventKind, Recorder, TelemetryConfig};
+//!
+//! let mut rec = Recorder::active(&TelemetryConfig::default());
+//! rec.count(names::INJECT_RUNS, 1);
+//! rec.record_hist(names::H_COSIM_RESIDENCY, 1_234);
+//! rec.event(42, "l2c", EventKind::BitFlip, 7);
+//! assert_eq!(rec.counter(names::INJECT_RUNS), 1);
+//! assert!(rec.to_jsonl().contains("\"kind\":\"BitFlip\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod trace;
+
+pub use hist::{Histogram, NUM_BUCKETS};
+pub use recorder::{CampaignTelemetry, Recorder, TelemetryConfig};
+pub use trace::{EventKind, ExitReason, Trace, TraceEvent};
+
+/// Canonical counter / histogram names, shared by every instrumented
+/// crate so exports and tests agree on the schema.
+pub mod names {
+    /// Counter: completed injection runs.
+    pub const INJECT_RUNS: &str = "inject.runs";
+    /// Counter: co-simulation windows entered.
+    pub const COSIM_ENTER: &str = "cosim.enter";
+    /// Counter: co-simulation exits via a state-converged check
+    /// (identical / benign-only / arch-mappable — Fig. 2 step 7).
+    pub const COSIM_EXIT_CONVERGED: &str = "cosim.exit.converged";
+    /// Counter: co-simulation exits because the cycle cap ran out
+    /// (Sec. 4.2 persists-past-cap path).
+    pub const COSIM_EXIT_CAP: &str = "cosim.exit.cap";
+    /// Counter: co-simulation aborted by a trap or the watchdog — the
+    /// injected error diverged execution inside the window.
+    pub const COSIM_EXIT_MISMATCH: &str = "cosim.exit.mismatch";
+    /// Counter: target-vs-golden comparisons performed.
+    pub const GOLDEN_COMPARES: &str = "golden.compares";
+    /// Counter: runs classified Vanished without a state transfer back
+    /// (Fig. 2 steps 8–9 early termination).
+    pub const EARLY_TERM_VANISHED: &str = "early_term.vanished";
+    /// Counter: runs that hit the cap with the error still confined to
+    /// unmapped microarchitectural state (Sec. 4.2 "persists").
+    pub const EARLY_TERM_PERSIST: &str = "early_term.persist";
+    /// Counter: high-level → RTL state transfers (co-sim attach).
+    pub const STATE_TRANSFER_TO_RTL: &str = "state_transfer.to_rtl";
+    /// Counter: RTL → high-level state transfers (co-sim detach).
+    pub const STATE_TRANSFER_TO_HIGH: &str = "state_transfer.to_high";
+    /// Counter: full-system snapshot clones taken.
+    pub const SNAPSHOT_CLONES: &str = "snapshot.clones";
+
+    /// Histogram: co-simulation cycles per injection run.
+    pub const H_COSIM_RESIDENCY: &str = "cosim.residency";
+    /// Histogram: warm-up cycles per injection run.
+    pub const H_WARMUP: &str = "warmup.cycles";
+    /// Histogram: error-propagation latency (Fig. 8), when observed.
+    pub const H_PROPAGATION: &str = "propagation.latency";
+    /// Histogram: corrupted lines left behind at detach.
+    pub const H_CORRUPTED_LINES: &str = "corrupted.lines";
+    /// Histogram: backed DRAM lines captured per snapshot clone.
+    pub const H_SNAPSHOT_DRAM_LINES: &str = "snapshot.dram_lines";
+    /// Histogram: resident L2 lines captured per snapshot clone.
+    pub const H_SNAPSHOT_RESIDENT_LINES: &str = "snapshot.resident_lines";
+
+    /// Histogram: L2C input-queue occupancy, sampled at check points.
+    pub const H_Q_L2C_IQ: &str = "queue.l2c.iq";
+    /// Histogram: L2C output-queue occupancy.
+    pub const H_Q_L2C_OQ: &str = "queue.l2c.oq";
+    /// Histogram: L2C miss-buffer occupancy.
+    pub const H_Q_L2C_MB: &str = "queue.l2c.mb";
+    /// Histogram: MCU request-queue occupancy.
+    pub const H_Q_MCU_RQ: &str = "queue.mcu.rq";
+    /// Histogram: MCU return-queue occupancy.
+    pub const H_Q_MCU_RETQ: &str = "queue.mcu.retq";
+    /// Histogram: total crossbar request-side FIFO occupancy.
+    pub const H_Q_CCX_PCX: &str = "queue.ccx.pcx";
+    /// Histogram: total crossbar return-side FIFO occupancy.
+    pub const H_Q_CCX_CPX: &str = "queue.ccx.cpx";
+    /// Histogram: PCIe staging-buffer occupancy.
+    pub const H_Q_PCIE_BUF: &str = "queue.pcie.buf";
+
+    /// Counter: QRR-protected injection runs.
+    pub const QRR_RUNS: &str = "qrr.runs";
+    /// Counter: runs where logic parity detected the flip.
+    pub const QRR_DETECTED: &str = "qrr.detected";
+    /// Counter: replay recoveries attempted by the QRR controller.
+    pub const QRR_REPLAY_ATTEMPTS: &str = "qrr.replay.attempts";
+    /// Counter: detected runs that recovered the error-free output.
+    pub const QRR_RECOVERED: &str = "qrr.recovered";
+    /// Counter: detected runs that failed to recover.
+    pub const QRR_FAILED: &str = "qrr.failed";
+    /// Histogram: cycles from detection to resumed normal operation.
+    pub const H_QRR_RECOVERY: &str = "qrr.recovery.cycles";
+}

@@ -1,0 +1,238 @@
+//! The bounded ring-buffer event trace.
+//!
+//! Each instrumented phase boundary emits one [`TraceEvent`]; the
+//! buffer keeps the most recent `capacity` events (ring semantics) and
+//! counts what it had to drop, so truncation is always visible rather
+//! than silent. Merging appends the other trace's events in order and
+//! re-applies the ring bound — `keep-last-N` of a concatenation is
+//! associative, which the invariants suite verifies.
+
+use std::collections::VecDeque;
+
+/// What kind of phase boundary an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Co-simulation attach: the component switched to its RTL model.
+    CosimEnter,
+    /// The golden copy was snapshotted from the warmed-up target.
+    SnapshotGolden,
+    /// The fault was injected; payload is the flipped global bit.
+    BitFlip,
+    /// Co-simulation ended; payload is an [`ExitReason`] discriminant.
+    CosimExit,
+    /// State crossed the simulator boundary; payload 0 = into RTL,
+    /// 1 = back to the high-level model.
+    StateTransfer,
+    /// The run ended without a state transfer back; payload 0 =
+    /// vanished early, 1 = persists past the cap.
+    EarlyTermination,
+    /// QRR logic parity fired; payload is the flipped bit.
+    ParityDetected,
+    /// A QRR replay recovery finished; payload 0 = recovered the
+    /// error-free output, 1 = failed.
+    ReplayOutcome,
+}
+
+impl EventKind {
+    /// Stable name used by the JSON-lines export.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::CosimEnter => "CosimEnter",
+            EventKind::SnapshotGolden => "SnapshotGolden",
+            EventKind::BitFlip => "BitFlip",
+            EventKind::CosimExit => "CosimExit",
+            EventKind::StateTransfer => "StateTransfer",
+            EventKind::EarlyTermination => "EarlyTermination",
+            EventKind::ParityDetected => "ParityDetected",
+            EventKind::ReplayOutcome => "ReplayOutcome",
+        }
+    }
+}
+
+/// Why a co-simulation window ended (the Sec. 4.2 exit taxonomy),
+/// carried as the payload of [`EventKind::CosimExit`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The end-of-window check found target and golden converged
+    /// (identical, benign-only, or arch-mappable differences).
+    Converged,
+    /// The co-simulation cycle cap ran out.
+    Cap,
+    /// Execution diverged inside the window (trap or watchdog).
+    Mismatch,
+}
+
+impl ExitReason {
+    /// The event payload encoding of this reason.
+    pub fn payload(self) -> u64 {
+        match self {
+            ExitReason::Converged => 0,
+            ExitReason::Cap => 1,
+            ExitReason::Mismatch => 2,
+        }
+    }
+
+    /// Decodes an event payload back into a reason.
+    pub fn from_payload(p: u64) -> Option<ExitReason> {
+        match p {
+            0 => Some(ExitReason::Converged),
+            1 => Some(ExitReason::Cap),
+            2 => Some(ExitReason::Mismatch),
+            _ => None,
+        }
+    }
+
+    /// Stable name for rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExitReason::Converged => "converged",
+            ExitReason::Cap => "cap",
+            ExitReason::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle the event occurred at.
+    pub cycle: u64,
+    /// Component the event belongs to (e.g. `"l2c"`, `"pcie"`).
+    pub component: &'static str,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub payload: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Appends every event of `other` in order (then re-applies the
+    /// ring bound) and accumulates its drop count.
+    pub fn merge(&mut self, other: &Trace) {
+        for &e in &other.events {
+            self.push(e);
+        }
+        self.dropped += other.dropped;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or refused) since creation — total recorded
+    /// events equal `len() + dropped()`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            component: "l2c",
+            kind: EventKind::BitFlip,
+            payload: cycle * 2,
+        }
+    }
+
+    #[test]
+    fn below_capacity_nothing_drops() {
+        let mut t = Trace::new(8);
+        for c in 0..8 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_keeps_most_recent() {
+        let mut t = Trace::new(3);
+        for c in 0..5 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let mut t = Trace::new(0);
+        t.push(ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_appends_in_order_and_sums_drops() {
+        let mut a = Trace::new(10);
+        let mut b = Trace::new(10);
+        a.push(ev(1));
+        b.push(ev(2));
+        b.push(ev(3));
+        a.merge(&b);
+        let cycles: Vec<u64> = a.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 2, 3]);
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn exit_reason_payload_round_trips() {
+        for r in [ExitReason::Converged, ExitReason::Cap, ExitReason::Mismatch] {
+            assert_eq!(ExitReason::from_payload(r.payload()), Some(r));
+        }
+        assert_eq!(ExitReason::from_payload(99), None);
+    }
+}

@@ -6,12 +6,13 @@
 //! cargo run --release --example injection_campaign -- [component] [samples]
 //! ```
 
-use nestsim::core::campaign::{run_campaign, CampaignSpec};
+use nestsim::core::campaign::{run_campaign_with, CampaignSpec};
 use nestsim::core::Outcome;
 use nestsim::hlsim::workload::by_name;
 use nestsim::models::ComponentKind;
-use nestsim::report::{pct, Table};
+use nestsim::report::{pct, render_provenance, Table};
 use nestsim::stats::ci::required_samples;
+use nestsim::telemetry::TelemetryConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +39,7 @@ fn main() {
         "running {} injections into {component} during {} ({}) ...",
         samples, profile.long_name, profile.name
     );
-    let result = run_campaign(profile, &spec);
+    let result = run_campaign_with(profile, &spec, Some(&TelemetryConfig::default()));
 
     let mut t = Table::new(["outcome", "count", "rate", "95% Wilson CI"]);
     for o in Outcome::ALL {
@@ -59,4 +60,9 @@ fn main() {
         pct(err.rate(), 2)
     );
     println!("paper (full-scale OpenSPARC T2): 1.4% / 1.7% / 2.2% / 1.7% for L2C/MCU/CCX/PCIe");
+
+    // The campaign carried a telemetry recorder; print how the numbers
+    // above were produced. `result.telemetry.to_jsonl()` is the
+    // machine-readable export of the same data.
+    print!("\n{}", render_provenance(&result.telemetry.merged));
 }

@@ -23,6 +23,7 @@
 //! | [`qrr`] | `nestsim-qrr` | Quick Replay Recovery |
 //! | [`cost`] | `nestsim-cost` | Table 6 area/power model |
 //! | [`stats`] | `nestsim-stats` | confidence intervals, CDFs, seeding |
+//! | [`telemetry`] | `nestsim-telemetry` | campaign observability (counters, traces) |
 //! | [`report`] | `nestsim-report` | table/figure rendering |
 //!
 //! # Quick start
@@ -58,3 +59,4 @@ pub use nestsim_qrr as qrr;
 pub use nestsim_report as report;
 pub use nestsim_rtl as rtl;
 pub use nestsim_stats as stats;
+pub use nestsim_telemetry as telemetry;

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full Fig. 2 injection flow on
 //! every component, platform invariants, and determinism.
 
-use nestsim::core::campaign::{golden_reference, run_campaign, CampaignSpec};
+use nestsim::core::campaign::{golden_reference, run_campaign, run_campaign_with, CampaignSpec};
 use nestsim::core::cosim::{CosimDriver, L2cDriver};
 use nestsim::core::inject::{run_injection, InjectionSpec, MIN_WARMUP};
 use nestsim::core::Outcome;
@@ -9,6 +9,7 @@ use nestsim::hlsim::workload::{by_name, BENCHMARKS};
 use nestsim::hlsim::{RunResult, System, SystemConfig};
 use nestsim::models::ComponentKind;
 use nestsim::proto::addr::BankId;
+use nestsim::telemetry::TelemetryConfig;
 
 fn quick_spec(component: ComponentKind, samples: u64) -> CampaignSpec {
     CampaignSpec {
@@ -145,6 +146,62 @@ fn injection_into_idle_component_vanishes() {
         matches!(r.outcome, Outcome::Vanished | Outcome::Persist),
         "idle-engine flip must not matter: {r:?}"
     );
+}
+
+#[test]
+fn telemetry_is_worker_count_invariant() {
+    // The observability layer must not leak the sharding: the merged
+    // telemetry (counters, histograms, trace) and the outcome counts
+    // must be byte-identical for workers = 1, 4 and 0 (= auto).
+    let profile = by_name("flui").unwrap();
+    let cfg = TelemetryConfig::default();
+    let run = |workers: usize| {
+        let spec = CampaignSpec {
+            workers,
+            ..CampaignSpec::quick(ComponentKind::L2c, 12)
+        };
+        run_campaign_with(profile, &spec, Some(&cfg))
+    };
+    let one = run(1);
+    let four = run(4);
+    let auto = run(0);
+    assert_eq!(one.counts, four.counts);
+    assert_eq!(one.counts, auto.counts);
+    assert_eq!(one.records, four.records);
+    let jsonl = one.telemetry.to_jsonl();
+    assert_eq!(jsonl, four.telemetry.to_jsonl());
+    assert_eq!(jsonl, auto.telemetry.to_jsonl());
+    // The only worker-dependent data lives outside the merged export.
+    assert_eq!(one.telemetry.worker_samples, vec![12]);
+    assert_eq!(four.telemetry.worker_samples, vec![3, 3, 3, 3]);
+    // And the export is non-trivial: it carries the campaign's runs.
+    assert!(jsonl.contains("\"name\":\"inject.runs\",\"value\":12"));
+}
+
+#[test]
+fn empty_campaign_returns_valid_all_zero_telemetry() {
+    // samples = 0 with explicit workers used to spawn idle workers
+    // through the `order.len().max(1)` path; it must short-circuit.
+    let profile = by_name("fft").unwrap();
+    for workers in [0, 1, 4] {
+        let spec = CampaignSpec {
+            workers,
+            ..CampaignSpec::quick(ComponentKind::Mcu, 0)
+        };
+        let r = run_campaign_with(profile, &spec, Some(&TelemetryConfig::default()));
+        assert_eq!(r.counts.total(), 0);
+        assert!(r.records.is_empty());
+        assert!(r.telemetry.is_active());
+        assert!(r.telemetry.worker_samples.is_empty());
+        assert_eq!(r.telemetry.merged.counter("inject.runs"), 0);
+        // Without telemetry the recorder is the null one.
+        let plain = run_campaign(profile, &spec);
+        assert!(!plain.telemetry.is_active());
+        assert_eq!(
+            plain.telemetry.to_jsonl(),
+            "{\"type\":\"meta\",\"schema\":1,\"enabled\":false}\n"
+        );
+    }
 }
 
 #[test]

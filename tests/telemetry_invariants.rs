@@ -1,0 +1,234 @@
+//! Conformance suite for the campaign observability layer.
+//!
+//! Two halves: property tests over the telemetry data structures (the
+//! merge algebra the sharded campaign runner relies on), and trace
+//! golden conformance on a real small campaign (every injection emits
+//! exactly the Fig. 2 phase-boundary events, with a valid Sec. 4.2
+//! exit reason).
+
+use nestsim_harness::{properties, Source};
+
+use nestsim::core::campaign::{run_campaign_with, CampaignSpec};
+use nestsim::hlsim::workload::by_name;
+use nestsim::models::ComponentKind;
+use nestsim::telemetry::{
+    names, EventKind, ExitReason, Histogram, Recorder, TelemetryConfig, Trace, TraceEvent,
+};
+
+// ── histogram merge algebra ────────────────────────────────────────
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn sample_vec(src: &mut Source) -> Vec<u64> {
+    src.vec(0, 20, |s| s.below(1 << 40))
+}
+
+properties! {
+    fn histogram_merge_is_associative(src) {
+        let (a, b, c) = (sample_vec(src), sample_vec(src), sample_vec(src));
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    fn histogram_merge_is_commutative(src) {
+        let (a, b) = (sample_vec(src), sample_vec(src));
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(ab, ba);
+    }
+
+    fn histogram_merge_equals_concatenation(src) {
+        let (a, b) = (sample_vec(src), sample_vec(src));
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let whole: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, hist_of(&whole));
+        assert_eq!(merged.count(), whole.len() as u64);
+        assert_eq!(merged.sum(), whole.iter().map(|&v| v as u128).sum());
+    }
+}
+
+// ── ring-buffer trace ──────────────────────────────────────────────
+
+fn ev(cycle: u64, payload: u64) -> TraceEvent {
+    TraceEvent {
+        cycle,
+        component: "l2c",
+        kind: EventKind::BitFlip,
+        payload,
+    }
+}
+
+properties! {
+    fn trace_never_drops_below_capacity(src) {
+        let capacity = src.range_usize_inclusive(1, 32);
+        let n = src.range_usize_inclusive(0, 64);
+        let mut t = Trace::new(capacity);
+        for c in 0..n as u64 {
+            t.push(ev(c, c));
+        }
+        if n <= capacity {
+            assert_eq!(t.len(), n);
+            assert_eq!(t.dropped(), 0);
+        } else {
+            assert_eq!(t.len(), capacity);
+            assert_eq!(t.dropped(), (n - capacity) as u64);
+            // Ring semantics: the *most recent* events survive.
+            let first = t.iter().next().unwrap().cycle;
+            assert_eq!(first, (n - capacity) as u64);
+        }
+        // Accounting never loses an event.
+        assert_eq!(t.len() as u64 + t.dropped(), n as u64);
+    }
+
+    fn trace_merge_is_associative(src) {
+        let capacity = src.range_usize_inclusive(1, 8);
+        let mut gen_trace = |tag: u64| {
+            let n = src.range_usize_inclusive(0, 12);
+            let mut t = Trace::new(capacity);
+            for c in 0..n as u64 {
+                t.push(ev(c, tag));
+            }
+            t
+        };
+        let (a, b, c) = (gen_trace(1), gen_trace(2), gen_trace(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+}
+
+// ── recorder: counters and whole-recorder merge ────────────────────
+
+properties! {
+    fn counter_totals_equal_per_event_sums(src) {
+        let increments = src.vec(0, 40, |s| s.below(1_000));
+        let mut r = Recorder::active(&TelemetryConfig::default());
+        for &n in &increments {
+            r.count(names::GOLDEN_COMPARES, n);
+        }
+        assert_eq!(
+            r.counter(names::GOLDEN_COMPARES),
+            increments.iter().sum::<u64>()
+        );
+        // Untouched counters read as zero rather than erroring.
+        assert_eq!(r.counter(names::QRR_RUNS), 0);
+    }
+
+    fn recorder_merge_is_associative_bytewise(src) {
+        let cfg = TelemetryConfig { trace_capacity: 8 };
+        let mut gen_rec = |tag: u64| {
+            let mut r = Recorder::active(&cfg);
+            for _ in 0..src.range_usize_inclusive(0, 6) {
+                r.count(names::INJECT_RUNS, src.below(10));
+                r.record_hist(names::H_WARMUP, src.below(1 << 20));
+                r.event(src.u64(), "mcu", EventKind::CosimEnter, tag);
+            }
+            r
+        };
+        let (a, b, c) = (gen_rec(1), gen_rec(2), gen_rec(3));
+        let mut left = Recorder::active(&cfg);
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = Recorder::active(&cfg);
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut right = Recorder::active(&cfg);
+        right.merge(&a);
+        right.merge(&bc);
+        // Bit-reproducibility is the contract: compare the serialized
+        // form, not just semantic equality.
+        assert_eq!(left.to_jsonl(), right.to_jsonl());
+    }
+}
+
+// ── trace golden conformance on a real campaign ────────────────────
+
+/// One fixed small campaign; the trace must carry exactly one
+/// `SnapshotGolden` and one `BitFlip` per injection, and every
+/// `CosimExit` must decode to a Sec. 4.2 exit reason.
+#[test]
+fn campaign_trace_matches_fig2_flow() {
+    let samples = 10u64;
+    let spec = CampaignSpec {
+        workers: 2,
+        ..CampaignSpec::quick(ComponentKind::L2c, samples)
+    };
+    let r = run_campaign_with(
+        by_name("radi").unwrap(),
+        &spec,
+        Some(&TelemetryConfig::default()),
+    );
+    let rec = &r.telemetry.merged;
+    let trace = rec.trace().expect("telemetry was enabled");
+    assert_eq!(trace.dropped(), 0, "small campaign must fit the ring");
+
+    let count_kind = |k: EventKind| trace.iter().filter(|e| e.kind == k).count() as u64;
+    assert_eq!(count_kind(EventKind::SnapshotGolden), samples);
+    assert_eq!(count_kind(EventKind::BitFlip), samples);
+    assert_eq!(count_kind(EventKind::CosimEnter), samples);
+    assert_eq!(count_kind(EventKind::CosimExit), samples);
+    for e in trace.iter().filter(|e| e.kind == EventKind::CosimExit) {
+        assert!(
+            ExitReason::from_payload(e.payload).is_some(),
+            "CosimExit payload {} is not a Sec. 4.2 exit reason",
+            e.payload
+        );
+    }
+    // The exit-reason counters agree with the trace.
+    let exits = rec.counter(names::COSIM_EXIT_CONVERGED)
+        + rec.counter(names::COSIM_EXIT_CAP)
+        + rec.counter(names::COSIM_EXIT_MISMATCH);
+    assert_eq!(exits, samples);
+    assert_eq!(rec.counter(names::INJECT_RUNS), samples);
+}
+
+/// Total co-simulation residency can never exceed the per-run cap
+/// times the number of runs, and every run records one residency
+/// sample.
+#[test]
+fn cosim_residency_respects_the_cap() {
+    let samples = 12u64;
+    let spec = CampaignSpec {
+        workers: 2,
+        ..CampaignSpec::quick(ComponentKind::Mcu, samples)
+    };
+    let r = run_campaign_with(
+        by_name("flui").unwrap(),
+        &spec,
+        Some(&TelemetryConfig::default()),
+    );
+    let h = r
+        .telemetry
+        .merged
+        .histogram(names::H_COSIM_RESIDENCY)
+        .expect("every run records residency");
+    assert_eq!(h.count(), samples);
+    assert!(
+        h.sum() <= (spec.cosim_cap as u128) * (samples as u128),
+        "residency sum {} exceeds cap budget",
+        h.sum()
+    );
+}
