@@ -36,4 +36,14 @@ done
 cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
     BENCH_kernel.json "${BENCH_RUNS[@]}"
 
+echo "==> bench regression gate (campaign_grid vs committed BENCH_campaign_grid.json, >15% fails)"
+BENCH_RUNS=()
+for i in 1 2 3; do
+    BENCH_TMP="$(mktemp -d)"
+    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench campaign_grid
+    BENCH_RUNS+=("$BENCH_TMP/BENCH_campaign_grid.json")
+done
+cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
+    BENCH_campaign_grid.json "${BENCH_RUNS[@]}"
+
 echo "==> ci.sh: all gates green"

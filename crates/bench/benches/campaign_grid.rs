@@ -1,0 +1,87 @@
+//! Campaign-engine benchmark: the snapshot-ladder engine against the
+//! pre-ladder interleaved-replay engine, at 4 workers, over a small
+//! multi-cell (component × benchmark) grid — the shape `repro`'s
+//! figure pipelines actually run.
+//!
+//! Both engines produce byte-identical campaigns (locked by the
+//! end-to-end equivalence tests); this bench measures what that costs.
+//! It also prints the deterministic forward-sim cycle counts from the
+//! engine telemetry, which is where the ladder's win comes from: the
+//! replay engine forward-simulates roughly `workers ×` one benchmark
+//! length per cell, the ladder engine roughly one.
+//!
+//! Writes `BENCH_campaign_grid.json` via the in-repo harness runner.
+
+use std::hint::black_box;
+
+use nestsim_core::campaign::{run_campaign_replay, run_campaign_with, CampaignSpec};
+use nestsim_harness::bench::Suite;
+use nestsim_hlsim::workload::by_name;
+use nestsim_models::ComponentKind;
+use nestsim_telemetry::{names, TelemetryConfig};
+
+const WORKERS: usize = 4;
+
+const CELLS: [(ComponentKind, &str); 3] = [
+    (ComponentKind::L2c, "radi"),
+    (ComponentKind::L2c, "lu-c"),
+    (ComponentKind::Mcu, "flui"),
+];
+
+fn spec(component: ComponentKind) -> CampaignSpec {
+    CampaignSpec {
+        seed: 99,
+        length_scale: 100,
+        cosim_cap: 20_000,
+        workers: WORKERS,
+        ..CampaignSpec::new(component, 6)
+    }
+}
+
+fn main() {
+    let mut suite = Suite::new("campaign_grid");
+    suite.bench("campaign_grid/workers4", "ladder_engine", || {
+        for (kind, bench) in CELLS {
+            black_box(run_campaign_with(
+                by_name(bench).unwrap(),
+                &spec(kind),
+                None,
+            ));
+        }
+    });
+    suite.bench("campaign_grid/workers4", "replay_engine", || {
+        for (kind, bench) in CELLS {
+            black_box(run_campaign_replay(
+                by_name(bench).unwrap(),
+                &spec(kind),
+                None,
+            ));
+        }
+    });
+
+    // The deterministic half of the story: total forward-sim cycles per
+    // engine, summed over the grid, straight from the engine telemetry.
+    let cfg = TelemetryConfig::default();
+    let (mut ladder_fwd, mut replay_fwd) = (0u64, 0u64);
+    for (kind, bench) in CELLS {
+        let profile = by_name(bench).unwrap();
+        ladder_fwd += run_campaign_with(profile, &spec(kind), Some(&cfg))
+            .telemetry
+            .engine
+            .counter(names::FORWARD_CYCLES);
+        replay_fwd += run_campaign_replay(profile, &spec(kind), Some(&cfg))
+            .telemetry
+            .engine
+            .counter(names::FORWARD_CYCLES);
+    }
+    eprintln!(
+        "campaign_grid: forward-sim cycles — ladder {ladder_fwd}, replay {replay_fwd} ({:.1}x)",
+        replay_fwd as f64 / ladder_fwd.max(1) as f64
+    );
+    assert!(
+        replay_fwd >= 2 * ladder_fwd,
+        "ladder engine must forward-simulate >= 2x fewer cycles at {WORKERS} workers"
+    );
+
+    suite.finish();
+}

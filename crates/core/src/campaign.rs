@@ -6,24 +6,35 @@
 //! from a single campaign seed, so results are bit-reproducible and can
 //! be sharded across worker threads without coordination.
 //!
-//! Instead of the paper's periodic snapshots (every 2M cycles), each
-//! worker replays its shard in injection-cycle order over a single
-//! forward pass of the deterministic system, cloning at each entry
-//! point — the restored state is identical to a snapshot restore, with
-//! no snapshot storage (see DESIGN.md).
+//! Forward simulation is amortised with the paper's snapshot ladder
+//! (Sec. 2.2: snapshots every 2M cycles, [`DEFAULT_SNAPSHOT_INTERVAL`]
+//! at the DESIGN.md cycle scale): the golden reference pass records
+//! clone-snapshots every `snapshot_interval` cycles, workers take
+//! contiguous entry-cycle ranges of the sorted samples, and each
+//! injection starts from the nearest rung at or below its entry point
+//! instead of replaying the benchmark from cycle 0. Determinism makes
+//! restore-from-rung bit-identical to replay-from-zero, so records,
+//! counts, and merged telemetry are byte-identical for any worker
+//! count and any snapshot interval — locked by the equivalence tests
+//! against [`run_campaign_replay`], the pre-ladder reference engine.
 
+use nestsim_hlsim::ladder::DEFAULT_MAX_RUNGS;
 use nestsim_hlsim::workload::BenchProfile;
-use nestsim_hlsim::{RunResult, System, SystemConfig};
+use nestsim_hlsim::{RunResult, SnapshotLadder, System, SystemConfig};
 use nestsim_models::{inventory, Ccx, ComponentKind, L2cBank, Mcu, Pcie, UncoreRtl};
 use nestsim_proto::addr::{BankId, McuId};
 use nestsim_stats::SeedSeq;
-use nestsim_telemetry::{CampaignTelemetry, Recorder, TelemetryConfig};
+use nestsim_telemetry::{names, CampaignTelemetry, Recorder, TelemetryConfig};
 
 use crate::inject::{
     run_injection_with, GoldenRef, InjectionRecord, InjectionSpec, DEFAULT_CHECK_INTERVAL,
     DEFAULT_COSIM_CAP, MIN_WARMUP,
 };
 use crate::outcome::OutcomeCounts;
+
+/// Default snapshot-ladder rung spacing in cycles: the paper's 2M
+/// cycles (Sec. 2.2) divided by the DESIGN.md `CYCLE_SCALE` of 1000.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 2_000;
 
 /// Parameters of one campaign cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +53,12 @@ pub struct CampaignSpec {
     pub check_interval: u64,
     /// Worker threads (0 = available parallelism).
     pub workers: usize,
+    /// Snapshot-ladder rung spacing in cycles (Sec. 2.2; default
+    /// [`DEFAULT_SNAPSHOT_INTERVAL`]). `u64::MAX` keeps only the base
+    /// rung, i.e. every injection replays from cycle 0. The interval
+    /// never affects results — only how much forward simulation the
+    /// engine spends reaching injection entry points.
+    pub snapshot_interval: u64,
 }
 
 impl CampaignSpec {
@@ -55,6 +72,7 @@ impl CampaignSpec {
             cosim_cap: DEFAULT_COSIM_CAP,
             check_interval: DEFAULT_CHECK_INTERVAL,
             workers: 0,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
 
@@ -65,6 +83,36 @@ impl CampaignSpec {
             cosim_cap: 20_000,
             ..CampaignSpec::new(component, samples)
         }
+    }
+
+    /// Checks the spec for values that would silently corrupt a
+    /// campaign rather than fail it loudly.
+    ///
+    /// `check_interval = 0` is the classic trap: `cycles % 0` is never
+    /// zero, so no golden compare would ever fire, every run would burn
+    /// the full co-simulation cap, and Vanished runs would misclassify
+    /// as Persist. `cosim_cap = 0` and `snapshot_interval = 0` are
+    /// rejected for the same reason (a campaign that cannot co-simulate
+    /// or snapshot is a configuration error, not a result).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.check_interval == 0 {
+            return Err(
+                "check_interval must be >= 1: an interval of 0 never fires a golden \
+                 compare, so every run burns the full co-simulation cap and \
+                 misclassifies as Persist"
+                    .into(),
+            );
+        }
+        if self.cosim_cap == 0 {
+            return Err("cosim_cap must be >= 1: a zero cap leaves no co-simulation window".into());
+        }
+        if self.snapshot_interval == 0 {
+            return Err(
+                "snapshot_interval must be >= 1 (use u64::MAX to disable intermediate rungs)"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -184,39 +232,107 @@ pub fn draw_samples(
         .collect()
 }
 
+/// One worker's completed runs: (sample index, record, per-run
+/// recorder), in shard order.
+type IndexedRuns = Vec<(usize, InjectionRecord, Recorder)>;
+
+/// Runs the error-free reference execution *and* captures the snapshot
+/// ladder in the same forward pass: the golden run pauses every
+/// `spec.snapshot_interval` cycles to record a clone-snapshot rung, so
+/// the ladder costs no forward-simulated cycles beyond the reference
+/// execution the campaign needs anyway.
+///
+/// # Panics
+///
+/// Panics if the error-free run does not complete (a workload bug).
+pub fn laddered_golden_reference(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+) -> (SnapshotLadder, GoldenRef) {
+    let cfg = SystemConfig {
+        seed: spec.seed,
+        length_scale: spec.length_scale,
+        ..SystemConfig::new(profile)
+    };
+    let base = System::new(cfg);
+    let (ladder, result) =
+        SnapshotLadder::capture(&base, spec.snapshot_interval, DEFAULT_MAX_RUNGS);
+    match result {
+        RunResult::Completed { digest, cycles } => (ladder, GoldenRef { digest, cycles }),
+        other => panic!(
+            "error-free run of {} did not complete: {other:?}",
+            profile.name
+        ),
+    }
+}
+
 /// Runs one campaign cell for `profile`.
 ///
 /// # Panics
 ///
 /// Panics if the component is PCIe and the benchmark has no input file
-/// (the paper only runs PCIe injections for the 12 file-fed benchmarks).
+/// (the paper only runs PCIe injections for the 12 file-fed
+/// benchmarks), or if the spec fails [`CampaignSpec::validate`].
 pub fn run_campaign(profile: &'static BenchProfile, spec: &CampaignSpec) -> CampaignResult {
     run_campaign_with(profile, spec, None)
 }
 
-/// [`run_campaign`] with optional telemetry. When `telemetry` is given,
-/// each injection run records into its own per-run [`Recorder`]; the
-/// recorders are merged back **in sample order**, so the merged
-/// telemetry (like the outcome counts) is bit-identical across worker
-/// counts. Worker utilisation — the only genuinely shard-dependent
-/// datum — is reported separately in
-/// [`CampaignTelemetry::worker_samples`], outside the merged recorder.
+/// [`run_campaign`] with optional telemetry — the snapshot-ladder
+/// engine.
+///
+/// The golden reference pass records a clone-snapshot every
+/// `spec.snapshot_interval` cycles ([`SnapshotLadder`]); samples are
+/// sorted by co-simulation entry cycle, split into **contiguous**
+/// per-worker ranges, and each worker advances a cursor restored from
+/// the nearest ladder rung at or below the next entry point — so the
+/// total forward simulation is roughly one benchmark length shared by
+/// all workers, instead of one full replay *per worker*.
+///
+/// When `telemetry` is given, each injection run records into its own
+/// per-run [`Recorder`]; the recorders are merged back **in sample
+/// order**, so the merged telemetry (like the outcome counts and the
+/// records) is bit-identical across worker counts, snapshot intervals,
+/// and engines — restore-from-rung is deterministic-equivalent to
+/// replay-from-zero. The genuinely engine-dependent data lives outside
+/// the merged recorder: [`CampaignTelemetry::worker_samples`] (how the
+/// runs were sharded) and [`CampaignTelemetry::engine`] (ladder rung
+/// count/sizes, rung restores, forward-simulated cycles).
 ///
 /// # Panics
 ///
 /// Panics if the component is PCIe and the benchmark has no input file
-/// (the paper only runs PCIe injections for the 12 file-fed benchmarks).
+/// (the paper only runs PCIe injections for the 12 file-fed
+/// benchmarks), or if the spec fails [`CampaignSpec::validate`].
 pub fn run_campaign_with(
     profile: &'static BenchProfile,
     spec: &CampaignSpec,
     telemetry: Option<&TelemetryConfig>,
 ) -> CampaignResult {
-    assert!(
-        spec.component != ComponentKind::Pcie || profile.has_input_file(),
-        "PCIe campaigns require a benchmark with an input file"
-    );
-    let (base, golden) = golden_reference(profile, spec);
+    check_spec(profile, spec);
+    let (mut ladder, golden) = laddered_golden_reference(profile, spec);
     let samples = draw_samples(profile, spec, &golden);
+
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by_key(|&i| entry_cycle(&samples[i]));
+
+    // Rungs above the last entry point can never be restored from.
+    let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
+    ladder.truncate_above(max_entry);
+
+    let mut engine = match telemetry {
+        Some(cfg) => Recorder::active(cfg),
+        None => Recorder::null(),
+    };
+    engine.count(names::LADDER_RUNGS, ladder.len() as u64);
+    if engine.is_active() {
+        for cost in ladder.rung_costs() {
+            engine.record_hist(names::H_LADDER_RUNG_DRAM_LINES, cost.dram_lines as u64);
+            engine.record_hist(
+                names::H_LADDER_RUNG_RESIDENT_LINES,
+                cost.resident_l2_lines as u64,
+            );
+        }
+    }
 
     // An empty campaign short-circuits: no workers are spawned and the
     // result carries valid (empty) telemetry rather than the artifacts
@@ -232,6 +348,101 @@ pub fn run_campaign_with(
                 Some(cfg) => CampaignTelemetry {
                     merged: Recorder::active(cfg),
                     worker_samples: Vec::new(),
+                    engine,
+                },
+                None => CampaignTelemetry::disabled(),
+            },
+        };
+    }
+
+    let shards = contiguous_shards(&order, worker_count(spec, order.len()));
+
+    let ladder = &ladder;
+    let per_worker: Vec<(IndexedRuns, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let samples = &samples;
+                let golden = &golden;
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(shard.len());
+                    let mut forward = 0u64;
+                    let mut restores = 0u64;
+                    // The worker's forward cursor: a rung clone
+                    // advanced monotonically through the shard's
+                    // ascending entry cycles; re-restored whenever
+                    // a later rung is closer than the cursor.
+                    let mut cursor: Option<System> = None;
+                    for &i in shard {
+                        let s = &samples[i];
+                        let entry = entry_cycle(s);
+                        let rung = ladder.rung_below(entry);
+                        if cursor.as_ref().is_none_or(|c| rung.cycle() > c.cycle()) {
+                            cursor = Some(rung.clone());
+                            restores += 1;
+                        }
+                        let my_base = cursor.as_mut().expect("cursor was just restored");
+                        forward += entry.saturating_sub(my_base.cycle());
+                        my_base.run_until(entry);
+                        let mut rec = match telemetry {
+                            Some(cfg) => Recorder::active(cfg),
+                            None => Recorder::null(),
+                        };
+                        let r = run_injection_with(my_base, golden, s, &mut rec);
+                        out.push((i, r, rec));
+                    }
+                    (out, forward, restores)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+
+    let mut indexed = Vec::with_capacity(samples.len());
+    for (out, forward, restores) in per_worker {
+        engine.count(names::FORWARD_CYCLES, forward);
+        engine.count(names::LADDER_RESTORES, restores);
+        indexed.extend(out);
+    }
+    finish_campaign(profile, spec, telemetry, golden, indexed, &shards, engine)
+}
+
+/// The pre-ladder campaign engine, kept as the reference
+/// implementation: every worker replays one forward pass of the whole
+/// benchmark over an *interleaved* shard of the sorted samples, cloning
+/// at each entry point. Byte-identical to [`run_campaign_with`] in
+/// records, counts, and merged telemetry (the equivalence the test
+/// suite locks); roughly `workers ×` more forward simulation, which is
+/// why the ladder engine replaced it as the default.
+///
+/// # Panics
+///
+/// Panics if the component is PCIe and the benchmark has no input file,
+/// or if the spec fails [`CampaignSpec::validate`].
+pub fn run_campaign_replay(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> CampaignResult {
+    check_spec(profile, spec);
+    let (base, golden) = golden_reference(profile, spec);
+    let samples = draw_samples(profile, spec, &golden);
+
+    if samples.is_empty() {
+        return CampaignResult {
+            benchmark: profile.name,
+            component: spec.component,
+            counts: OutcomeCounts::new(),
+            records: Vec::new(),
+            golden,
+            telemetry: match telemetry {
+                Some(cfg) => CampaignTelemetry {
+                    merged: Recorder::active(cfg),
+                    worker_samples: Vec::new(),
+                    engine: Recorder::active(cfg),
                 },
                 None => CampaignTelemetry::disabled(),
             },
@@ -239,22 +450,20 @@ pub fn run_campaign_with(
     }
 
     // Order samples by co-simulation entry point; each worker replays
-    // one forward pass over its (ascending) shard.
+    // one forward pass over its (ascending, interleaved) shard.
     let mut order: Vec<usize> = (0..samples.len()).collect();
     order.sort_by_key(|&i| entry_cycle(&samples[i]));
 
-    let workers = if spec.workers == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        spec.workers
-    }
-    .min(order.len());
-
+    let workers = worker_count(spec, order.len());
     let shards: Vec<Vec<usize>> = (0..workers)
         .map(|w| order.iter().copied().skip(w).step_by(workers).collect())
         .collect();
 
-    let mut indexed: Vec<(usize, InjectionRecord, Recorder)> = std::thread::scope(|scope| {
+    let mut engine = match telemetry {
+        Some(cfg) => Recorder::active(cfg),
+        None => Recorder::null(),
+    };
+    let per_worker: Vec<(IndexedRuns, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
@@ -264,9 +473,12 @@ pub fn run_campaign_with(
                 scope.spawn(move || {
                     let mut my_base = base.clone();
                     let mut out = Vec::with_capacity(shard.len());
+                    let mut forward = 0u64;
                     for &i in shard {
                         let s = &samples[i];
-                        my_base.run_until(entry_cycle(s));
+                        let entry = entry_cycle(s);
+                        forward += entry.saturating_sub(my_base.cycle());
+                        my_base.run_until(entry);
                         let mut rec = match telemetry {
                             Some(cfg) => Recorder::active(cfg),
                             None => Recorder::null(),
@@ -274,15 +486,71 @@ pub fn run_campaign_with(
                         let r = run_injection_with(&my_base, golden, s, &mut rec);
                         out.push((i, r, rec));
                     }
-                    out
+                    (out, forward)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     });
+
+    let mut indexed = Vec::with_capacity(samples.len());
+    for (out, forward) in per_worker {
+        engine.count(names::FORWARD_CYCLES, forward);
+        indexed.extend(out);
+    }
+    finish_campaign(profile, spec, telemetry, golden, indexed, &shards, engine)
+}
+
+fn check_spec(profile: &BenchProfile, spec: &CampaignSpec) {
+    assert!(
+        spec.component != ComponentKind::Pcie || profile.has_input_file(),
+        "PCIe campaigns require a benchmark with an input file"
+    );
+    if let Err(e) = spec.validate() {
+        panic!("invalid campaign spec: {e}");
+    }
+}
+
+fn worker_count(spec: &CampaignSpec, samples: usize) -> usize {
+    if spec.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.workers
+    }
+    .min(samples)
+}
+
+/// Splits the sorted order into `workers` contiguous, balanced ranges
+/// (sizes differ by at most one, larger ranges first).
+fn contiguous_shards(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
+    let base = order.len() / workers;
+    let rem = order.len() % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        shards.push(order[start..start + len].to_vec());
+        start += len;
+    }
+    shards
+}
+
+/// Shared epilogue of both engines: sorts the per-run results back
+/// into sample order, tallies outcomes, and merges per-run telemetry
+/// **in sample order** — the step that makes the merged export
+/// independent of sharding and engine.
+fn finish_campaign(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    golden: GoldenRef,
+    mut indexed: Vec<(usize, InjectionRecord, Recorder)>,
+    shards: &[Vec<usize>],
+    engine: Recorder,
+) -> CampaignResult {
     indexed.sort_by_key(|(i, _, _)| *i);
 
     let mut counts = OutcomeCounts::new();
@@ -314,6 +582,7 @@ pub fn run_campaign_with(
         telemetry: CampaignTelemetry {
             merged,
             worker_samples,
+            engine,
         },
     }
 }
@@ -392,5 +661,66 @@ mod tests {
         let profile = by_name("barn").unwrap();
         let spec = CampaignSpec::quick(ComponentKind::Pcie, 1);
         let _ = run_campaign(profile, &spec);
+    }
+
+    #[test]
+    fn spec_validation_names_the_offending_field() {
+        assert!(CampaignSpec::quick(ComponentKind::L2c, 1)
+            .validate()
+            .is_ok());
+        let bad = |f: fn(&mut CampaignSpec)| {
+            let mut s = CampaignSpec::quick(ComponentKind::L2c, 1);
+            f(&mut s);
+            s.validate().unwrap_err()
+        };
+        assert!(bad(|s| s.check_interval = 0).contains("check_interval"));
+        assert!(bad(|s| s.cosim_cap = 0).contains("cosim_cap"));
+        assert!(bad(|s| s.snapshot_interval = 0).contains("snapshot_interval"));
+    }
+
+    #[test]
+    #[should_panic(expected = "check_interval must be >= 1")]
+    fn zero_check_interval_fails_loudly_instead_of_misclassifying() {
+        let spec = CampaignSpec {
+            check_interval: 0,
+            ..CampaignSpec::quick(ComponentKind::L2c, 1)
+        };
+        let _ = run_campaign(by_name("radi").unwrap(), &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "cosim_cap must be >= 1")]
+    fn zero_cosim_cap_fails_loudly() {
+        let spec = CampaignSpec {
+            cosim_cap: 0,
+            ..CampaignSpec::quick(ComponentKind::Mcu, 1)
+        };
+        let _ = run_campaign(by_name("fft").unwrap(), &spec);
+    }
+
+    #[test]
+    fn contiguous_shards_are_balanced_and_order_preserving() {
+        let order: Vec<usize> = (0..11).collect();
+        let shards = contiguous_shards(&order, 4);
+        assert_eq!(
+            shards.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 3, 3, 2]
+        );
+        let flat: Vec<usize> = shards.concat();
+        assert_eq!(flat, order);
+    }
+
+    #[test]
+    fn ladder_engine_matches_replay_engine_on_a_quick_cell() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec {
+            workers: 2,
+            ..CampaignSpec::quick(ComponentKind::L2c, 8)
+        };
+        let ladder = run_campaign_with(profile, &spec, None);
+        let replay = run_campaign_replay(profile, &spec, None);
+        assert_eq!(ladder.records, replay.records);
+        assert_eq!(ladder.counts, replay.counts);
+        assert_eq!(ladder.golden, replay.golden);
     }
 }

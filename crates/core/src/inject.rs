@@ -94,6 +94,18 @@ pub fn run_injection_with(
     spec: &InjectionSpec,
     rec: &mut Recorder,
 ) -> InjectionRecord {
+    // A zero interval would make `cycles % interval` never hit, so no
+    // golden compare would ever fire: the run would silently burn the
+    // whole co-simulation cap and misclassify as Persist. Fail loudly
+    // instead (the campaign layer validates the same bounds upstream).
+    assert!(
+        spec.check_interval >= 1,
+        "check_interval must be >= 1: an interval of 0 disables every golden compare"
+    );
+    assert!(
+        spec.cosim_cap >= 1,
+        "cosim_cap must be >= 1: a zero cap leaves no co-simulation window"
+    );
     let entry = spec
         .inject_cycle
         .saturating_sub(spec.warmup.max(MIN_WARMUP));

@@ -24,6 +24,11 @@
 //!   streams input files, barriers, snapshots (`Clone`), and the
 //!   **interception hooks** the mixed-mode platform uses to splice an
 //!   RTL component into the running system (Fig. 1b ②).
+//! * [`ladder`] — periodic whole-system snapshots ("rungs") captured
+//!   during the golden reference pass, the paper's every-2M-cycle
+//!   snapshot mechanism (Sec. 2.2) at the DESIGN.md cycle scale; the
+//!   campaign engine restores injections from the nearest rung instead
+//!   of replaying from cycle 0.
 //!
 //! Determinism: given the same [`SystemConfig`], every run is
 //! bit-identical — the property that lets the mixed-mode platform
@@ -45,11 +50,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ladder;
 pub mod layout;
 pub mod system;
 pub mod thread;
 pub mod workload;
 
+pub use ladder::SnapshotLadder;
 pub use system::{
     CoreReg, InterceptMode, OutMsg, RunResult, SnapshotCost, System, SystemConfig,
     UNCORE_REQ_ID_LIMIT,

@@ -165,6 +165,40 @@ pub fn render_provenance(rec: &Recorder) -> String {
     out
 }
 
+/// Renders the campaign-engine footer: how the snapshot-ladder engine
+/// scheduled the forward simulation (rung count/footprint, rung
+/// restores, forward-simulated cycles) and how the cross-figure cell
+/// cache performed. This data is engine- and sharding-dependent by
+/// design, so it lives in its own footer rather than the merged
+/// provenance. Empty string when the recorder is disabled.
+pub fn render_engine_stats(engine: &Recorder) -> String {
+    if !engine.is_active() {
+        return String::new();
+    }
+    let mut out = String::from("engine:\n");
+    out.push_str(&format!(
+        "  snapshot ladder: {} rungs, {} restores, {} forward-sim cycles\n",
+        engine.counter(names::LADDER_RUNGS),
+        engine.counter(names::LADDER_RESTORES),
+        engine.counter(names::FORWARD_CYCLES),
+    ));
+    if let Some(h) = engine.histogram(names::H_LADDER_RUNG_DRAM_LINES) {
+        out.push_str(&format!(
+            "  rung footprint: mean {:.0} DRAM lines, {:.0} resident L2 lines\n",
+            h.mean(),
+            engine
+                .histogram(names::H_LADDER_RUNG_RESIDENT_LINES)
+                .map_or(0.0, |h| h.mean()),
+        ));
+    }
+    let hits = engine.counter(names::CELL_CACHE_HITS);
+    let misses = engine.counter(names::CELL_CACHE_MISSES);
+    if hits + misses > 0 {
+        out.push_str(&format!("  cell cache: {hits} hits / {misses} misses\n"));
+    }
+    out
+}
+
 /// Renders a convergence curve (the Fig. 5 format): sampled points of
 /// a per-cycle series.
 pub fn render_curve(title: &str, points: &[f64], samples: usize) -> String {
@@ -185,6 +219,21 @@ pub fn render_curve(title: &str, points: &[f64], samples: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_stats_footer_reports_ladder_and_cache() {
+        use nestsim_telemetry::TelemetryConfig;
+        let mut e = Recorder::active(&TelemetryConfig::default());
+        e.count(names::LADDER_RUNGS, 7);
+        e.count(names::LADDER_RESTORES, 3);
+        e.count(names::FORWARD_CYCLES, 12_000);
+        e.count(names::CELL_CACHE_HITS, 2);
+        e.count(names::CELL_CACHE_MISSES, 5);
+        let s = render_engine_stats(&e);
+        assert!(s.contains("7 rungs, 3 restores, 12000 forward-sim cycles"));
+        assert!(s.contains("cell cache: 2 hits / 5 misses"));
+        assert_eq!(render_engine_stats(&Recorder::null()), "");
+    }
 
     #[test]
     fn table_alignment_pads_columns() {

@@ -1,0 +1,240 @@
+//! Cross-figure campaign cell cache and the concurrent grid runner.
+//!
+//! Figs. 3, 4, 8 and 9 all consume per-(component, benchmark) campaign
+//! cells, and their default benchmark subsets overlap heavily — so
+//! `repro fig4` after `repro fig3` (or any figure inside `repro all`)
+//! used to recompute identical campaigns from scratch. The cache memos
+//! every computed [`CampaignResult`] under its full determinism key
+//! (component, benchmark, samples, seed, scale, co-simulation bounds),
+//! which is sound because campaigns are bit-reproducible: equal keys
+//! imply byte-identical results.
+//!
+//! [`run_grid`] evaluates the independent cells of one figure
+//! concurrently, dividing the machine between grid-level threads and
+//! per-campaign workers; cell results come back in request order, so
+//! figure output stays deterministic.
+//!
+//! Hit/miss accounting lives in a [`Recorder`] using the shared
+//! telemetry names, so the engine footer under each figure (and the
+//! `fig4`-after-`fig3` zero-redundant-runs test) can read it.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use nestsim_core::campaign::{run_campaign_with, CampaignSpec};
+use nestsim_core::CampaignResult;
+use nestsim_hlsim::workload::BenchProfile;
+use nestsim_models::ComponentKind;
+use nestsim_telemetry::{names, Recorder, TelemetryConfig};
+
+use crate::Opts;
+
+/// The determinism key of one campaign cell: every spec field that can
+/// change records, counts, or telemetry. Worker count and snapshot
+/// interval are deliberately absent — the engine guarantees they never
+/// affect results (the byte-identity locked by the equivalence tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CellKey {
+    component: ComponentKind,
+    benchmark: &'static str,
+    samples: u64,
+    seed: u64,
+    scale: u64,
+    cosim_cap: u64,
+    check_interval: u64,
+    telemetry: bool,
+}
+
+struct CellCache {
+    cells: Mutex<HashMap<CellKey, CampaignResult>>,
+    stats: Mutex<Recorder>,
+}
+
+fn cache() -> &'static CellCache {
+    static CACHE: OnceLock<CellCache> = OnceLock::new();
+    CACHE.get_or_init(|| CellCache {
+        cells: Mutex::new(HashMap::new()),
+        stats: Mutex::new(Recorder::active(&TelemetryConfig::default())),
+    })
+}
+
+/// A snapshot of the cache's hit/miss counters
+/// ([`names::CELL_CACHE_HITS`] / [`names::CELL_CACHE_MISSES`]).
+pub fn cache_stats() -> Recorder {
+    cache().stats.lock().expect("cache stats poisoned").clone()
+}
+
+fn campaign_spec(opts: &Opts, component: ComponentKind, workers: usize) -> CampaignSpec {
+    CampaignSpec {
+        samples: opts.samples,
+        seed: opts.seed,
+        length_scale: opts.scale.max(1),
+        cosim_cap: opts.cosim_cap,
+        check_interval: opts.check_interval,
+        snapshot_interval: opts.snapshot_interval,
+        workers,
+        ..CampaignSpec::new(component, opts.samples)
+    }
+}
+
+/// Computes (or fetches) one campaign cell through the cross-figure
+/// cache. `workers` bounds the cell's campaign workers when it has to
+/// be computed (0 = available parallelism).
+pub fn cell_cached(
+    profile: &'static BenchProfile,
+    opts: &Opts,
+    component: ComponentKind,
+    workers: usize,
+) -> CampaignResult {
+    let key = CellKey {
+        component,
+        benchmark: profile.name,
+        samples: opts.samples,
+        seed: opts.seed,
+        scale: opts.scale.max(1),
+        cosim_cap: opts.cosim_cap,
+        check_interval: opts.check_interval,
+        telemetry: opts.telemetry.is_some(),
+    };
+    if let Some(hit) = cache().cells.lock().expect("cell cache poisoned").get(&key) {
+        let result = hit.clone();
+        cache()
+            .stats
+            .lock()
+            .expect("cache stats poisoned")
+            .count(names::CELL_CACHE_HITS, 1);
+        return result;
+    }
+    let spec = campaign_spec(opts, component, workers);
+    let tcfg = TelemetryConfig::default();
+    let result = run_campaign_with(profile, &spec, opts.telemetry.as_ref().map(|_| &tcfg));
+    let mut stats = cache().stats.lock().expect("cache stats poisoned");
+    stats.count(names::CELL_CACHE_MISSES, 1);
+    drop(stats);
+    cache()
+        .cells
+        .lock()
+        .expect("cell cache poisoned")
+        .insert(key, result.clone());
+    result
+}
+
+/// Runs the independent campaign cells of one figure concurrently and
+/// returns their results **in request order**. The machine is divided
+/// between grid-level threads and per-campaign workers so a
+/// many-celled figure does not oversubscribe the cores.
+pub fn run_grid(
+    cells: &[(ComponentKind, &'static BenchProfile)],
+    opts: &Opts,
+) -> Vec<CampaignResult> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let avail = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let lanes = avail.min(cells.len());
+    let workers_per_cell = (avail / lanes).max(1);
+    let slots: Vec<Mutex<Option<CampaignResult>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for lane in 0..lanes {
+            let slots = &slots;
+            scope.spawn(move || {
+                // Lane `l` takes cells l, l+lanes, l+2*lanes, …
+                for (idx, &(component, profile)) in cells.iter().enumerate() {
+                    if idx % lanes != lane {
+                        continue;
+                    }
+                    let r = cell_cached(profile, opts, component, workers_per_cell);
+                    *slots[idx].lock().expect("grid slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("grid slot poisoned")
+                .expect("every grid lane fills its slots")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figs::pick_benchmarks;
+
+    fn quick_opts(seed: u64) -> Opts {
+        Opts {
+            samples: 3,
+            scale: 400,
+            seed,
+            ..Opts::default()
+        }
+    }
+
+    /// The acceptance scenario: a fig4 grid run after a fig3 grid run
+    /// performs zero redundant campaign cell computations — every cell
+    /// fig3 already computed is a cache hit, verified through the
+    /// telemetry counters.
+    #[test]
+    fn fig4_after_fig3_recomputes_no_shared_cell() {
+        let opts = quick_opts(77);
+        // fig3's grid: the default benchmark subset for one component.
+        let fig3_cells: Vec<(ComponentKind, &'static BenchProfile)> =
+            pick_benchmarks(&opts, opts.component)
+                .into_iter()
+                .map(|b| (opts.component, b))
+                .collect();
+        let before = cache_stats();
+        let fig3 = run_grid(&fig3_cells, &opts);
+        let mid = cache_stats();
+        assert_eq!(
+            mid.counter(names::CELL_CACHE_MISSES) - before.counter(names::CELL_CACHE_MISSES),
+            fig3_cells.len() as u64,
+            "a cold cache computes every fig3 cell"
+        );
+
+        // fig4's grid re-requests the same component's cells (among
+        // others); the shared ones must all hit.
+        let fig4 = run_grid(&fig3_cells, &opts);
+        let after = cache_stats();
+        assert_eq!(
+            after.counter(names::CELL_CACHE_MISSES),
+            mid.counter(names::CELL_CACHE_MISSES),
+            "zero redundant campaign cell runs after fig3"
+        );
+        assert!(
+            after.counter(names::CELL_CACHE_HITS) - mid.counter(names::CELL_CACHE_HITS)
+                >= fig3_cells.len() as u64
+        );
+
+        // Cached results are the same campaigns, byte for byte.
+        for (a, b) in fig3.iter().zip(&fig4) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.counts, b.counts);
+        }
+    }
+
+    /// Grid results come back in request order regardless of which
+    /// lane computed them, and match a direct cell computation.
+    #[test]
+    fn grid_preserves_request_order() {
+        let opts = quick_opts(78);
+        let benches = pick_benchmarks(&opts, ComponentKind::L2c);
+        let cells: Vec<(ComponentKind, &'static BenchProfile)> = benches
+            .iter()
+            .take(2)
+            .map(|&b| (ComponentKind::L2c, b))
+            .collect();
+        let grid = run_grid(&cells, &opts);
+        assert_eq!(grid.len(), cells.len());
+        for (r, (component, profile)) in grid.iter().zip(&cells) {
+            assert_eq!(r.benchmark, profile.name);
+            assert_eq!(r.component, *component);
+            let direct = cell_cached(profile, &opts, *component, 1);
+            assert_eq!(r.records, direct.records);
+        }
+    }
+}

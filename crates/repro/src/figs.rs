@@ -1,7 +1,7 @@
 //! Figure reproductions (Figs. 3–9 of the paper).
 
 use nestsim_ckpt::{propagation_cdf, rollback_cdf};
-use nestsim_core::campaign::{run_campaign_with, CampaignSpec};
+use nestsim_core::campaign::CampaignSpec;
 use nestsim_core::rtl_only::{
     draw_fig7_samples, rtl_only_golden, run_mixed_injection_reduced, run_rtl_only_injection,
     RtlOnlyConfig,
@@ -10,11 +10,20 @@ use nestsim_core::warmup::warmup_experiment;
 use nestsim_core::{persistence, CampaignResult, Outcome};
 use nestsim_hlsim::workload::{by_name, with_input_files, BenchProfile, BENCHMARKS};
 use nestsim_models::ComponentKind;
-use nestsim_report::{pct, pct_ci, render_cdf, render_curve, render_provenance, Table};
+use nestsim_report::{
+    pct, pct_ci, render_cdf, render_curve, render_engine_stats, render_provenance, Table,
+};
 use nestsim_stats::Proportion;
 use nestsim_telemetry::{Recorder, TelemetryConfig};
 
+use crate::cache::{cache_stats, run_grid};
 use crate::Opts;
+
+/// Column header of the per-run records CSV. One name per row field,
+/// comma-separated, no padding — downstream parsers key on the exact
+/// names.
+const CSV_HEADER: &str = "outcome,bit,inject_cycle,cosim_cycles,erroneous_output_cycle,\
+                          propagation_latency,corrupted_lines,rollback_distance";
 
 /// Writes a campaign's raw per-run records as CSV (one row per
 /// injection) for downstream analysis.
@@ -27,10 +36,7 @@ pub fn write_records_csv(dir: &str, result: &CampaignResult) -> std::io::Result<
         result.benchmark
     );
     let mut f = std::fs::File::create(&path)?;
-    writeln!(
-        f,
-        "outcome,bit,inject_cycle,cosim_cycles,erroneous_output_cycle,         propagation_latency,corrupted_lines,rollback_distance"
-    )?;
+    writeln!(f, "{CSV_HEADER}")?;
     for r in &result.records {
         writeln!(
             f,
@@ -71,7 +77,7 @@ pub const PAPER_ERRONEOUS_RATE: [(ComponentKind, f64); 4] = [
     (ComponentKind::Pcie, 0.017),
 ];
 
-fn pick_benchmarks(opts: &Opts, component: ComponentKind) -> Vec<&'static BenchProfile> {
+pub(crate) fn pick_benchmarks(opts: &Opts, component: ComponentKind) -> Vec<&'static BenchProfile> {
     let all: Vec<&'static BenchProfile> = if component == ComponentKind::Pcie {
         with_input_files().collect()
     } else {
@@ -80,7 +86,18 @@ fn pick_benchmarks(opts: &Opts, component: ComponentKind) -> Vec<&'static BenchP
     match &opts.benchmarks {
         Some(names) => names
             .iter()
-            .filter_map(|n| by_name(n))
+            .map(|n| {
+                by_name(n).unwrap_or_else(|| {
+                    panic!(
+                        "unknown benchmark {n:?}; valid names: {}",
+                        BENCHMARKS
+                            .iter()
+                            .map(|b| b.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+            })
             .filter(|b| component != ComponentKind::Pcie || b.has_input_file())
             .collect(),
         // Default: a representative subset to keep runtime friendly;
@@ -94,28 +111,41 @@ fn pick_benchmarks(opts: &Opts, component: ComponentKind) -> Vec<&'static BenchP
     }
 }
 
-fn cell(profile: &'static BenchProfile, opts: &Opts, component: ComponentKind) -> CampaignResult {
-    let spec = CampaignSpec {
-        samples: opts.samples,
-        seed: opts.seed,
-        length_scale: opts.scale.max(1),
-        ..CampaignSpec::new(component, opts.samples)
-    };
-    let tcfg = TelemetryConfig::default();
-    run_campaign_with(profile, &spec, opts.telemetry.as_ref().map(|_| &tcfg))
+/// The min/max cells of a per-benchmark rate row; `-` when the figure
+/// has no benchmark cells at all (a bare fold over the empty list
+/// would render `inf%`).
+fn min_max_cells(rates: &[f64]) -> (String, String) {
+    let bounds = rates.iter().fold(None, |acc: Option<(f64, f64)>, &r| {
+        Some(acc.map_or((r, r), |(lo, hi)| (lo.min(r), hi.max(r))))
+    });
+    match bounds {
+        Some((lo, hi)) => (pct(lo, 2), pct(hi, 2)),
+        None => ("-".to_string(), "-".to_string()),
+    }
 }
 
 /// Writes the merged telemetry of a figure's campaign cells as
-/// JSON-lines and prints the provenance footer.
-fn export_telemetry(opts: &Opts, merged: &Recorder) {
+/// JSON-lines and prints the provenance and engine footers. The merged
+/// export is sharding-/engine-independent; the engine footer (ladder
+/// rungs, restores, forward-sim cycles, cell-cache hits) is not, and
+/// stays out of the export.
+fn export_telemetry(opts: &Opts, results: &[CampaignResult]) {
     let Some(path) = &opts.telemetry else {
         return;
     };
+    let mut merged = Recorder::active(&TelemetryConfig::default());
+    let mut engine = Recorder::active(&TelemetryConfig::default());
+    for r in results {
+        merged.merge(&r.telemetry.merged);
+        engine.merge(&r.telemetry.engine);
+    }
+    engine.merge(&cache_stats());
     match std::fs::write(path, merged.to_jsonl()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("telemetry export failed: {e}"),
     }
-    print!("\n{}", render_provenance(merged));
+    print!("\n{}", render_provenance(&merged));
+    print!("{}", render_engine_stats(&engine));
 }
 
 /// Fig. 3: application-level outcome rates per benchmark.
@@ -128,11 +158,12 @@ pub fn fig3(opts: &Opts) {
     let mut t = Table::new(["bench", "ONA", "OMM", "UT", "Hang", "Vanished", "erroneous"]);
     let mut totals = nestsim_core::OutcomeCounts::new();
     let benches = pick_benchmarks(opts, component);
-    let mut results = Vec::new();
-    for b in &benches {
-        let r = cell(b, opts, component);
+    let cells: Vec<(ComponentKind, &'static BenchProfile)> =
+        benches.iter().map(|&b| (component, b)).collect();
+    let results = run_grid(&cells, opts);
+    for (b, r) in benches.iter().zip(&results) {
         if let Some(dir) = &opts.csv {
-            if let Err(e) = write_records_csv(dir, &r) {
+            if let Err(e) = write_records_csv(dir, r) {
                 eprintln!("csv export failed: {e}");
             }
         }
@@ -147,7 +178,6 @@ pub fn fig3(opts: &Opts) {
             pct(c.erroneous_rate().rate(), 2),
         ]);
         totals.merge(c);
-        results.push(r);
     }
     let c = &totals;
     t.row([
@@ -176,13 +206,7 @@ pub fn fig3(opts: &Opts) {
         c.count(Outcome::Persist),
         c.total()
     );
-    if opts.telemetry.is_some() {
-        let mut merged = Recorder::active(&TelemetryConfig::default());
-        for r in &results {
-            merged.merge(&r.telemetry.merged);
-        }
-        export_telemetry(opts, &merged);
-    }
+    export_telemetry(opts, &results);
 }
 
 /// Fig. 4: OMM rates of uncore components vs. processor cores.
@@ -195,24 +219,31 @@ pub fn fig4(opts: &Opts) {
         (ComponentKind::Ccx, 0.0015),
         (ComponentKind::Pcie, 0.0089),
     ];
+    // One flat grid over every (component, benchmark) cell: cells run
+    // concurrently, and any cell fig3 already computed is a cache hit.
+    let mut cells: Vec<(ComponentKind, &'static BenchProfile)> = Vec::new();
+    let mut spans = Vec::new();
     for kind in ComponentKind::ALL {
-        let benches = pick_benchmarks(opts, kind);
+        let start = cells.len();
+        cells.extend(pick_benchmarks(opts, kind).into_iter().map(|b| (kind, b)));
+        spans.push((kind, start..cells.len()));
+    }
+    let results = run_grid(&cells, opts);
+    for (kind, span) in spans {
         let mut rates = Vec::new();
         let mut agg = Proportion::default();
-        for b in benches {
-            let r = cell(b, opts, kind);
+        for r in &results[span] {
             let p = r.counts.rate(Outcome::Omm);
             rates.push(p.rate());
             agg.merge(p);
         }
-        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let (min, max) = min_max_cells(&rates);
         let paper = paper_avg.iter().find(|(k, _)| *k == kind).unwrap().1;
         t.row([
             kind.to_string(),
-            pct(min, 2),
+            min,
             pct(agg.rate(), 2),
-            pct(max, 2),
+            max,
             pct(paper, 2),
         ]);
     }
@@ -243,18 +274,18 @@ pub fn fig4(opts: &Opts) {
             rates.push(p.rate());
             agg.merge(p);
         }
-        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let (min, max) = min_max_cells(&rates);
         t.row([
             "nestsim core (measured)".to_string(),
-            pct(min, 2),
+            min,
             pct(agg.rate(), 2),
-            pct(max, 2),
+            max,
             "-".to_string(),
         ]);
     }
     print!("{}", t.render());
     println!("\nPaper finding: uncore OMM rates are comparable to processor cores'.");
+    export_telemetry(opts, &results);
 }
 
 /// Fig. 5: microarchitectural state difference during warm-up.
@@ -406,11 +437,16 @@ pub fn fig8(opts: &Opts) {
         "== Fig. 8: error-propagation latency to cores ({} injections/component) ==\n",
         opts.samples
     );
+    let mut all_results = Vec::new();
     for kind in [ComponentKind::L2c, ComponentKind::Mcu, ComponentKind::Ccx] {
-        let mut records = Vec::new();
-        for b in pick_benchmarks(opts, kind).into_iter().take(3) {
-            records.extend(cell(b, opts, kind).records);
-        }
+        let cells: Vec<(ComponentKind, &'static BenchProfile)> = pick_benchmarks(opts, kind)
+            .into_iter()
+            .take(3)
+            .map(|b| (kind, b))
+            .collect();
+        let results = run_grid(&cells, opts);
+        let records: Vec<_> = results.iter().flat_map(|r| r.records.clone()).collect();
+        all_results.extend(results);
         let mut cdf = propagation_cdf(&records);
         let n = cdf.len();
         print!(
@@ -427,6 +463,7 @@ pub fn fig8(opts: &Opts) {
         println!();
     }
     println!("Paper (full scale): L2C errors take 36M cycles on average to reach cores.");
+    export_telemetry(opts, &all_results);
 }
 
 /// Fig. 9: CDF of required rollback distance.
@@ -435,11 +472,16 @@ pub fn fig9(opts: &Opts) {
         "== Fig. 9: required rollback distance ({} injections/component) ==\n",
         opts.samples
     );
+    let mut all_results = Vec::new();
     for kind in [ComponentKind::L2c, ComponentKind::Mcu] {
-        let mut records = Vec::new();
-        for b in pick_benchmarks(opts, kind).into_iter().take(3) {
-            records.extend(cell(b, opts, kind).records);
-        }
+        let cells: Vec<(ComponentKind, &'static BenchProfile)> = pick_benchmarks(opts, kind)
+            .into_iter()
+            .take(3)
+            .map(|b| (kind, b))
+            .collect();
+        let results = run_grid(&cells, opts);
+        let records: Vec<_> = results.iter().flat_map(|r| r.records.clone()).collect();
+        all_results.extend(results);
         let mut cdf = rollback_cdf(&records);
         let n = cdf.len();
         let q99 = if n > 0 { cdf.quantile(0.99) } else { 0 };
@@ -457,4 +499,66 @@ pub fn fig9(opts: &Opts) {
         "Paper (full scale): covering >99% of memory-corrupting errors requires\n\
          rollback distances beyond 400M cycles — far outside incremental-checkpoint reach."
     );
+    export_telemetry(opts, &all_results);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_header_is_clean_and_matches_row_arity() {
+        let spec = CampaignSpec {
+            samples: 2,
+            length_scale: 400,
+            ..CampaignSpec::new(ComponentKind::L2c, 2)
+        };
+        let result =
+            nestsim_core::campaign::run_campaign_with(by_name("radi").unwrap(), &spec, None);
+        let dir = std::env::temp_dir().join(format!("nestsim_csv_test_{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        write_records_csv(&dir, &result).unwrap();
+        let path = format!("{dir}/l2c_radi.csv");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header, CSV_HEADER);
+        assert!(
+            !header.contains(' '),
+            "header must not contain padding: {header:?}"
+        );
+        let cols = header.split(',').count();
+        assert_eq!(cols, 8);
+        let mut rows = 0;
+        for row in lines {
+            assert_eq!(
+                row.split(',').count(),
+                cols,
+                "row arity must match the header: {row:?}"
+            );
+            rows += 1;
+        }
+        assert_eq!(rows, result.records.len());
+    }
+
+    #[test]
+    fn min_max_of_empty_rate_list_renders_dashes_not_inf() {
+        assert_eq!(min_max_cells(&[]), ("-".to_string(), "-".to_string()));
+        assert_eq!(
+            min_max_cells(&[0.02, 0.01, 0.03]),
+            ("1.00%".to_string(), "3.00%".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark \"not-a-bench\"")]
+    fn unknown_benchmark_names_are_a_hard_error() {
+        let opts = Opts {
+            benchmarks: Some(vec!["radi".to_string(), "not-a-bench".to_string()]),
+            ..Opts::default()
+        };
+        pick_benchmarks(&opts, ComponentKind::L2c);
+    }
 }

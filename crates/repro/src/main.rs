@@ -28,10 +28,18 @@
 //!   --benchmarks a,b comma-separated subset          (default: per experiment)
 //!   --seed N         campaign seed                   (default 2015)
 //!   --component X    component for fig3
+//!   --cosim-cap N         co-simulation cycle cap, >= 1   (default 100000)
+//!   --check-interval N    golden-compare interval, >= 1   (default 16)
+//!   --snapshot-interval N snapshot-ladder rung spacing in cycles, >= 1
+//!                         (default 2000 = paper's 2M / cycle scale; rungs
+//!                         let each injection start from the nearest
+//!                         snapshot below its entry cycle instead of
+//!                         replaying from cycle 0 — results are identical
+//!                         for every interval)
 //!   --csv DIR        also write raw per-run records as CSV into DIR
 //!   --telemetry FILE record campaign telemetry, write the merged
-//!                    JSON-lines export to FILE, and print a
-//!                    provenance footer under the figure
+//!                    JSON-lines export to FILE, and print provenance +
+//!                    engine footers under the figure
 //! ```
 //!
 //! Paper reference values are printed alongside every reproduced
@@ -40,12 +48,16 @@
 //! components are worst, where distributions have mass — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+mod cache;
 mod figs;
 mod qrreval;
 mod tables;
 
 use std::process::ExitCode;
 
+use nestsim_core::campaign::DEFAULT_SNAPSHOT_INTERVAL;
+use nestsim_core::inject::{DEFAULT_CHECK_INTERVAL, DEFAULT_COSIM_CAP};
+use nestsim_hlsim::workload::{by_name, BENCHMARKS};
 use nestsim_models::ComponentKind;
 
 /// Parsed command-line options.
@@ -62,6 +74,9 @@ pub struct Opts {
     pub runs: usize,
     pub window: u64,
     pub flops: usize,
+    pub cosim_cap: u64,
+    pub check_interval: u64,
+    pub snapshot_interval: u64,
 }
 
 impl Default for Opts {
@@ -78,8 +93,23 @@ impl Default for Opts {
             runs: 10,
             window: 1_000,
             flops: 64,
+            cosim_cap: DEFAULT_COSIM_CAP,
+            check_interval: DEFAULT_CHECK_INTERVAL,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
+}
+
+/// Parses a flag value that must be a positive integer, with an error
+/// explaining *why* zero is rejected rather than silently misbehaving.
+fn take_positive(flag: &str, value: &str, why_zero_is_wrong: &str) -> Result<u64, String> {
+    let v: u64 = value
+        .parse()
+        .map_err(|e| format!("invalid value for {flag}: {e}"))?;
+    if v == 0 {
+        return Err(format!("{flag} must be >= 1: {why_zero_is_wrong}"));
+    }
+    Ok(v)
 }
 
 fn parse(args: &[String]) -> Result<(String, Opts), String> {
@@ -106,7 +136,42 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     ComponentKind::parse(&v).ok_or_else(|| format!("unknown component {v}"))?;
             }
             "--benchmarks" => {
-                opts.benchmarks = Some(take(&mut i)?.split(',').map(str::to_string).collect());
+                let names: Vec<String> = take(&mut i)?.split(',').map(str::to_string).collect();
+                for n in &names {
+                    if by_name(n).is_none() {
+                        return Err(format!(
+                            "unknown benchmark {n:?}; valid names: {}",
+                            BENCHMARKS
+                                .iter()
+                                .map(|b| b.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+                opts.benchmarks = Some(names);
+            }
+            "--cosim-cap" => {
+                opts.cosim_cap = take_positive(
+                    "--cosim-cap",
+                    &take(&mut i)?,
+                    "a zero cap leaves no co-simulation window",
+                )?;
+            }
+            "--check-interval" => {
+                opts.check_interval = take_positive(
+                    "--check-interval",
+                    &take(&mut i)?,
+                    "an interval of 0 never fires a golden compare, so every \
+                     error would silently classify as Vanished/UT",
+                )?;
+            }
+            "--snapshot-interval" => {
+                opts.snapshot_interval = take_positive(
+                    "--snapshot-interval",
+                    &take(&mut i)?,
+                    "rung spacing of 0 cycles is degenerate",
+                )?;
             }
             "--csv" => opts.csv = Some(take(&mut i)?),
             "--telemetry" => opts.telemetry = Some(take(&mut i)?),
@@ -171,4 +236,53 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_benchmark_name_is_rejected_with_the_valid_list() {
+        let err = parse(&args(&["fig3", "--benchmarks", "radi,nope"])).unwrap_err();
+        assert!(err.contains("unknown benchmark \"nope\""), "{err}");
+        assert!(err.contains("valid names:"), "{err}");
+        assert!(
+            err.contains("radi"),
+            "the error must list valid names: {err}"
+        );
+    }
+
+    #[test]
+    fn known_benchmark_names_parse() {
+        let (_, opts) = parse(&args(&["fig3", "--benchmarks", "radi,fft"])).unwrap();
+        assert_eq!(
+            opts.benchmarks,
+            Some(vec!["radi".to_string(), "fft".to_string()])
+        );
+    }
+
+    #[test]
+    fn zero_cosim_bounds_are_rejected_at_the_cli() {
+        let err = parse(&args(&["fig3", "--cosim-cap", "0"])).unwrap_err();
+        assert!(err.contains("--cosim-cap must be >= 1"), "{err}");
+        let err = parse(&args(&["fig3", "--check-interval", "0"])).unwrap_err();
+        assert!(err.contains("--check-interval must be >= 1"), "{err}");
+        let err = parse(&args(&["fig3", "--snapshot-interval", "0"])).unwrap_err();
+        assert!(err.contains("--snapshot-interval must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_interval_flag_overrides_the_default() {
+        let (_, opts) = parse(&args(&["fig3"])).unwrap();
+        assert_eq!(opts.snapshot_interval, DEFAULT_SNAPSHOT_INTERVAL);
+        assert_eq!(opts.cosim_cap, DEFAULT_COSIM_CAP);
+        assert_eq!(opts.check_interval, DEFAULT_CHECK_INTERVAL);
+        let (_, opts) = parse(&args(&["fig3", "--snapshot-interval", "512"])).unwrap();
+        assert_eq!(opts.snapshot_interval, 512);
+    }
 }

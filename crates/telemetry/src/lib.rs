@@ -74,6 +74,21 @@ pub mod names {
     /// Counter: full-system snapshot clones taken.
     pub const SNAPSHOT_CLONES: &str = "snapshot.clones";
 
+    /// Counter: live snapshot-ladder rungs after capture+truncation
+    /// (engine telemetry — kept outside the merged per-run recorder so
+    /// the merged export stays engine- and sharding-independent).
+    pub const LADDER_RUNGS: &str = "ladder.rungs";
+    /// Counter: worker restores from a ladder rung (engine telemetry).
+    pub const LADDER_RESTORES: &str = "ladder.restores";
+    /// Counter: accelerated-mode cycles forward-simulated by campaign
+    /// workers to reach injection entry points (engine telemetry; the
+    /// quantity the ladder exists to shrink).
+    pub const FORWARD_CYCLES: &str = "campaign.forward_cycles";
+    /// Counter: campaign cells served from the cross-figure cell cache.
+    pub const CELL_CACHE_HITS: &str = "cell_cache.hits";
+    /// Counter: campaign cells computed because the cache had no entry.
+    pub const CELL_CACHE_MISSES: &str = "cell_cache.misses";
+
     /// Histogram: co-simulation cycles per injection run.
     pub const H_COSIM_RESIDENCY: &str = "cosim.residency";
     /// Histogram: warm-up cycles per injection run.
@@ -86,6 +101,12 @@ pub mod names {
     pub const H_SNAPSHOT_DRAM_LINES: &str = "snapshot.dram_lines";
     /// Histogram: resident L2 lines captured per snapshot clone.
     pub const H_SNAPSHOT_RESIDENT_LINES: &str = "snapshot.resident_lines";
+    /// Histogram: backed DRAM lines held per ladder rung (engine
+    /// telemetry — rung storage footprint).
+    pub const H_LADDER_RUNG_DRAM_LINES: &str = "ladder.rung.dram_lines";
+    /// Histogram: resident L2 lines held per ladder rung (engine
+    /// telemetry).
+    pub const H_LADDER_RUNG_RESIDENT_LINES: &str = "ladder.rung.resident_lines";
 
     /// Histogram: L2C input-queue occupancy, sampled at check points.
     pub const H_Q_L2C_IQ: &str = "queue.l2c.iq";

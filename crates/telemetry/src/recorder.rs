@@ -244,8 +244,11 @@ fn escape(s: &str) -> String {
 ///
 /// `merged` aggregates the per-run recorders in sample order and is
 /// therefore identical whatever the worker count; `worker_samples`
-/// (how runs were sharded) is deliberately kept *outside* the merged
-/// recorder so the byte-identical export guarantee survives.
+/// (how runs were sharded) and `engine` (how the campaign engine
+/// scheduled the forward simulation: ladder rungs, rung restores,
+/// forward-simulated cycles) are deliberately kept *outside* the
+/// merged recorder so the byte-identical export guarantee survives
+/// across worker counts, snapshot intervals, and engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignTelemetry {
     /// Per-run telemetry merged in sample order.
@@ -253,6 +256,10 @@ pub struct CampaignTelemetry {
     /// Samples executed by each worker, in shard order (empty when
     /// telemetry is disabled).
     pub worker_samples: Vec<usize>,
+    /// Engine-level telemetry: ladder rung counts/sizes, rung
+    /// restores, and forward-simulated cycles. Null when telemetry is
+    /// disabled. Engine- and sharding-dependent by design.
+    pub engine: Recorder,
 }
 
 impl CampaignTelemetry {
@@ -261,6 +268,7 @@ impl CampaignTelemetry {
         CampaignTelemetry {
             merged: Recorder::null(),
             worker_samples: Vec::new(),
+            engine: Recorder::null(),
         }
     }
 

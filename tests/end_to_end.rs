@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full Fig. 2 injection flow on
 //! every component, platform invariants, and determinism.
 
-use nestsim::core::campaign::{golden_reference, run_campaign, run_campaign_with, CampaignSpec};
+use nestsim::core::campaign::{
+    golden_reference, run_campaign, run_campaign_replay, run_campaign_with, CampaignSpec,
+};
 use nestsim::core::cosim::{CosimDriver, L2cDriver};
 use nestsim::core::inject::{run_injection, InjectionSpec, MIN_WARMUP};
 use nestsim::core::Outcome;
@@ -9,7 +11,7 @@ use nestsim::hlsim::workload::{by_name, BENCHMARKS};
 use nestsim::hlsim::{RunResult, System, SystemConfig};
 use nestsim::models::ComponentKind;
 use nestsim::proto::addr::BankId;
-use nestsim::telemetry::TelemetryConfig;
+use nestsim::telemetry::{names, TelemetryConfig};
 
 fn quick_spec(component: ComponentKind, samples: u64) -> CampaignSpec {
     CampaignSpec {
@@ -202,6 +204,66 @@ fn empty_campaign_returns_valid_all_zero_telemetry() {
             "{\"type\":\"meta\",\"schema\":1,\"enabled\":false}\n"
         );
     }
+}
+
+#[test]
+fn ladder_engine_is_byte_identical_to_replay_for_any_interval_and_workers() {
+    // The snapshot-ladder hard constraint, exhaustively over the spec's
+    // domain: for every snapshot interval (including ∞ = base rung
+    // only) and every worker count, records, counts, golden reference
+    // and the merged telemetry export must be *byte*-identical to the
+    // pre-ladder replay engine — on two distinct (component, benchmark)
+    // cells.
+    let cfg = TelemetryConfig::default();
+    for (component, bench) in [(ComponentKind::L2c, "radi"), (ComponentKind::Mcu, "flui")] {
+        let profile = by_name(bench).unwrap();
+        let reference =
+            run_campaign_replay(profile, &CampaignSpec::quick(component, 10), Some(&cfg));
+        let ref_jsonl = reference.telemetry.to_jsonl();
+        for interval in [512, 2_048, 8_192, u64::MAX] {
+            for workers in [1usize, 4] {
+                let spec = CampaignSpec {
+                    snapshot_interval: interval,
+                    workers,
+                    ..CampaignSpec::quick(component, 10)
+                };
+                let r = run_campaign_with(profile, &spec, Some(&cfg));
+                let tag = format!("{component}/{bench} interval={interval} workers={workers}");
+                assert_eq!(r.records, reference.records, "{tag}: records");
+                assert_eq!(r.counts, reference.counts, "{tag}: counts");
+                assert_eq!(r.golden, reference.golden, "{tag}: golden");
+                assert_eq!(r.telemetry.to_jsonl(), ref_jsonl, "{tag}: merged telemetry");
+            }
+        }
+    }
+}
+
+#[test]
+fn ladder_engine_cuts_forward_simulation_at_least_2x_at_4_workers() {
+    // The point of the ladder: the replay engine forward-simulates
+    // roughly workers × benchmark-length, the ladder engine roughly one
+    // benchmark length total (rung capture rides the golden pass for
+    // free). The engines publish their forward-sim cycle counts, so the
+    // win is a deterministic assertion, not a wall-clock flake.
+    let profile = by_name("radi").unwrap();
+    let cfg = TelemetryConfig::default();
+    let spec = CampaignSpec {
+        workers: 4,
+        ..CampaignSpec::quick(ComponentKind::L2c, 16)
+    };
+    let ladder = run_campaign_with(profile, &spec, Some(&cfg));
+    let replay = run_campaign_replay(profile, &spec, Some(&cfg));
+    let ladder_fwd = ladder.telemetry.engine.counter(names::FORWARD_CYCLES);
+    let replay_fwd = replay.telemetry.engine.counter(names::FORWARD_CYCLES);
+    assert!(
+        ladder.telemetry.engine.counter(names::LADDER_RUNGS) >= 2,
+        "the quick campaign must actually build a ladder"
+    );
+    assert!(
+        replay_fwd >= 2 * ladder_fwd,
+        "expected >= 2x fewer forward-sim cycles: ladder {ladder_fwd}, replay {replay_fwd}"
+    );
+    assert_eq!(ladder.records, replay.records);
 }
 
 #[test]
