@@ -19,6 +19,13 @@ cargo build --offline --release
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> cluster smoke (coordinator + 2 worker processes on loopback, byte-identity + crash re-dispatch)"
+# cluster_smoke execs the sibling nestsim-worker binary, so build the
+# package's bins explicitly (`cargo run --bin` alone would only build
+# cluster_smoke). Loopback TCP only; fully offline.
+cargo build --offline --release -p nestsim-cluster --bins
+cargo run --offline --release -p nestsim-cluster --bin cluster_smoke
+
 echo "==> bench smoke run (1 iteration per bench)"
 NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
     cargo bench --offline -p nestsim-bench
@@ -45,5 +52,15 @@ for i in 1 2 3; do
 done
 cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
     BENCH_campaign_grid.json "${BENCH_RUNS[@]}"
+
+echo "==> bench regression gate (campaign_cluster vs committed BENCH_campaign_cluster.json, >15% fails)"
+BENCH_RUNS=()
+for i in 1 2 3; do
+    BENCH_TMP="$(mktemp -d)"
+    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench campaign_cluster
+    BENCH_RUNS+=("$BENCH_TMP/BENCH_campaign_cluster.json")
+done
+cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
+    BENCH_campaign_cluster.json "${BENCH_RUNS[@]}"
 
 echo "==> ci.sh: all gates green"

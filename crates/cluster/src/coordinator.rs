@@ -1,0 +1,637 @@
+//! The campaign coordinator: serves shard leases over loopback TCP and
+//! merges submissions back into one [`CampaignResult`].
+//!
+//! The coordinator never simulates. It plans contiguous shards over
+//! the entry-sorted sample order (knowing only the sample *count*),
+//! leases them to workers through the [`crate::lease`] state machine,
+//! and re-assembles accepted submissions with
+//! [`nestsim_core::campaign::assemble_result`] — the same epilogue the
+//! in-process engines use, merging per-run recorders **in sample
+//! order**. That shared epilogue plus deterministic workers is the
+//! whole byte-identity argument: any worker count, any shard size, any
+//! crash/re-dispatch interleaving feeds the identical
+//! `(sample, record, recorder)` set into the identical merge.
+//!
+//! Threading: one accept-loop thread, one handler thread per worker
+//! connection, all sharing a mutexed [`LeaseTable`]-plus-results state.
+//! [`ClusterCampaign::wait`] parks on a condvar until the table drains
+//! (or a worker reports a divergent golden reference), then unblocks
+//! the accept loop with a self-connection and joins everything.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nestsim_core::campaign::{
+    assemble_result, check_campaign, default_workers, run_campaign_with, CampaignResult,
+    CampaignSpec, IndexedRuns,
+};
+use nestsim_core::inject::GoldenRef;
+use nestsim_hlsim::workload::BenchProfile;
+use nestsim_telemetry::{names, Recorder, TelemetryConfig};
+
+use crate::frame::{read_frame, write_frame};
+use crate::lease::{Completion, Grant, LeaseConfig, LeaseTable};
+use crate::proto::{JobWire, Message, RunWire, PROTOCOL_VERSION};
+use crate::shard::{auto_shard_size, plan_shards, Shard};
+use crate::worker::{run_worker, WorkerOptions};
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Lease/heartbeat/backoff timing.
+    pub lease: LeaseConfig,
+    /// Shard size in samples (0 = four shards per hinted worker, see
+    /// [`auto_shard_size`]).
+    pub shard_size: u64,
+    /// Expected worker count, used only for auto shard sizing
+    /// (0 = [`default_workers`]).
+    pub workers_hint: usize,
+    /// Listen address — loopback-only by design; campaigns carry no
+    /// authentication and trust every connected worker.
+    pub listen: String,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            lease: LeaseConfig::default(),
+            shard_size: 0,
+            workers_hint: 0,
+            listen: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// One accepted shard's payload, waiting for final assembly.
+struct ShardResult {
+    runs: Vec<RunWire>,
+}
+
+struct State {
+    leases: LeaseTable,
+    results: Vec<Option<ShardResult>>,
+    golden: Option<GoldenRef>,
+    /// The cluster/engine recorder: lease + frame counters, shard
+    /// latency histograms, plus the workers' forward/restore tallies.
+    /// Engine-level by design — sharding-dependent, outside the merged
+    /// per-run telemetry.
+    engine: Recorder,
+    error: Option<String>,
+    next_worker: u32,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    start: Instant,
+    job: JobWire,
+    shards: Vec<Shard>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn fail(&self, msg: String) {
+        let mut st = self.state.lock().expect("cluster state poisoned");
+        if st.error.is_none() {
+            st.error = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A campaign being served to workers; dropped by [`wait`ing]
+/// (`wait`) it into a [`CampaignResult`].
+pub struct ClusterCampaign {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    profile: &'static BenchProfile,
+    spec: CampaignSpec,
+    telemetry: Option<TelemetryConfig>,
+}
+
+impl ClusterCampaign {
+    /// The coordinator's bound listen address (`127.0.0.1:port`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the coordinator's engine recorder (lease/frame
+    /// counters live here) — lets tests poll dispatch progress.
+    pub fn engine_stats(&self) -> Recorder {
+        self.shared
+            .state
+            .lock()
+            .expect("cluster state poisoned")
+            .engine
+            .clone()
+    }
+
+    /// Blocks until every shard completed, then assembles the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker submitted a divergent golden reference (the
+    /// processes disagree on the simulation itself — never a matter of
+    /// retrying) or if the merged runs do not cover the sample space.
+    pub fn wait(mut self) -> CampaignResult {
+        let shared = Arc::clone(&self.shared);
+        {
+            let mut st = shared.state.lock().expect("cluster state poisoned");
+            while !(st.leases.all_done() || st.error.is_some()) {
+                st = shared.cv.wait(st).expect("cluster state poisoned");
+            }
+            st.shutdown = true;
+            shared.cv.notify_all();
+        }
+        // Unblock the accept loop so its thread can observe `shutdown`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            h.join().expect("coordinator accept thread panicked");
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .handlers
+                .lock()
+                .expect("cluster handler registry poisoned"),
+        );
+        for h in handlers {
+            h.join().expect("coordinator handler thread panicked");
+        }
+
+        let mut st = shared.state.lock().expect("cluster state poisoned");
+        if let Some(e) = st.error.take() {
+            panic!("cluster campaign failed: {e}");
+        }
+        let golden = st.golden.expect("completed campaign has a golden ref");
+        let mut indexed: IndexedRuns = Vec::with_capacity(self.spec.samples as usize);
+        let mut worker_samples = Vec::with_capacity(shared.shards.len());
+        for slot in st.results.iter_mut() {
+            let r = slot.take().expect("completed campaign has every shard");
+            worker_samples.push(r.runs.len());
+            for run in r.runs {
+                indexed.push((run.sample as usize, run.record, run.recorder));
+            }
+        }
+        if self.telemetry.is_none() {
+            worker_samples = Vec::new();
+        }
+        let engine = std::mem::replace(&mut st.engine, Recorder::null());
+        drop(st);
+        assemble_result(
+            self.profile,
+            &self.spec,
+            self.telemetry.as_ref(),
+            golden,
+            indexed,
+            worker_samples,
+            engine,
+        )
+    }
+}
+
+/// Starts serving one campaign cell to workers on loopback TCP.
+///
+/// # Panics
+///
+/// Panics on invalid campaign cells ([`check_campaign`]) and on empty
+/// campaigns (`samples == 0` — nothing to distribute; use
+/// [`run_campaign_cluster`], which short-circuits them in process).
+pub fn serve_campaign(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    cfg: &CoordinatorConfig,
+) -> io::Result<ClusterCampaign> {
+    check_campaign(profile, spec);
+    assert!(
+        spec.samples > 0,
+        "an empty campaign has nothing to distribute"
+    );
+    let workers_hint = if cfg.workers_hint == 0 {
+        default_workers()
+    } else {
+        cfg.workers_hint
+    };
+    let shard_size = if cfg.shard_size == 0 {
+        auto_shard_size(spec.samples, workers_hint)
+    } else {
+        cfg.shard_size
+    };
+    let shards = plan_shards(spec.samples, shard_size);
+
+    let mut engine = match telemetry {
+        Some(tcfg) => Recorder::active(tcfg),
+        None => Recorder::null(),
+    };
+    engine.count(names::CLUSTER_SHARDS, shards.len() as u64);
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            leases: LeaseTable::new(shards.len(), cfg.lease),
+            results: shards.iter().map(|_| None).collect(),
+            golden: None,
+            engine,
+            error: None,
+            next_worker: 0,
+            shutdown: false,
+        }),
+        cv: Condvar::new(),
+        start: Instant::now(),
+        job: JobWire::from_spec(profile, spec, telemetry),
+        shards,
+    });
+
+    let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let handlers = Arc::clone(&handlers);
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            // Small request/response frames; Nagle + delayed ACK would
+            // add ~40ms to every round trip.
+            let _ = stream.set_nodelay(true);
+            if shared
+                .state
+                .lock()
+                .expect("cluster state poisoned")
+                .shutdown
+            {
+                return;
+            }
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || handle_worker(&shared, stream));
+            handlers
+                .lock()
+                .expect("cluster handler registry poisoned")
+                .push(handle);
+        })
+    };
+
+    Ok(ClusterCampaign {
+        addr,
+        shared,
+        accept: Some(accept),
+        handlers,
+        profile,
+        spec: *spec,
+        telemetry: telemetry.copied(),
+    })
+}
+
+/// Receives one message, counting frames/bytes into the engine
+/// recorder.
+fn recv(shared: &Shared, stream: &mut TcpStream) -> io::Result<Message> {
+    let payload = read_frame(stream)?;
+    let msg = Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+    let mut st = shared.state.lock().expect("cluster state poisoned");
+    st.engine.count(names::CLUSTER_FRAMES_RECEIVED, 1);
+    st.engine
+        .count(names::CLUSTER_BYTES_RECEIVED, payload.len() as u64);
+    if matches!(msg, Ok(Message::Submit(_))) {
+        st.engine
+            .record_hist(names::H_CLUSTER_SUBMIT_BYTES, payload.len() as u64);
+    }
+    drop(st);
+    msg
+}
+
+/// Sends one message, counting frames/bytes into the engine recorder.
+fn send(shared: &Shared, stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
+    let payload = msg.encode();
+    {
+        let mut st = shared.state.lock().expect("cluster state poisoned");
+        st.engine.count(names::CLUSTER_FRAMES_SENT, 1);
+        st.engine
+            .count(names::CLUSTER_BYTES_SENT, payload.len() as u64);
+    }
+    write_frame(stream, &payload)
+}
+
+/// One worker connection, handshake to hangup.
+fn handle_worker(shared: &Shared, mut stream: TcpStream) {
+    let worker = match handshake(shared, &mut stream) {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let clean = serve_worker(shared, &mut stream, worker);
+    let now = shared.now_ms();
+    let mut st = shared.state.lock().expect("cluster state poisoned");
+    let released = st.leases.release_worker(worker, now);
+    st.engine.count(names::CLUSTER_LEASES_RELEASED, released);
+    // A disconnect is unclean if it broke protocol *or* abandoned
+    // leased work — a killed worker's EOF looks like a goodbye, but a
+    // goodbye while holding a lease is a crash.
+    if clean.is_err() || released > 0 {
+        st.engine.count(names::CLUSTER_WORKERS_DISCONNECTED, 1);
+    }
+    drop(st);
+    if released > 0 {
+        // A live worker may be parked in a Wait; its own retry timer
+        // will re-acquire, but waking the waiter thread keeps shutdown
+        // paths prompt.
+        shared.cv.notify_all();
+    }
+}
+
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> io::Result<u32> {
+    match recv(shared, stream)? {
+        Message::Hello { version } if version == PROTOCOL_VERSION => {
+            let worker = {
+                let mut st = shared.state.lock().expect("cluster state poisoned");
+                st.engine.count(names::CLUSTER_WORKERS_CONNECTED, 1);
+                let id = st.next_worker;
+                st.next_worker += 1;
+                id
+            };
+            send(shared, stream, &Message::HelloAck { worker })?;
+            Ok(worker)
+        }
+        Message::Hello { version } => {
+            let _ = send(
+                shared,
+                stream,
+                &Message::Error {
+                    message: format!(
+                        "protocol version mismatch: worker speaks {version}, \
+                         coordinator speaks {PROTOCOL_VERSION}"
+                    ),
+                },
+            );
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "version mismatch",
+            ))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Hello, got {other:?}"),
+        )),
+    }
+}
+
+fn serve_worker(shared: &Shared, stream: &mut TcpStream, worker: u32) -> io::Result<()> {
+    loop {
+        let msg = match recv(shared, stream) {
+            Ok(m) => m,
+            // EOF after the worker was told `done` is the clean exit.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = match msg {
+            Message::RequestShard { .. } => {
+                // Long-poll: rather than bouncing `Wait` hints to the
+                // client (whose sleeps would stretch campaign tails by
+                // up to a heartbeat period), hold the response on the
+                // condvar until a shard frees up, everything is done,
+                // or a backoff/deadline timer says to re-check.
+                let mut st = shared.state.lock().expect("cluster state poisoned");
+                loop {
+                    if st.shutdown || st.error.is_some() {
+                        break Message::Wait { ms: 0, done: true };
+                    }
+                    let now = shared.now_ms();
+                    let acq = st.leases.acquire(worker, now);
+                    if acq.expired > 0 {
+                        st.engine.count(names::CLUSTER_LEASES_EXPIRED, acq.expired);
+                    }
+                    match acq.grant {
+                        Grant::Shard { id, redispatch } => {
+                            st.engine.count(names::CLUSTER_LEASES_GRANTED, 1);
+                            if redispatch {
+                                st.engine.count(names::CLUSTER_REDISPATCHES, 1);
+                            }
+                            let shard = shared.shards[id as usize];
+                            let lease = *st.leases.config();
+                            break Message::Assign {
+                                shard,
+                                job: shared.job.clone(),
+                                lease_ms: lease.lease_ms,
+                                heartbeat_ms: lease.heartbeat_ms,
+                            };
+                        }
+                        Grant::Wait { ms } => {
+                            st.engine.count(names::CLUSTER_BACKOFF_WAITS, 1);
+                            let (guard, _) = shared
+                                .cv
+                                .wait_timeout(st, Duration::from_millis(ms))
+                                .expect("cluster state poisoned");
+                            st = guard;
+                        }
+                        Grant::Done => break Message::Wait { ms: 0, done: true },
+                    }
+                }
+            }
+            Message::Heartbeat { shard, .. } => {
+                let now = shared.now_ms();
+                let mut st = shared.state.lock().expect("cluster state poisoned");
+                st.engine.count(names::CLUSTER_HEARTBEATS, 1);
+                let current = st.leases.heartbeat(worker, shard, now);
+                Message::HeartbeatAck { current }
+            }
+            Message::Submit(sub) => {
+                let now = shared.now_ms();
+                let mut st = shared.state.lock().expect("cluster state poisoned");
+                match st.golden {
+                    None => st.golden = Some(sub.golden),
+                    Some(g) if g != sub.golden => {
+                        drop(st);
+                        shared.fail(format!(
+                            "golden reference diverged: coordinator has \
+                             digest {:#x}/{} cycles, worker {worker} submitted \
+                             {:#x}/{} — the processes disagree on the \
+                             simulation itself",
+                            g.digest, g.cycles, sub.golden.digest, sub.golden.cycles,
+                        ));
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "golden divergence",
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                let shard_id = sub.shard;
+                match st.leases.complete(shard_id, now) {
+                    Completion::Accepted { latency_ms } => {
+                        let expected = shared
+                            .shards
+                            .get(shard_id as usize)
+                            .map_or(0, |s| s.len as usize);
+                        if sub.runs.len() != expected {
+                            drop(st);
+                            shared.fail(format!(
+                                "shard {shard_id} submitted {} runs, expected {expected}",
+                                sub.runs.len()
+                            ));
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "short shard submission",
+                            ));
+                        }
+                        st.engine.count(names::CLUSTER_SHARDS_COMPLETED, 1);
+                        st.engine.count(names::FORWARD_CYCLES, sub.forward);
+                        st.engine.count(names::LADDER_RESTORES, sub.restores);
+                        st.engine.record_hist(names::H_CLUSTER_SHARD_MS, latency_ms);
+                        st.engine
+                            .record_hist(names::H_CLUSTER_SHARD_SAMPLES, sub.runs.len() as u64);
+                        st.results[shard_id as usize] = Some(ShardResult { runs: sub.runs });
+                        let all_done = st.leases.all_done();
+                        drop(st);
+                        if all_done {
+                            shared.cv.notify_all();
+                        }
+                        Message::SubmitAck { accepted: true }
+                    }
+                    Completion::Duplicate => {
+                        st.engine.count(names::CLUSTER_SHARDS_DUPLICATE, 1);
+                        Message::SubmitAck { accepted: false }
+                    }
+                }
+            }
+            Message::Error { message } => {
+                return Err(io::Error::other(message));
+            }
+            other => {
+                let _ = send(
+                    shared,
+                    stream,
+                    &Message::Error {
+                        message: format!("unexpected message {other:?}"),
+                    },
+                );
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected message",
+                ));
+            }
+        };
+        send(shared, stream, &reply)?;
+    }
+}
+
+/// How [`run_campaign_cluster`] brings up its workers.
+pub enum WorkerSpawn {
+    /// In-process worker threads, one per element (each with its own
+    /// chaos options). Cheap; used by tests and benches.
+    Threads(Vec<WorkerOptions>),
+    /// `count` spawned worker processes: `argv + ["--connect", ADDR]`.
+    /// The real deployment shape (`nestsim-worker`, `repro --cluster`).
+    Processes {
+        /// Program + leading arguments.
+        argv: Vec<String>,
+        /// Number of processes to spawn.
+        count: usize,
+    },
+}
+
+/// Cluster execution parameters: coordinator tuning plus worker spawn
+/// mode.
+pub struct ClusterConfig {
+    /// Coordinator tuning.
+    pub coordinator: CoordinatorConfig,
+    /// How to bring up workers.
+    pub spawn: WorkerSpawn,
+}
+
+impl ClusterConfig {
+    /// `n` in-process worker threads with default options.
+    pub fn threads(n: usize) -> Self {
+        ClusterConfig {
+            coordinator: CoordinatorConfig::default(),
+            spawn: WorkerSpawn::Threads(vec![WorkerOptions::default(); n.max(1)]),
+        }
+    }
+
+    /// `count` worker processes spawned from `argv`.
+    pub fn processes(argv: Vec<String>, count: usize) -> Self {
+        ClusterConfig {
+            coordinator: CoordinatorConfig::default(),
+            spawn: WorkerSpawn::Processes {
+                argv,
+                count: count.max(1),
+            },
+        }
+    }
+}
+
+/// Runs one campaign cell through the cluster: coordinator plus
+/// spawned workers, returning a [`CampaignResult`] byte-identical to
+/// [`run_campaign_with`] on the same spec.
+///
+/// Empty campaigns short-circuit to the in-process engine (there is
+/// nothing to distribute).
+///
+/// # Panics
+///
+/// Panics on invalid specs, on worker-process spawn failures, and on
+/// cross-worker golden-reference divergence.
+pub fn run_campaign_cluster(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    cfg: &ClusterConfig,
+) -> CampaignResult {
+    if spec.samples == 0 {
+        return run_campaign_with(profile, spec, telemetry);
+    }
+    let mut coord_cfg = cfg.coordinator.clone();
+    if coord_cfg.workers_hint == 0 {
+        coord_cfg.workers_hint = match &cfg.spawn {
+            WorkerSpawn::Threads(opts) => opts.len(),
+            WorkerSpawn::Processes { count, .. } => *count,
+        };
+    }
+    let campaign =
+        serve_campaign(profile, spec, telemetry, &coord_cfg).expect("failed to bind coordinator");
+    let addr = campaign.addr().to_string();
+
+    match &cfg.spawn {
+        WorkerSpawn::Threads(opts) => std::thread::scope(|scope| {
+            let handles: Vec<_> = opts
+                .iter()
+                .map(|wopts| {
+                    let addr = addr.clone();
+                    scope.spawn(move || run_worker(&addr, wopts))
+                })
+                .collect();
+            let result = campaign.wait();
+            for h in handles {
+                // Chaos workers return early or error by design; the
+                // coordinator's lease table already re-dispatched their
+                // work, so worker exits carry no result data.
+                let _ = h.join().expect("cluster worker thread panicked");
+            }
+            result
+        }),
+        WorkerSpawn::Processes { argv, count } => {
+            let mut children: Vec<std::process::Child> = (0..*count)
+                .map(|_| {
+                    std::process::Command::new(&argv[0])
+                        .args(&argv[1..])
+                        .arg("--connect")
+                        .arg(&addr)
+                        .stdout(std::process::Stdio::null())
+                        .spawn()
+                        .unwrap_or_else(|e| panic!("failed to spawn worker {:?}: {e}", argv[0]))
+                })
+                .collect();
+            let result = campaign.wait();
+            for child in &mut children {
+                // Crash-injected workers exit nonzero by design.
+                let _ = child.wait();
+            }
+            result
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every protocol message travels as one frame:
+//!
+//! ```text
+//! ┌────────────┬────────────┬──────────────────┐
+//! │ magic u32  │ length u32 │ payload (length) │
+//! │ "NSCL" LE  │            │ proto::Message   │
+//! └────────────┴────────────┴──────────────────┘
+//! ```
+//!
+//! The magic word catches a stray client speaking the wrong protocol
+//! before a bogus length makes the reader allocate garbage, and the
+//! frame cap bounds what a single message may ask the receiver to
+//! buffer. Framing is transport-agnostic (`Read`/`Write`), which keeps
+//! it unit-testable without sockets.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"NSCL"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"NSCL");
+
+/// Upper bound on a frame payload (64 MiB) — far above any real shard
+/// submission, low enough that a corrupt length cannot OOM the peer.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame payload of {} bytes exceeds the cap", payload.len()),
+            )
+        })?;
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning its payload. Bad magic or an oversized
+/// length yield `InvalidData`; a clean EOF before the first header byte
+/// yields `UnexpectedEof` (the peer hung up).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame magic {magic:#010x}"),
+        ));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xab; 1000]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![0xab; 1000]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] ^= 0xff;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_is_refused_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated").unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # nestsim-cluster
+//!
+//! Fault-tolerant distributed campaign execution: a coordinator
+//! serving shard leases to worker processes over loopback TCP, built
+//! on nothing but `std::net`.
+//!
+//! The paper's injection campaigns (Sec. 5) are embarrassingly
+//! parallel and bit-deterministic, which makes distribution almost
+//! embarrassingly safe: any shard of a campaign can be executed by any
+//! worker, any number of times, and always reproduces the same bytes.
+//! The cluster layer turns that property into fault tolerance —
+//!
+//! * [`shard`] — contiguous ranges over the entry-sorted sample order;
+//!   the coordinator plans them from the sample *count* alone.
+//! * [`frame`] / [`wire`] / [`proto`] — a length-prefixed, versioned
+//!   binary protocol whose codecs are exact inverses, so records and
+//!   per-run telemetry recorders survive the wire bit-identically.
+//! * [`lease`] — shard leases with deadlines, heartbeat extension,
+//!   lazy expiry, and exponential re-dispatch backoff: a killed, hung,
+//!   or straggling worker's shard moves to another worker, and
+//!   double-completed shards dedupe idempotently by shard id.
+//! * [`coordinator`] / [`worker`] — the two halves;
+//!   [`coordinator::run_campaign_cluster`] wires them together and
+//!   returns a [`nestsim_core::campaign::CampaignResult`]
+//!   **byte-identical** to the in-process engine at any worker count,
+//!   with or without injected worker crashes (locked by the
+//!   workspace-root cluster tests and the chaos tests in this crate).
+//!
+//! Workers are stateless: a [`proto::JobWire`] carries the campaign
+//! *spec*, and each worker re-derives golden reference, snapshot
+//! ladder, and samples from the seed. The coordinator cross-checks the
+//! golden digest on every submission, so a worker whose re-derivation
+//! diverged is detected, not merged.
+//!
+//! Everything is loopback-only and offline; there is no
+//! authentication, by design — never bind the coordinator to a
+//! non-loopback address.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod frame;
+pub mod lease;
+pub mod proto;
+pub mod shard;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{
+    run_campaign_cluster, serve_campaign, ClusterCampaign, ClusterConfig, CoordinatorConfig,
+    WorkerSpawn,
+};
+pub use lease::{LeaseConfig, LeaseTable};
+pub use proto::{JobWire, Message, PROTOCOL_VERSION};
+pub use shard::{auto_shard_size, plan_shards, Shard};
+pub use worker::{run_worker, WorkerOptions, WorkerStats};

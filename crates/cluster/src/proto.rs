@@ -1,0 +1,537 @@
+//! The coordinator/worker message protocol, version 1.
+//!
+//! Strictly request/response from the worker's side: the worker sends
+//! `Hello`/`RequestShard`/`Heartbeat`/`Submit` and reads exactly one
+//! reply for each, so neither side ever needs concurrent reads on one
+//! connection. Message payloads ride inside [`crate::frame`] frames.
+//!
+//! ```text
+//! worker                        coordinator
+//!   │ ── Hello{version} ──────────▶ │
+//!   │ ◀───────── HelloAck{worker} ──│
+//!   │ ── RequestShard ────────────▶ │
+//!   │ ◀── Assign{shard, job, …}  ───│   (or Wait{ms, done})
+//!   │ ── Heartbeat{shard} ────────▶ │   (between samples)
+//!   │ ◀───── HeartbeatAck{current} ─│
+//!   │ ── Submit{shard, runs, …} ──▶ │
+//!   │ ◀──────── SubmitAck{accepted}─│
+//! ```
+//!
+//! The job description ([`JobWire`]) deliberately carries the campaign
+//! *spec*, not the campaign *data*: workers re-derive the golden
+//! reference, snapshot ladder, and drawn samples from the seed, which
+//! the platform's determinism makes bit-identical in every process —
+//! the same replay-determinism motif RepTFD uses for failure
+//! reproduction. The coordinator cross-checks the golden reference
+//! digest returned with every submission to detect a worker whose
+//! re-derivation diverged (version skew, cosmic irony).
+
+use nestsim_core::campaign::{CampaignSpec, DEFAULT_SNAPSHOT_INTERVAL};
+use nestsim_core::inject::{GoldenRef, InjectionRecord};
+use nestsim_hlsim::workload::{by_name, BenchProfile};
+use nestsim_models::ComponentKind;
+use nestsim_telemetry::{Recorder, TelemetryConfig};
+
+use crate::shard::Shard;
+use crate::wire::{
+    get_golden, get_record, get_recorder, put_golden, put_record, put_recorder, Reader, WireError,
+    Writer,
+};
+
+/// Protocol version spoken by this build; `Hello` with any other
+/// version is refused with an `Error` reply.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Everything a worker needs to reconstruct one campaign cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobWire {
+    /// Benchmark name (resolved via the workload registry).
+    pub benchmark: String,
+    /// Component under test.
+    pub component: ComponentKind,
+    /// Total sample count of the cell.
+    pub samples: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Benchmark length divisor.
+    pub length_scale: u64,
+    /// Co-simulation cycle cap.
+    pub cosim_cap: u64,
+    /// Golden-comparison interval.
+    pub check_interval: u64,
+    /// Snapshot-ladder rung spacing.
+    pub snapshot_interval: u64,
+    /// Whether per-run telemetry recorders should be produced.
+    pub telemetry: bool,
+    /// Trace ring capacity for per-run recorders.
+    pub trace_capacity: u64,
+}
+
+impl JobWire {
+    /// Describes `spec` (for `profile`) as a wire job.
+    pub fn from_spec(
+        profile: &BenchProfile,
+        spec: &CampaignSpec,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> Self {
+        JobWire {
+            benchmark: profile.name.to_string(),
+            component: spec.component,
+            samples: spec.samples,
+            seed: spec.seed,
+            length_scale: spec.length_scale,
+            cosim_cap: spec.cosim_cap,
+            check_interval: spec.check_interval,
+            snapshot_interval: spec.snapshot_interval,
+            telemetry: telemetry.is_some(),
+            trace_capacity: telemetry.map_or(0, |c| c.trace_capacity as u64),
+        }
+    }
+
+    /// The campaign spec this job describes (`workers` is meaningless
+    /// on a wire job — each worker is its own process — and is pinned
+    /// to 1).
+    pub fn spec(&self) -> CampaignSpec {
+        CampaignSpec {
+            component: self.component,
+            samples: self.samples,
+            seed: self.seed,
+            length_scale: self.length_scale,
+            cosim_cap: self.cosim_cap,
+            check_interval: self.check_interval,
+            workers: 1,
+            snapshot_interval: self.snapshot_interval,
+        }
+    }
+
+    /// Resolves the benchmark against this build's workload registry.
+    pub fn profile(&self) -> Result<&'static BenchProfile, WireError> {
+        by_name(&self.benchmark).ok_or_else(|| format!("unknown benchmark {:?}", self.benchmark))
+    }
+
+    /// The per-run telemetry configuration, if any.
+    pub fn telemetry_config(&self) -> Option<TelemetryConfig> {
+        self.telemetry.then_some(TelemetryConfig {
+            trace_capacity: self.trace_capacity as usize,
+        })
+    }
+}
+
+impl Default for JobWire {
+    fn default() -> Self {
+        JobWire {
+            benchmark: String::new(),
+            component: ComponentKind::L2c,
+            samples: 0,
+            seed: 0,
+            length_scale: 1,
+            cosim_cap: 1,
+            check_interval: 1,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            telemetry: false,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// One completed injection run inside a [`Message::Submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunWire {
+    /// Sample index (position-independent — the dedupe/merge key).
+    pub sample: u64,
+    /// The run's record.
+    pub record: InjectionRecord,
+    /// The run's telemetry recorder (null when telemetry is off).
+    pub recorder: Recorder,
+}
+
+/// A completed shard travelling back to the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitWire {
+    /// The submitting worker.
+    pub worker: u32,
+    /// The completed shard.
+    pub shard: u32,
+    /// The worker's independently derived golden reference — the
+    /// coordinator cross-checks it against every other submission.
+    pub golden: GoldenRef,
+    /// Accelerated-mode cycles the shard forward-simulated.
+    pub forward: u64,
+    /// Ladder-rung restores the shard performed.
+    pub restores: u64,
+    /// The shard's runs, in shard order.
+    pub runs: Vec<RunWire>,
+}
+
+/// A protocol message (the u8 tag leading every payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Worker → coordinator: first message on a connection.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Coordinator → worker: handshake accepted.
+    HelloAck {
+        /// The id assigned to this worker connection.
+        worker: u32,
+    },
+    /// Worker → coordinator: ready for work.
+    RequestShard {
+        /// The requesting worker.
+        worker: u32,
+    },
+    /// Coordinator → worker: a shard lease.
+    Assign {
+        /// The leased shard.
+        shard: Shard,
+        /// The campaign cell it belongs to.
+        job: JobWire,
+        /// Lease duration; the shard is re-dispatched if no heartbeat
+        /// or submission arrives within it.
+        lease_ms: u64,
+        /// How often the worker should heartbeat while running.
+        heartbeat_ms: u64,
+    },
+    /// Coordinator → worker: nothing leasable right now.
+    Wait {
+        /// Suggested retry delay.
+        ms: u64,
+        /// True when every shard is complete — the worker should exit.
+        done: bool,
+    },
+    /// Worker → coordinator: still alive on this shard.
+    Heartbeat {
+        /// The heartbeating worker.
+        worker: u32,
+        /// The shard it is working on.
+        shard: u32,
+    },
+    /// Coordinator → worker: heartbeat reply.
+    HeartbeatAck {
+        /// False when the worker no longer holds the lease (it expired
+        /// and was re-dispatched) — the worker should abandon the
+        /// shard instead of submitting duplicate work.
+        current: bool,
+    },
+    /// Worker → coordinator: a completed shard.
+    Submit(SubmitWire),
+    /// Coordinator → worker: submission reply.
+    SubmitAck {
+        /// False when the shard was already completed by another
+        /// worker (idempotent dedupe) — the results were dropped.
+        accepted: bool,
+    },
+    /// Either side: fatal protocol error; the connection closes.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_HELLO_ACK: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_ASSIGN: u8 = 3;
+const TAG_WAIT: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_HEARTBEAT_ACK: u8 = 6;
+const TAG_SUBMIT: u8 = 7;
+const TAG_SUBMIT_ACK: u8 = 8;
+const TAG_ERROR: u8 = 9;
+
+fn put_component(w: &mut Writer, c: ComponentKind) {
+    let i = ComponentKind::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("component in ALL") as u8;
+    w.u8(i);
+}
+
+fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
+    let i = r.u8()? as usize;
+    ComponentKind::ALL
+        .get(i)
+        .copied()
+        .ok_or_else(|| format!("unknown component tag {i}"))
+}
+
+fn put_job(w: &mut Writer, j: &JobWire) {
+    w.str(&j.benchmark);
+    put_component(w, j.component);
+    w.u64(j.samples);
+    w.u64(j.seed);
+    w.u64(j.length_scale);
+    w.u64(j.cosim_cap);
+    w.u64(j.check_interval);
+    w.u64(j.snapshot_interval);
+    w.bool(j.telemetry);
+    w.u64(j.trace_capacity);
+}
+
+fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
+    Ok(JobWire {
+        benchmark: r.str()?,
+        component: get_component(r)?,
+        samples: r.u64()?,
+        seed: r.u64()?,
+        length_scale: r.u64()?,
+        cosim_cap: r.u64()?,
+        check_interval: r.u64()?,
+        snapshot_interval: r.u64()?,
+        telemetry: r.bool()?,
+        trace_capacity: r.u64()?,
+    })
+}
+
+impl Message {
+    /// Serializes the message to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::Hello { version } => {
+                w.u8(TAG_HELLO);
+                w.u16(*version);
+            }
+            Message::HelloAck { worker } => {
+                w.u8(TAG_HELLO_ACK);
+                w.u32(*worker);
+            }
+            Message::RequestShard { worker } => {
+                w.u8(TAG_REQUEST);
+                w.u32(*worker);
+            }
+            Message::Assign {
+                shard,
+                job,
+                lease_ms,
+                heartbeat_ms,
+            } => {
+                w.u8(TAG_ASSIGN);
+                w.u32(shard.id);
+                w.u64(shard.start);
+                w.u64(shard.len);
+                put_job(&mut w, job);
+                w.u64(*lease_ms);
+                w.u64(*heartbeat_ms);
+            }
+            Message::Wait { ms, done } => {
+                w.u8(TAG_WAIT);
+                w.u64(*ms);
+                w.bool(*done);
+            }
+            Message::Heartbeat { worker, shard } => {
+                w.u8(TAG_HEARTBEAT);
+                w.u32(*worker);
+                w.u32(*shard);
+            }
+            Message::HeartbeatAck { current } => {
+                w.u8(TAG_HEARTBEAT_ACK);
+                w.bool(*current);
+            }
+            Message::Submit(s) => {
+                w.u8(TAG_SUBMIT);
+                w.u32(s.worker);
+                w.u32(s.shard);
+                put_golden(&mut w, &s.golden);
+                w.u64(s.forward);
+                w.u64(s.restores);
+                w.u32(s.runs.len() as u32);
+                for run in &s.runs {
+                    w.u64(run.sample);
+                    put_record(&mut w, &run.record);
+                    put_recorder(&mut w, &run.recorder);
+                }
+            }
+            Message::SubmitAck { accepted } => {
+                w.u8(TAG_SUBMIT_ACK);
+                w.bool(*accepted);
+            }
+            Message::Error { message } => {
+                w.u8(TAG_ERROR);
+                w.str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a frame payload; the whole payload must be
+    /// consumed.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_HELLO => Message::Hello { version: r.u16()? },
+            TAG_HELLO_ACK => Message::HelloAck { worker: r.u32()? },
+            TAG_REQUEST => Message::RequestShard { worker: r.u32()? },
+            TAG_ASSIGN => Message::Assign {
+                shard: Shard {
+                    id: r.u32()?,
+                    start: r.u64()?,
+                    len: r.u64()?,
+                },
+                job: get_job(&mut r)?,
+                lease_ms: r.u64()?,
+                heartbeat_ms: r.u64()?,
+            },
+            TAG_WAIT => Message::Wait {
+                ms: r.u64()?,
+                done: r.bool()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat {
+                worker: r.u32()?,
+                shard: r.u32()?,
+            },
+            TAG_HEARTBEAT_ACK => Message::HeartbeatAck { current: r.bool()? },
+            TAG_SUBMIT => {
+                let worker = r.u32()?;
+                let shard = r.u32()?;
+                let golden = get_golden(&mut r)?;
+                let forward = r.u64()?;
+                let restores = r.u64()?;
+                let n = r.u32()?;
+                let mut runs = Vec::with_capacity(n.min(1 << 16) as usize);
+                for _ in 0..n {
+                    runs.push(RunWire {
+                        sample: r.u64()?,
+                        record: get_record(&mut r)?,
+                        recorder: get_recorder(&mut r)?,
+                    });
+                }
+                Message::Submit(SubmitWire {
+                    worker,
+                    shard,
+                    golden,
+                    forward,
+                    restores,
+                    runs,
+                })
+            }
+            TAG_SUBMIT_ACK => Message::SubmitAck {
+                accepted: r.bool()?,
+            },
+            TAG_ERROR => Message::Error { message: r.str()? },
+            t => return Err(format!("unknown message tag {t}")),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_core::Outcome;
+
+    fn sample_record(k: u64) -> InjectionRecord {
+        InjectionRecord {
+            outcome: Outcome::ALL[(k % 6) as usize],
+            bit: (k * 7) as usize,
+            inject_cycle: 1_000 + k,
+            cosim_cycles: 40 + k,
+            erroneous_output_cycle: k.is_multiple_of(2).then_some(2_000 + k),
+            propagation_latency: k.is_multiple_of(3).then_some(17 + k),
+            corrupted_line_count: (k % 5) as usize,
+            rollback_distance: k.is_multiple_of(4).then_some(256 + k),
+        }
+    }
+
+    #[test]
+    fn every_message_variant_round_trips() {
+        let job = JobWire {
+            benchmark: "radi".to_string(),
+            component: ComponentKind::Pcie,
+            samples: 120,
+            seed: 2015,
+            length_scale: 100,
+            cosim_cap: 20_000,
+            check_interval: 16,
+            snapshot_interval: 2_000,
+            telemetry: true,
+            trace_capacity: 4096,
+        };
+        let msgs = vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Message::HelloAck { worker: 3 },
+            Message::RequestShard { worker: 3 },
+            Message::Assign {
+                shard: Shard {
+                    id: 2,
+                    start: 20,
+                    len: 10,
+                },
+                job: job.clone(),
+                lease_ms: 30_000,
+                heartbeat_ms: 2_000,
+            },
+            Message::Wait {
+                ms: 50,
+                done: false,
+            },
+            Message::Wait { ms: 0, done: true },
+            Message::Heartbeat {
+                worker: 3,
+                shard: 2,
+            },
+            Message::HeartbeatAck { current: false },
+            Message::Submit(SubmitWire {
+                worker: 3,
+                shard: 2,
+                golden: GoldenRef {
+                    digest: 0xfeed,
+                    cycles: 5_000,
+                },
+                forward: 123,
+                restores: 4,
+                runs: (0..7)
+                    .map(|k| RunWire {
+                        sample: 20 + k,
+                        record: sample_record(k),
+                        recorder: Recorder::null(),
+                    })
+                    .collect(),
+            }),
+            Message::SubmitAck { accepted: true },
+            Message::Error {
+                message: "bad version".to_string(),
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            assert_eq!(Message::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_the_campaign_parameters() {
+        let profile = by_name("fft").unwrap();
+        let spec = CampaignSpec {
+            workers: 8,
+            ..CampaignSpec::quick(ComponentKind::Mcu, 40)
+        };
+        let cfg = TelemetryConfig { trace_capacity: 64 };
+        let job = JobWire::from_spec(profile, &spec, Some(&cfg));
+        assert_eq!(job.profile().unwrap().name, "fft");
+        let back = job.spec();
+        assert_eq!(back.workers, 1, "wire jobs pin workers to 1");
+        assert_eq!(
+            CampaignSpec { workers: 1, ..spec },
+            back,
+            "all other fields survive"
+        );
+        assert_eq!(job.telemetry_config(), Some(cfg));
+        assert_eq!(
+            JobWire::from_spec(profile, &spec, None).telemetry_config(),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_errors() {
+        assert!(Message::decode(&[200]).is_err());
+        let mut bytes = Message::HelloAck { worker: 1 }.encode();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).is_err());
+    }
+}

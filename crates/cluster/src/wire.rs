@@ -1,0 +1,447 @@
+//! Byte-level wire encoding: little-endian primitives plus codecs for
+//! the domain types that cross the coordinator/worker boundary.
+//!
+//! Every codec is an exact inverse — `decode(encode(x)) == x` — which
+//! the round-trip property tests lock. Exactness is what lets the
+//! cluster promise byte-identical campaign results: an injection record
+//! or a per-run telemetry recorder that survives the wire compares
+//! `==` to the one the in-process engine would have produced.
+//!
+//! Telemetry names and trace component labels are `&'static str`
+//! inside a [`Recorder`]; decoding re-interns them through
+//! [`names::resolve`], so a name outside the canonical schema is a
+//! protocol error rather than a silent divergence.
+
+use nestsim_core::inject::{GoldenRef, InjectionRecord};
+use nestsim_core::Outcome;
+use nestsim_telemetry::{names, EventKind, Histogram, Recorder, Trace, TraceEvent, NUM_BUCKETS};
+
+/// Decode failure: what was malformed and where.
+pub type WireError = String;
+
+/// Little-endian byte-buffer writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the wire has one width everywhere).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends `Some(v)` as `1, v` and `None` as `0`.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Little-endian byte-buffer reader over a received payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated payload at offset {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| "usize overflow".to_string())
+    }
+
+    /// Reads a one-byte bool (anything nonzero is true).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| "invalid UTF-8 string".to_string())
+    }
+
+    /// Errors unless the whole payload was consumed — trailing bytes
+    /// mean the two sides disagree on the schema.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Reads a length-prefixed telemetry/component name and re-interns it.
+fn get_name(r: &mut Reader<'_>) -> Result<&'static str, WireError> {
+    let s = r.str()?;
+    names::resolve(&s).ok_or_else(|| format!("unknown telemetry name {s:?}"))
+}
+
+/// Encodes a [`GoldenRef`].
+pub fn put_golden(w: &mut Writer, g: &GoldenRef) {
+    w.u64(g.digest);
+    w.u64(g.cycles);
+}
+
+/// Decodes a [`GoldenRef`].
+pub fn get_golden(r: &mut Reader<'_>) -> Result<GoldenRef, WireError> {
+    Ok(GoldenRef {
+        digest: r.u64()?,
+        cycles: r.u64()?,
+    })
+}
+
+/// Encodes an [`InjectionRecord`]; the outcome travels as its index
+/// into [`Outcome::ALL`].
+pub fn put_record(w: &mut Writer, rec: &InjectionRecord) {
+    let outcome = Outcome::ALL
+        .iter()
+        .position(|&o| o == rec.outcome)
+        .expect("outcome in ALL") as u8;
+    w.u8(outcome);
+    w.usize(rec.bit);
+    w.u64(rec.inject_cycle);
+    w.u64(rec.cosim_cycles);
+    w.opt_u64(rec.erroneous_output_cycle);
+    w.opt_u64(rec.propagation_latency);
+    w.usize(rec.corrupted_line_count);
+    w.opt_u64(rec.rollback_distance);
+}
+
+/// Decodes an [`InjectionRecord`].
+pub fn get_record(r: &mut Reader<'_>) -> Result<InjectionRecord, WireError> {
+    let oi = r.u8()? as usize;
+    let outcome = *Outcome::ALL
+        .get(oi)
+        .ok_or_else(|| format!("unknown outcome tag {oi}"))?;
+    Ok(InjectionRecord {
+        outcome,
+        bit: r.usize()?,
+        inject_cycle: r.u64()?,
+        cosim_cycles: r.u64()?,
+        erroneous_output_cycle: r.opt_u64()?,
+        propagation_latency: r.opt_u64()?,
+        corrupted_line_count: r.usize()?,
+        rollback_distance: r.opt_u64()?,
+    })
+}
+
+/// Encodes a [`Recorder`] — active flag, counters, sparse histograms,
+/// and the full trace (capacity, drop count, retained events).
+pub fn put_recorder(w: &mut Writer, rec: &Recorder) {
+    w.bool(rec.is_active());
+    if !rec.is_active() {
+        return;
+    }
+    let counters = rec.counters();
+    w.u32(counters.len() as u32);
+    for (name, v) in counters {
+        w.str(name);
+        w.u64(v);
+    }
+    let hists = rec.histograms();
+    w.u32(hists.len() as u32);
+    for (name, h) in hists {
+        w.str(name);
+        w.u64(h.count());
+        w.u128(h.sum());
+        let nonzero: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        w.u8(nonzero.len() as u8);
+        for (i, c) in nonzero {
+            w.u8(i as u8);
+            w.u64(c);
+        }
+    }
+    let trace = rec.trace().expect("active recorder has a trace");
+    w.usize(trace.capacity());
+    w.u64(trace.dropped());
+    w.u32(trace.len() as u32);
+    for e in trace.iter() {
+        w.u64(e.cycle);
+        w.str(e.component);
+        let kind = EventKind::ALL
+            .iter()
+            .position(|&k| k == e.kind)
+            .expect("kind in ALL") as u8;
+        w.u8(kind);
+        w.u64(e.payload);
+    }
+}
+
+/// Decodes a [`Recorder`]; the result compares `==` to the encoded one.
+pub fn get_recorder(r: &mut Reader<'_>) -> Result<Recorder, WireError> {
+    if !r.bool()? {
+        return Ok(Recorder::null());
+    }
+    let mut counters = std::collections::BTreeMap::new();
+    for _ in 0..r.u32()? {
+        let name = get_name(r)?;
+        counters.insert(name, r.u64()?);
+    }
+    let mut hists = std::collections::BTreeMap::new();
+    for _ in 0..r.u32()? {
+        let name = get_name(r)?;
+        let count = r.u64()?;
+        let sum = r.u128()?;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for _ in 0..r.u8()? {
+            let i = r.u8()? as usize;
+            if i >= NUM_BUCKETS {
+                return Err(format!("histogram bucket index {i} out of range"));
+            }
+            buckets[i] = r.u64()?;
+        }
+        let total: u64 = buckets.iter().sum();
+        if total != count {
+            return Err("histogram bucket totals disagree with sample count".to_string());
+        }
+        hists.insert(name, Histogram::from_parts(buckets, count, sum));
+    }
+    let capacity = r.usize()?;
+    let dropped = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > capacity {
+        return Err("trace holds more events than its ring capacity".to_string());
+    }
+    let mut events = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let cycle = r.u64()?;
+        let component = get_name(r)?;
+        let ki = r.u8()? as usize;
+        let kind = *EventKind::ALL
+            .get(ki)
+            .ok_or_else(|| format!("unknown event kind tag {ki}"))?;
+        let payload = r.u64()?;
+        events.push(TraceEvent {
+            cycle,
+            component,
+            kind,
+            payload,
+        });
+    }
+    Ok(Recorder::from_parts(
+        counters,
+        hists,
+        Trace::from_parts(capacity, dropped, events),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_telemetry::TelemetryConfig;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.u128(u128::MAX / 3);
+        w.bool(true);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        w.str("hello wire");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert_eq!(r.str().unwrap(), "hello wire");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_errors() {
+        let mut w = Writer::new();
+        w.u32(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.u64().is_err(), "truncated read must fail");
+        let mut r = Reader::new(&bytes);
+        let _ = r.u16().unwrap();
+        assert!(r.finish().is_err(), "trailing bytes must fail");
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = InjectionRecord {
+            outcome: Outcome::Omm,
+            bit: 12_345,
+            inject_cycle: 98_765,
+            cosim_cycles: 1_024,
+            erroneous_output_cycle: Some(99_000),
+            propagation_latency: None,
+            corrupted_line_count: 3,
+            rollback_distance: Some(512),
+        };
+        let mut w = Writer::new();
+        put_record(&mut w, &rec);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_record(&mut r).unwrap(), rec);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn recorder_round_trips_including_trace() {
+        let cfg = TelemetryConfig { trace_capacity: 8 };
+        let mut rec = Recorder::active(&cfg);
+        rec.count(names::INJECT_RUNS, 3);
+        rec.count(names::COSIM_ENTER, 3);
+        rec.record_hist(names::H_COSIM_RESIDENCY, 100);
+        rec.record_hist(names::H_COSIM_RESIDENCY, 0);
+        for c in 0..12 {
+            rec.event(c, "L2C", EventKind::BitFlip, c * 2);
+        }
+        let mut w = Writer::new();
+        put_recorder(&mut w, &rec);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = get_recorder(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, rec, "decoded recorder must compare equal");
+        assert_eq!(back.to_jsonl(), rec.to_jsonl(), "and export identically");
+    }
+
+    #[test]
+    fn null_recorder_round_trips() {
+        let mut w = Writer::new();
+        put_recorder(&mut w, &Recorder::null());
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = get_recorder(&mut r).unwrap();
+        assert!(!back.is_active());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn unknown_telemetry_name_is_a_protocol_error() {
+        let mut w = Writer::new();
+        w.bool(true);
+        w.u32(1);
+        w.str("not.a.schema.name");
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let err = get_recorder(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("unknown telemetry name"), "{err}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The campaign worker: leases shards, re-derives the campaign cell
+//! from its seed, executes, and submits.
+//!
+//! A worker carries **no campaign state of its own** — everything it
+//! needs (golden reference, snapshot ladder, drawn samples, entry
+//! order) is recomputed from the [`crate::proto::JobWire`] seed, and
+//! determinism makes that recomputation bit-identical in every
+//! process. The expensive derivation is cached per job, so a worker
+//! that leases ten shards of one campaign pays for one golden pass.
+//!
+//! Shards execute through the same [`ShardRunner`] the in-process
+//! engine uses; between samples the worker heartbeats (extending its
+//! lease) and checks its chaos options — the hooks the fault-tolerance
+//! tests use to kill or hang a worker mid-shard deterministically.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use nestsim_core::campaign::{
+    check_campaign, draw_samples, entry_cycle, entry_order, laddered_golden_reference,
+    CampaignSpec, ShardRunner,
+};
+use nestsim_core::inject::{GoldenRef, InjectionSpec};
+use nestsim_hlsim::SnapshotLadder;
+use nestsim_telemetry::TelemetryConfig;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{JobWire, Message, RunWire, SubmitWire, PROTOCOL_VERSION};
+use crate::shard::Shard;
+
+/// Worker behaviour knobs, including deterministic chaos injection.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Crash (drop the connection mid-shard without submitting) after
+    /// this many total samples have been executed. With
+    /// [`WorkerOptions::process_exit_on_crash`] the whole process
+    /// exits, modelling a killed worker.
+    pub crash_after_samples: Option<u64>,
+    /// Hang after this many total samples: stop executing and stop
+    /// heartbeating while holding the lease, until it has certainly
+    /// expired, then disconnect without submitting — modelling a hung
+    /// or straggling worker.
+    pub stall_after_samples: Option<u64>,
+    /// On crash, exit the process (exit code 17) instead of returning
+    /// — the `nestsim-worker` bin sets this so a "crash" is a real
+    /// process death.
+    pub process_exit_on_crash: bool,
+}
+
+/// What a worker did before exiting, for logs and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Shards completed and accepted.
+    pub shards_completed: u64,
+    /// Shards completed but deduped by the coordinator.
+    pub shards_duplicate: u64,
+    /// Shards abandoned (lost lease, or chaos).
+    pub shards_abandoned: u64,
+    /// Injection samples executed.
+    pub samples_run: u64,
+}
+
+/// The per-job derivation cache: everything recomputed from the seed.
+struct JobState {
+    key: JobWire,
+    telemetry: Option<TelemetryConfig>,
+    golden: GoldenRef,
+    ladder: SnapshotLadder,
+    samples: Vec<InjectionSpec>,
+    order: Vec<usize>,
+}
+
+impl JobState {
+    fn build(job: &JobWire) -> Result<JobState, String> {
+        let profile = job.profile()?;
+        let spec: CampaignSpec = job.spec();
+        check_campaign(profile, &spec);
+        let (mut ladder, golden) = laddered_golden_reference(profile, &spec);
+        let samples = draw_samples(profile, &spec, &golden);
+        let order = entry_order(&samples);
+        let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
+        ladder.truncate_above(max_entry);
+        Ok(JobState {
+            key: job.clone(),
+            telemetry: job.telemetry_config(),
+            golden,
+            ladder,
+            samples,
+            order,
+        })
+    }
+}
+
+fn send(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
+    write_frame(stream, &msg.encode())
+}
+
+fn recv(stream: &mut TcpStream) -> io::Result<Message> {
+    let payload = read_frame(stream)?;
+    Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Connects to a coordinator and works until it says `done` (or a
+/// chaos option fires). Returns what was accomplished.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerStats> {
+    let mut stream = TcpStream::connect(addr)?;
+    // Strictly request/response small frames: Nagle + delayed ACK
+    // would add ~40ms per round trip.
+    stream.set_nodelay(true)?;
+    send(
+        &mut stream,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let worker = match recv(&mut stream)? {
+        Message::HelloAck { worker } => worker,
+        Message::Error { message } => return Err(proto_err(message)),
+        other => return Err(proto_err(format!("expected HelloAck, got {other:?}"))),
+    };
+
+    let mut stats = WorkerStats::default();
+    let mut job_state: Option<JobState> = None;
+    loop {
+        send(&mut stream, &Message::RequestShard { worker })?;
+        match recv(&mut stream)? {
+            Message::Wait { done: true, .. } => return Ok(stats),
+            Message::Wait { ms, .. } => {
+                std::thread::sleep(Duration::from_millis(ms.clamp(1, 5_000)));
+            }
+            Message::Assign {
+                shard,
+                job,
+                lease_ms,
+                heartbeat_ms,
+            } => {
+                if job_state.as_ref().is_none_or(|s| s.key != job) {
+                    job_state = Some(JobState::build(&job).map_err(proto_err)?);
+                }
+                let state = job_state.as_ref().expect("job state was just built");
+                match run_shard(
+                    &mut stream,
+                    worker,
+                    state,
+                    shard,
+                    lease_ms,
+                    heartbeat_ms,
+                    opts,
+                    &mut stats,
+                )? {
+                    ShardEnd::Submitted => {}
+                    ShardEnd::Crashed => {
+                        if opts.process_exit_on_crash {
+                            std::process::exit(17);
+                        }
+                        return Ok(stats);
+                    }
+                    ShardEnd::Stalled => return Ok(stats),
+                    ShardEnd::Abandoned => {}
+                }
+            }
+            Message::Error { message } => return Err(proto_err(message)),
+            other => return Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+enum ShardEnd {
+    /// Shard submitted (accepted or deduped); keep requesting.
+    Submitted,
+    /// Chaos: the worker "died" mid-shard.
+    Crashed,
+    /// Chaos: the worker hung past its lease, then gave up.
+    Stalled,
+    /// Lost the lease (heartbeat said not current); keep requesting.
+    Abandoned,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    stream: &mut TcpStream,
+    worker: u32,
+    state: &JobState,
+    shard: Shard,
+    lease_ms: u64,
+    heartbeat_ms: u64,
+    opts: &WorkerOptions,
+    stats: &mut WorkerStats,
+) -> io::Result<ShardEnd> {
+    let mut runner = ShardRunner::new(
+        &state.ladder,
+        &state.samples,
+        &state.golden,
+        state.telemetry.as_ref(),
+    );
+    let mut runs = Vec::with_capacity(shard.len as usize);
+    let mut last_contact = Instant::now();
+    for pos in shard.range() {
+        // Deterministic chaos hooks, checked between samples.
+        if opts.crash_after_samples == Some(stats.samples_run) {
+            stats.shards_abandoned += 1;
+            return Ok(ShardEnd::Crashed);
+        }
+        if opts.stall_after_samples == Some(stats.samples_run) {
+            // Hold the lease silently until it must have expired.
+            std::thread::sleep(Duration::from_millis(3 * lease_ms + 50));
+            stats.shards_abandoned += 1;
+            return Ok(ShardEnd::Stalled);
+        }
+        if last_contact.elapsed().as_millis() as u64 >= heartbeat_ms {
+            send(
+                stream,
+                &Message::Heartbeat {
+                    worker,
+                    shard: shard.id,
+                },
+            )?;
+            match recv(stream)? {
+                Message::HeartbeatAck { current: true } => {}
+                Message::HeartbeatAck { current: false } => {
+                    stats.shards_abandoned += 1;
+                    return Ok(ShardEnd::Abandoned);
+                }
+                other => return Err(proto_err(format!("expected HeartbeatAck, got {other:?}"))),
+            }
+            last_contact = Instant::now();
+        }
+        let sample = state.order[pos as usize];
+        let (record, recorder) = runner.run_one(sample);
+        stats.samples_run += 1;
+        runs.push(RunWire {
+            sample: sample as u64,
+            record,
+            recorder,
+        });
+    }
+    send(
+        stream,
+        &Message::Submit(SubmitWire {
+            worker,
+            shard: shard.id,
+            golden: state.golden,
+            forward: runner.forward_cycles(),
+            restores: runner.restores(),
+            runs,
+        }),
+    )?;
+    match recv(stream)? {
+        Message::SubmitAck { accepted } => {
+            if accepted {
+                stats.shards_completed += 1;
+            } else {
+                stats.shards_duplicate += 1;
+            }
+            Ok(ShardEnd::Submitted)
+        }
+        other => Err(proto_err(format!("expected SubmitAck, got {other:?}"))),
+    }
+}

@@ -203,13 +203,50 @@ pub fn injection_window(
     }
 }
 
+/// Checks that the injection window for this cell actually contains
+/// injectable cycles of the error-free execution.
+///
+/// The window formulas clamp their bounds upward to keep them ordered,
+/// so a benchmark shorter than the minimum warm-up would otherwise
+/// yield samples whose injection cycles lie at or beyond program end —
+/// every run would degenerate to Vanished without ever exercising the
+/// component. That is a configuration error (the workload is too short
+/// for the sampling model), not a result, so [`draw_samples`] fails
+/// loudly instead.
+pub fn validate_window(
+    component: ComponentKind,
+    profile: &BenchProfile,
+    golden: &GoldenRef,
+) -> Result<(), String> {
+    let (lo, hi) = injection_window(component, profile, golden);
+    if hi <= lo || golden.cycles <= lo {
+        return Err(format!(
+            "empty injection window for {} on {}: window [{lo}, {hi}) vs error-free \
+             length {} cycles — the benchmark is too short to inject into after the \
+             minimum warm-up; increase the workload length (lower length_scale)",
+            component.name(),
+            profile.name,
+            golden.cycles,
+        ));
+    }
+    Ok(())
+}
+
 /// Draws the injection specs for a campaign (deterministic in the
 /// campaign seed).
+///
+/// # Panics
+///
+/// Panics if [`validate_window`] rejects the cell — sampling from an
+/// empty window would silently classify every run as Vanished.
 pub fn draw_samples(
     profile: &'static BenchProfile,
     spec: &CampaignSpec,
     golden: &GoldenRef,
 ) -> Vec<InjectionSpec> {
+    if let Err(e) = validate_window(spec.component, profile, golden) {
+        panic!("invalid campaign cell: {e}");
+    }
     let bits = injection_target_bits(spec.component);
     let instances = instances_of(spec.component);
     let (lo, hi) = injection_window(spec.component, profile, golden);
@@ -223,7 +260,7 @@ pub fn draw_samples(
                 component: spec.component,
                 instance: rng.below(instances as u64) as usize,
                 bit: *rng.pick(&bits),
-                inject_cycle: rng.range(lo, hi.max(lo + 1)),
+                inject_cycle: rng.range(lo, hi),
                 warmup: MIN_WARMUP + rng.below(1_000),
                 cosim_cap: spec.cosim_cap,
                 check_interval: spec.check_interval,
@@ -234,7 +271,91 @@ pub fn draw_samples(
 
 /// One worker's completed runs: (sample index, record, per-run
 /// recorder), in shard order.
-type IndexedRuns = Vec<(usize, InjectionRecord, Recorder)>;
+pub type IndexedRuns = Vec<(usize, InjectionRecord, Recorder)>;
+
+/// Executes one shard of a campaign: a cursor over the snapshot ladder
+/// that runs injection samples with **ascending entry cycles**, each
+/// restored from the nearest rung at or below its entry point.
+///
+/// This is the unit of work both execution layers share — the
+/// in-process engine gives each worker thread one runner per shard,
+/// and the `nestsim-cluster` worker builds one per leased shard — so
+/// "re-run the shard anywhere" is bit-identical by construction.
+pub struct ShardRunner<'a> {
+    ladder: &'a SnapshotLadder,
+    samples: &'a [InjectionSpec],
+    golden: &'a GoldenRef,
+    telemetry: Option<&'a TelemetryConfig>,
+    // The forward cursor: a rung clone advanced monotonically through
+    // the shard's ascending entry cycles; re-restored whenever a later
+    // rung is closer than the cursor.
+    cursor: Option<System>,
+    forward: u64,
+    restores: u64,
+}
+
+impl<'a> ShardRunner<'a> {
+    /// A fresh runner (fresh cursor) for one shard.
+    pub fn new(
+        ladder: &'a SnapshotLadder,
+        samples: &'a [InjectionSpec],
+        golden: &'a GoldenRef,
+        telemetry: Option<&'a TelemetryConfig>,
+    ) -> Self {
+        ShardRunner {
+            ladder,
+            samples,
+            golden,
+            telemetry,
+            cursor: None,
+            forward: 0,
+            restores: 0,
+        }
+    }
+
+    /// Runs sample `i`, returning its record and per-run recorder.
+    ///
+    /// Calls within one runner must present non-decreasing entry
+    /// cycles (any contiguous slice of [`entry_order`] does); a shard
+    /// that restarts earlier needs a fresh runner, or the cursor would
+    /// sit past the entry point.
+    pub fn run_one(&mut self, i: usize) -> (InjectionRecord, Recorder) {
+        let s = &self.samples[i];
+        let entry = entry_cycle(s);
+        let rung = self.ladder.rung_below(entry);
+        if self
+            .cursor
+            .as_ref()
+            .is_none_or(|c| rung.cycle() > c.cycle())
+        {
+            self.cursor = Some(rung.clone());
+            self.restores += 1;
+        }
+        let my_base = self.cursor.as_mut().expect("cursor was just restored");
+        debug_assert!(
+            my_base.cycle() <= entry,
+            "shard samples must be run in ascending entry-cycle order"
+        );
+        self.forward += entry.saturating_sub(my_base.cycle());
+        my_base.run_until(entry);
+        let mut rec = match self.telemetry {
+            Some(cfg) => Recorder::active(cfg),
+            None => Recorder::null(),
+        };
+        let r = run_injection_with(my_base, self.golden, s, &mut rec);
+        (r, rec)
+    }
+
+    /// Accelerated-mode cycles forward-simulated so far.
+    pub fn forward_cycles(&self) -> u64 {
+        self.forward
+    }
+
+    /// Ladder-rung restores performed so far.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+}
 
 /// Runs the error-free reference execution *and* captures the snapshot
 /// ladder in the same forward pass: the golden run pauses every
@@ -308,12 +429,10 @@ pub fn run_campaign_with(
     spec: &CampaignSpec,
     telemetry: Option<&TelemetryConfig>,
 ) -> CampaignResult {
-    check_spec(profile, spec);
+    check_campaign(profile, spec);
     let (mut ladder, golden) = laddered_golden_reference(profile, spec);
     let samples = draw_samples(profile, spec, &golden);
-
-    let mut order: Vec<usize> = (0..samples.len()).collect();
-    order.sort_by_key(|&i| entry_cycle(&samples[i]));
+    let order = entry_order(&samples);
 
     // Rungs above the last entry point can never be restored from.
     let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
@@ -365,33 +484,13 @@ pub fn run_campaign_with(
                 let samples = &samples;
                 let golden = &golden;
                 scope.spawn(move || {
+                    let mut runner = ShardRunner::new(ladder, samples, golden, telemetry);
                     let mut out = Vec::with_capacity(shard.len());
-                    let mut forward = 0u64;
-                    let mut restores = 0u64;
-                    // The worker's forward cursor: a rung clone
-                    // advanced monotonically through the shard's
-                    // ascending entry cycles; re-restored whenever
-                    // a later rung is closer than the cursor.
-                    let mut cursor: Option<System> = None;
                     for &i in shard {
-                        let s = &samples[i];
-                        let entry = entry_cycle(s);
-                        let rung = ladder.rung_below(entry);
-                        if cursor.as_ref().is_none_or(|c| rung.cycle() > c.cycle()) {
-                            cursor = Some(rung.clone());
-                            restores += 1;
-                        }
-                        let my_base = cursor.as_mut().expect("cursor was just restored");
-                        forward += entry.saturating_sub(my_base.cycle());
-                        my_base.run_until(entry);
-                        let mut rec = match telemetry {
-                            Some(cfg) => Recorder::active(cfg),
-                            None => Recorder::null(),
-                        };
-                        let r = run_injection_with(my_base, golden, s, &mut rec);
+                        let (r, rec) = runner.run_one(i);
                         out.push((i, r, rec));
                     }
-                    (out, forward, restores)
+                    (out, runner.forward_cycles(), runner.restores())
                 })
             })
             .collect();
@@ -427,7 +526,7 @@ pub fn run_campaign_replay(
     spec: &CampaignSpec,
     telemetry: Option<&TelemetryConfig>,
 ) -> CampaignResult {
-    check_spec(profile, spec);
+    check_campaign(profile, spec);
     let (base, golden) = golden_reference(profile, spec);
     let samples = draw_samples(profile, spec, &golden);
 
@@ -451,8 +550,7 @@ pub fn run_campaign_replay(
 
     // Order samples by co-simulation entry point; each worker replays
     // one forward pass over its (ascending, interleaved) shard.
-    let mut order: Vec<usize> = (0..samples.len()).collect();
-    order.sort_by_key(|&i| entry_cycle(&samples[i]));
+    let order = entry_order(&samples);
 
     let workers = worker_count(spec, order.len());
     let shards: Vec<Vec<usize>> = (0..workers)
@@ -504,7 +602,12 @@ pub fn run_campaign_replay(
     finish_campaign(profile, spec, telemetry, golden, indexed, &shards, engine)
 }
 
-fn check_spec(profile: &BenchProfile, spec: &CampaignSpec) {
+/// Panics on specs that cannot produce a meaningful campaign: PCIe
+/// cells without an input file, or a spec failing
+/// [`CampaignSpec::validate`]. Shared precondition of every campaign
+/// engine (in-process ladder, replay reference, and the
+/// `nestsim-cluster` coordinator/worker).
+pub fn check_campaign(profile: &BenchProfile, spec: &CampaignSpec) {
     assert!(
         spec.component != ComponentKind::Pcie || profile.has_input_file(),
         "PCIe campaigns require a benchmark with an input file"
@@ -514,18 +617,43 @@ fn check_spec(profile: &BenchProfile, spec: &CampaignSpec) {
     }
 }
 
+/// The default degree of parallelism when a spec says `workers = 0`:
+/// available hardware parallelism, falling back to 4 when the platform
+/// cannot report it. The single source of truth for every execution
+/// layer (both in-process engines, the repro grid, and the cluster
+/// coordinator's shard sizing).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
 fn worker_count(spec: &CampaignSpec, samples: usize) -> usize {
     if spec.workers == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
+        default_workers()
     } else {
         spec.workers
     }
     .min(samples)
 }
 
+/// The cycle at which sample `s`'s forward simulation must leave
+/// accelerated mode: its injection cycle minus its warm-up.
+pub fn entry_cycle(s: &InjectionSpec) -> u64 {
+    s.inject_cycle.saturating_sub(s.warmup.max(MIN_WARMUP))
+}
+
+/// Sample indices sorted by ascending [`entry_cycle`] — the canonical
+/// execution order every engine shards. The sort is stable, so equal
+/// entry cycles tie-break by sample index and the order is a pure
+/// function of the drawn samples (identical in every process).
+pub fn entry_order(samples: &[InjectionSpec]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by_key(|&i| entry_cycle(&samples[i]));
+    order
+}
+
 /// Splits the sorted order into `workers` contiguous, balanced ranges
 /// (sizes differ by at most one, larger ranges first).
-fn contiguous_shards(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
+pub fn contiguous_shards(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
     let base = order.len() / workers;
     let rem = order.len() % workers;
     let mut shards = Vec::with_capacity(workers);
@@ -538,20 +666,59 @@ fn contiguous_shards(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
     shards
 }
 
-/// Shared epilogue of both engines: sorts the per-run results back
-/// into sample order, tallies outcomes, and merges per-run telemetry
-/// **in sample order** — the step that makes the merged export
-/// independent of sharding and engine.
+/// Thread-engine epilogue: derives `worker_samples` from the shard
+/// layout and delegates to [`assemble_result`].
 fn finish_campaign(
     profile: &'static BenchProfile,
     spec: &CampaignSpec,
     telemetry: Option<&TelemetryConfig>,
     golden: GoldenRef,
-    mut indexed: Vec<(usize, InjectionRecord, Recorder)>,
+    indexed: IndexedRuns,
     shards: &[Vec<usize>],
     engine: Recorder,
 ) -> CampaignResult {
+    let worker_samples = if telemetry.is_some() {
+        shards.iter().map(Vec::len).collect()
+    } else {
+        Vec::new()
+    };
+    assemble_result(
+        profile,
+        spec,
+        telemetry,
+        golden,
+        indexed,
+        worker_samples,
+        engine,
+    )
+}
+
+/// Shared epilogue of every engine (in-process and distributed): sorts
+/// the per-run results back into sample order, tallies outcomes, and
+/// merges per-run telemetry **in sample order** — the step that makes
+/// the merged export independent of sharding and engine.
+///
+/// # Panics
+///
+/// Panics unless `indexed` covers each sample index `0..n` exactly once
+/// — a duplicated or dropped run means the execution layer's merge is
+/// broken, and silently skewed statistics are worse than a crash.
+pub fn assemble_result(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    golden: GoldenRef,
+    mut indexed: IndexedRuns,
+    worker_samples: Vec<usize>,
+    engine: Recorder,
+) -> CampaignResult {
     indexed.sort_by_key(|(i, _, _)| *i);
+    for (k, (i, _, _)) in indexed.iter().enumerate() {
+        assert_eq!(
+            k, *i,
+            "campaign runs must cover every sample index exactly once"
+        );
+    }
 
     let mut counts = OutcomeCounts::new();
     let mut merged = match telemetry {
@@ -567,12 +734,6 @@ fn finish_campaign(
         })
         .collect();
 
-    let worker_samples = if telemetry.is_some() {
-        shards.iter().map(Vec::len).collect()
-    } else {
-        Vec::new()
-    };
-
     CampaignResult {
         benchmark: profile.name,
         component: spec.component,
@@ -585,10 +746,6 @@ fn finish_campaign(
             engine,
         },
     }
-}
-
-fn entry_cycle(s: &InjectionSpec) -> u64 {
-    s.inject_cycle.saturating_sub(s.warmup.max(MIN_WARMUP))
 }
 
 #[cfg(test)]
@@ -619,8 +776,59 @@ mod tests {
         assert_eq!(a, b);
         let (lo, hi) = injection_window(ComponentKind::L2c, profile, &golden);
         for s in &a {
-            assert!((lo..hi.max(lo + 1)).contains(&s.inject_cycle));
+            assert!((lo..hi).contains(&s.inject_cycle));
             assert!(s.warmup >= MIN_WARMUP);
+        }
+    }
+
+    #[test]
+    fn empty_injection_window_is_an_explicit_error() {
+        // A fabricated error-free run shorter than the minimum warm-up:
+        // the window formulas clamp hi above lo, but every cycle in
+        // [lo, hi) then lies beyond program end. Before validate_window
+        // this silently drew samples that all degenerate to Vanished.
+        let profile = by_name("radi").unwrap();
+        let golden = GoldenRef {
+            digest: 0,
+            cycles: 100,
+        };
+        let err = validate_window(ComponentKind::L2c, profile, &golden).unwrap_err();
+        assert!(err.contains("empty injection window"), "{err}");
+        assert!(err.contains("L2C"), "must name the component: {err}");
+        assert!(err.contains("radi"), "must name the benchmark: {err}");
+
+        // A realistic golden reference passes for every component.
+        let spec = CampaignSpec::quick(ComponentKind::L2c, 1);
+        let (_, real) = golden_reference(profile, &spec);
+        assert!(validate_window(ComponentKind::L2c, profile, &real).is_ok());
+        assert!(validate_window(ComponentKind::Pcie, profile, &real).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty injection window")]
+    fn draw_samples_refuses_an_empty_window() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec::quick(ComponentKind::L2c, 4);
+        let golden = GoldenRef {
+            digest: 0,
+            cycles: 10,
+        };
+        let _ = draw_samples(profile, &spec, &golden);
+    }
+
+    #[test]
+    fn entry_order_sorts_by_entry_cycle_with_stable_ties() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec::quick(ComponentKind::L2c, 32);
+        let (_, golden) = golden_reference(profile, &spec);
+        let samples = draw_samples(profile, &spec, &golden);
+        let order = entry_order(&samples);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..samples.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            let (a, b) = (entry_cycle(&samples[w[0]]), entry_cycle(&samples[w[1]]));
+            assert!(a < b || (a == b && w[0] < w[1]), "order must be stable");
         }
     }
 

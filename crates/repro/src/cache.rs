@@ -21,7 +21,8 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use nestsim_core::campaign::{run_campaign_with, CampaignSpec};
+use nestsim_cluster::{run_campaign_cluster, ClusterConfig};
+use nestsim_core::campaign::{default_workers, run_campaign_with, CampaignSpec};
 use nestsim_core::CampaignResult;
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_models::ComponentKind;
@@ -30,9 +31,10 @@ use nestsim_telemetry::{names, Recorder, TelemetryConfig};
 use crate::Opts;
 
 /// The determinism key of one campaign cell: every spec field that can
-/// change records, counts, or telemetry. Worker count and snapshot
-/// interval are deliberately absent — the engine guarantees they never
-/// affect results (the byte-identity locked by the equivalence tests).
+/// change records, counts, or telemetry. Worker count, snapshot
+/// interval, and cluster mode are deliberately absent — the engine
+/// guarantees they never affect results (the byte-identity locked by
+/// the equivalence tests and the cluster end-to-end tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CellKey {
     component: ComponentKind,
@@ -107,7 +109,27 @@ pub fn cell_cached(
     }
     let spec = campaign_spec(opts, component, workers);
     let tcfg = TelemetryConfig::default();
-    let result = run_campaign_with(profile, &spec, opts.telemetry.as_ref().map(|_| &tcfg));
+    let telemetry = opts.telemetry.as_ref().map(|_| &tcfg);
+    let result = if opts.cluster > 0 {
+        // Distribute across `--cluster N` spawned worker processes
+        // (`repro worker`, the hidden subcommand). Byte-identical to
+        // the in-process path, so the cache key is unchanged.
+        let argv = vec![
+            std::env::current_exe()
+                .expect("current_exe")
+                .to_string_lossy()
+                .into_owned(),
+            "worker".to_string(),
+        ];
+        run_campaign_cluster(
+            profile,
+            &spec,
+            telemetry,
+            &ClusterConfig::processes(argv, opts.cluster),
+        )
+    } else {
+        run_campaign_with(profile, &spec, telemetry)
+    };
     let mut stats = cache().stats.lock().expect("cache stats poisoned");
     stats.count(names::CELL_CACHE_MISSES, 1);
     drop(stats);
@@ -130,8 +152,14 @@ pub fn run_grid(
     if cells.is_empty() {
         return Vec::new();
     }
-    let avail = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let lanes = avail.min(cells.len());
+    let avail = default_workers();
+    // Cluster mode distributes each cell across worker processes, so
+    // grid-level concurrency would oversubscribe; run cells serially.
+    let lanes = if opts.cluster > 0 {
+        1
+    } else {
+        avail.min(cells.len())
+    };
     let workers_per_cell = (avail / lanes).max(1);
     let slots: Vec<Mutex<Option<CampaignResult>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();

@@ -100,6 +100,24 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Reassembles a histogram from its observable parts (the inverse
+    /// of `bucket_counts`/`count`/`sum`), used by deserializers that
+    /// move recorders across process boundaries. Panics if `count`
+    /// disagrees with the bucket totals — corrupt wire data must not
+    /// silently skew campaign statistics.
+    pub fn from_parts(buckets: [u64; NUM_BUCKETS], count: u64, sum: u128) -> Self {
+        let total: u64 = buckets.iter().sum();
+        assert_eq!(
+            total, count,
+            "histogram bucket totals disagree with sample count"
+        );
+        Histogram {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     /// Upper bound (exclusive) of the highest non-empty bucket; `None`
     /// when empty. A cheap deterministic stand-in for the maximum.
     pub fn max_bound(&self) -> Option<u64> {

@@ -125,6 +125,50 @@ pub mod names {
     /// Histogram: PCIe staging-buffer occupancy.
     pub const H_Q_PCIE_BUF: &str = "queue.pcie.buf";
 
+    /// Counter: cluster shards planned by the coordinator.
+    pub const CLUSTER_SHARDS: &str = "cluster.shards";
+    /// Counter: shard leases granted to workers.
+    pub const CLUSTER_LEASES_GRANTED: &str = "cluster.leases.granted";
+    /// Counter: leases whose deadline passed without completion (hung
+    /// or straggling worker).
+    pub const CLUSTER_LEASES_EXPIRED: &str = "cluster.leases.expired";
+    /// Counter: leases released early because the owning worker's
+    /// connection dropped (killed worker).
+    pub const CLUSTER_LEASES_RELEASED: &str = "cluster.leases.released";
+    /// Counter: shards handed to a second (or later) worker after a
+    /// lease expiry/release — the re-dispatch path.
+    pub const CLUSTER_REDISPATCHES: &str = "cluster.leases.redispatched";
+    /// Counter: shard submissions accepted (first completion).
+    pub const CLUSTER_SHARDS_COMPLETED: &str = "cluster.shards.completed";
+    /// Counter: duplicate shard submissions dropped by the idempotent
+    /// merge (a re-dispatched shard completed twice).
+    pub const CLUSTER_SHARDS_DUPLICATE: &str = "cluster.shards.duplicate";
+    /// Counter: protocol frames sent by the coordinator.
+    pub const CLUSTER_FRAMES_SENT: &str = "cluster.frames.sent";
+    /// Counter: protocol frames received by the coordinator.
+    pub const CLUSTER_FRAMES_RECEIVED: &str = "cluster.frames.received";
+    /// Counter: payload bytes sent by the coordinator.
+    pub const CLUSTER_BYTES_SENT: &str = "cluster.bytes.sent";
+    /// Counter: payload bytes received by the coordinator.
+    pub const CLUSTER_BYTES_RECEIVED: &str = "cluster.bytes.received";
+    /// Counter: workers that completed the protocol handshake.
+    pub const CLUSTER_WORKERS_CONNECTED: &str = "cluster.workers.connected";
+    /// Counter: worker connections that ended abnormally (I/O error or
+    /// EOF while still holding work).
+    pub const CLUSTER_WORKERS_DISCONNECTED: &str = "cluster.workers.disconnected";
+    /// Counter: wait/backoff replies sent to idle workers while every
+    /// pending shard was leased or backing off.
+    pub const CLUSTER_BACKOFF_WAITS: &str = "cluster.backoff.waits";
+    /// Counter: heartbeats processed by the coordinator.
+    pub const CLUSTER_HEARTBEATS: &str = "cluster.heartbeats";
+    /// Histogram: wall-clock latency of completed shards, in
+    /// milliseconds from (last) lease grant to accepted submission.
+    pub const H_CLUSTER_SHARD_MS: &str = "cluster.shard.latency_ms";
+    /// Histogram: samples per completed shard.
+    pub const H_CLUSTER_SHARD_SAMPLES: &str = "cluster.shard.samples";
+    /// Histogram: payload bytes per accepted shard submission.
+    pub const H_CLUSTER_SUBMIT_BYTES: &str = "cluster.submit.bytes";
+
     /// Counter: QRR-protected injection runs.
     pub const QRR_RUNS: &str = "qrr.runs";
     /// Counter: runs where logic parity detected the flip.
@@ -137,4 +181,85 @@ pub mod names {
     pub const QRR_FAILED: &str = "qrr.failed";
     /// Histogram: cycles from detection to resumed normal operation.
     pub const H_QRR_RECOVERY: &str = "qrr.recovery.cycles";
+
+    /// Every canonical name, in one table, so deserializers can re-intern
+    /// wire strings back to the `&'static str` keys [`super::Recorder`]
+    /// uses internally (see [`resolve`]).
+    pub const ALL: &[&str] = &[
+        INJECT_RUNS,
+        COSIM_ENTER,
+        COSIM_EXIT_CONVERGED,
+        COSIM_EXIT_CAP,
+        COSIM_EXIT_MISMATCH,
+        GOLDEN_COMPARES,
+        EARLY_TERM_VANISHED,
+        EARLY_TERM_PERSIST,
+        STATE_TRANSFER_TO_RTL,
+        STATE_TRANSFER_TO_HIGH,
+        SNAPSHOT_CLONES,
+        LADDER_RUNGS,
+        LADDER_RESTORES,
+        FORWARD_CYCLES,
+        CELL_CACHE_HITS,
+        CELL_CACHE_MISSES,
+        H_COSIM_RESIDENCY,
+        H_WARMUP,
+        H_PROPAGATION,
+        H_CORRUPTED_LINES,
+        H_SNAPSHOT_DRAM_LINES,
+        H_SNAPSHOT_RESIDENT_LINES,
+        H_LADDER_RUNG_DRAM_LINES,
+        H_LADDER_RUNG_RESIDENT_LINES,
+        H_Q_L2C_IQ,
+        H_Q_L2C_OQ,
+        H_Q_L2C_MB,
+        H_Q_MCU_RQ,
+        H_Q_MCU_RETQ,
+        H_Q_CCX_PCX,
+        H_Q_CCX_CPX,
+        H_Q_PCIE_BUF,
+        CLUSTER_SHARDS,
+        CLUSTER_LEASES_GRANTED,
+        CLUSTER_LEASES_EXPIRED,
+        CLUSTER_LEASES_RELEASED,
+        CLUSTER_REDISPATCHES,
+        CLUSTER_SHARDS_COMPLETED,
+        CLUSTER_SHARDS_DUPLICATE,
+        CLUSTER_FRAMES_SENT,
+        CLUSTER_FRAMES_RECEIVED,
+        CLUSTER_BYTES_SENT,
+        CLUSTER_BYTES_RECEIVED,
+        CLUSTER_WORKERS_CONNECTED,
+        CLUSTER_WORKERS_DISCONNECTED,
+        CLUSTER_BACKOFF_WAITS,
+        CLUSTER_HEARTBEATS,
+        H_CLUSTER_SHARD_MS,
+        H_CLUSTER_SHARD_SAMPLES,
+        H_CLUSTER_SUBMIT_BYTES,
+        QRR_RUNS,
+        QRR_DETECTED,
+        QRR_REPLAY_ATTEMPTS,
+        QRR_RECOVERED,
+        QRR_FAILED,
+        H_QRR_RECOVERY,
+    ];
+
+    /// Trace-event component labels that cross process boundaries.
+    /// Kept alongside the metric names so [`resolve`] can intern every
+    /// `&'static str` a [`super::Recorder`] may carry.
+    pub const COMPONENTS: &[&str] = &[
+        "l2c", "mcu", "ccx", "pcie", "L2C", "MCU", "CCX", "PCIe", "campaign", "cosim", "qrr",
+        "cluster",
+    ];
+
+    /// Re-interns a dynamically decoded name (e.g. read off a network
+    /// socket) back to the canonical `&'static str` it was serialized
+    /// from. Returns `None` for names outside the schema — callers
+    /// decide whether that is a protocol error or ignorable.
+    pub fn resolve(name: &str) -> Option<&'static str> {
+        ALL.iter()
+            .chain(COMPONENTS.iter())
+            .find(|&&n| n == name)
+            .copied()
+    }
 }

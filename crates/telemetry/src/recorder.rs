@@ -63,6 +63,25 @@ impl Recorder {
         }
     }
 
+    /// Reassembles an active recorder from its observable parts (the
+    /// inverse of `counters`/`histograms`/`trace`), used by
+    /// deserializers that move recorders across process boundaries.
+    /// Names must already be interned (`names::resolve`) so the
+    /// round-tripped recorder compares equal to the original.
+    pub fn from_parts(
+        counters: BTreeMap<&'static str, u64>,
+        hists: BTreeMap<&'static str, Histogram>,
+        trace: Trace,
+    ) -> Self {
+        Recorder {
+            inner: Some(Box::new(Inner {
+                counters,
+                hists,
+                trace,
+            })),
+        }
+    }
+
     /// True when this recorder actually records.
     #[inline]
     pub fn is_active(&self) -> bool {

@@ -34,6 +34,20 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in declaration order. The index into this table is
+    /// the kind's stable wire encoding (mirrors `Outcome::ALL` in the
+    /// core crate), so serializers never hand-roll discriminants.
+    pub const ALL: [EventKind; 8] = [
+        EventKind::CosimEnter,
+        EventKind::SnapshotGolden,
+        EventKind::BitFlip,
+        EventKind::CosimExit,
+        EventKind::StateTransfer,
+        EventKind::EarlyTermination,
+        EventKind::ParityDetected,
+        EventKind::ReplayOutcome,
+    ];
+
     /// Stable name used by the JSON-lines export.
     pub fn name(self) -> &'static str {
         match self {
@@ -120,6 +134,22 @@ impl Trace {
             capacity,
             events: VecDeque::with_capacity(capacity.min(1024)),
             dropped: 0,
+        }
+    }
+
+    /// Reassembles a trace from its observable parts (the inverse of
+    /// `capacity`/`dropped`/`iter`), used by deserializers that move
+    /// recorders across process boundaries. Panics if more events are
+    /// supplied than the ring could ever retain.
+    pub fn from_parts(capacity: usize, dropped: u64, events: Vec<TraceEvent>) -> Self {
+        assert!(
+            events.len() <= capacity,
+            "trace holds more events than its ring capacity"
+        );
+        Trace {
+            capacity,
+            events: events.into(),
+            dropped,
         }
     }
 

@@ -19,6 +19,7 @@
 //! | [`models`] | `nestsim-models` | the four uncore components in RTL detail |
 //! | [`hlsim`] | `nestsim-hlsim` | the Simics-role full-system simulator |
 //! | [`core`] | `nestsim-core` | the mixed-mode platform + campaigns |
+//! | [`cluster`] | `nestsim-cluster` | distributed campaign execution (coordinator/worker over TCP) |
 //! | [`ckpt`] | `nestsim-ckpt` | Sec. 5 checkpoint-recovery analyses |
 //! | [`qrr`] | `nestsim-qrr` | Quick Replay Recovery |
 //! | [`cost`] | `nestsim-cost` | Table 6 area/power model |
@@ -50,6 +51,7 @@
 
 pub use nestsim_arch as arch;
 pub use nestsim_ckpt as ckpt;
+pub use nestsim_cluster as cluster;
 pub use nestsim_core as core;
 pub use nestsim_cost as cost;
 pub use nestsim_hlsim as hlsim;

@@ -1,0 +1,147 @@
+//! End-to-end byte-identity tests for distributed campaign execution.
+//!
+//! The cluster's contract is exact: for any worker count, and under
+//! injected worker failures, the merged [`CampaignResult`] — records,
+//! outcome counts, golden reference, and the merged telemetry's
+//! JSON-lines export — is **byte-identical** to the in-process
+//! engine's. Only the engine-level recorder (cluster counters, shard
+//! latency) is allowed to differ, because it deliberately describes
+//! *how* the campaign ran rather than *what* it computed.
+
+use std::time::Duration;
+
+use nestsim::cluster::{
+    run_campaign_cluster, serve_campaign, ClusterConfig, CoordinatorConfig, LeaseConfig,
+    WorkerOptions,
+};
+use nestsim::core::campaign::{run_campaign_with, CampaignResult, CampaignSpec};
+use nestsim::hlsim::workload::by_name;
+use nestsim::models::ComponentKind;
+use nestsim::telemetry::{names, TelemetryConfig};
+
+fn cell() -> (
+    &'static nestsim::hlsim::workload::BenchProfile,
+    CampaignSpec,
+) {
+    let profile = by_name("flui").unwrap();
+    let spec = CampaignSpec {
+        seed: 7,
+        ..CampaignSpec::quick(ComponentKind::L2c, 12)
+    };
+    (profile, spec)
+}
+
+fn assert_identical(ctx: &str, reference: &CampaignResult, got: &CampaignResult) {
+    assert_eq!(got.records, reference.records, "{ctx}: records diverged");
+    assert_eq!(got.counts, reference.counts, "{ctx}: counts diverged");
+    assert_eq!(got.golden, reference.golden, "{ctx}: golden diverged");
+    assert_eq!(
+        got.telemetry.merged.to_jsonl(),
+        reference.telemetry.merged.to_jsonl(),
+        "{ctx}: merged telemetry diverged"
+    );
+    assert_eq!(
+        got.telemetry.worker_samples.iter().sum::<usize>(),
+        reference.telemetry.worker_samples.iter().sum::<usize>(),
+        "{ctx}: total attributed samples diverged"
+    );
+}
+
+#[test]
+fn cluster_is_byte_identical_for_one_two_and_four_workers() {
+    let (profile, spec) = cell();
+    let telemetry = TelemetryConfig::default();
+    let reference = run_campaign_with(profile, &spec, Some(&telemetry));
+    for workers in [1usize, 2, 4] {
+        let got = run_campaign_cluster(
+            profile,
+            &spec,
+            Some(&telemetry),
+            &ClusterConfig::threads(workers),
+        );
+        assert_identical(&format!("{workers} workers"), &reference, &got);
+        // The engine recorder carries the cluster's own accounting.
+        let engine = &got.telemetry.engine;
+        assert!(engine.counter(names::CLUSTER_SHARDS) >= 1);
+        assert_eq!(
+            engine.counter(names::CLUSTER_SHARDS_COMPLETED),
+            engine.counter(names::CLUSTER_SHARDS),
+            "every shard completes exactly once in a healthy run"
+        );
+        assert_eq!(engine.counter(names::CLUSTER_REDISPATCHES), 0);
+    }
+}
+
+#[test]
+fn cluster_without_telemetry_matches_in_process() {
+    let (profile, spec) = cell();
+    let reference = run_campaign_with(profile, &spec, None);
+    let got = run_campaign_cluster(profile, &spec, None, &ClusterConfig::threads(2));
+    assert_eq!(got.records, reference.records);
+    assert_eq!(got.counts, reference.counts);
+    assert_eq!(got.golden, reference.golden);
+}
+
+/// A worker that dies mid-shard (drops its connection without
+/// submitting) loses its lease; the shard is re-dispatched to a healthy
+/// worker and the merged result is still byte-identical.
+#[test]
+fn crashed_worker_is_redispatched_and_bytes_are_identical() {
+    let (profile, spec) = cell();
+    let telemetry = TelemetryConfig::default();
+    let reference = run_campaign_with(profile, &spec, Some(&telemetry));
+
+    let cfg = CoordinatorConfig {
+        lease: LeaseConfig {
+            lease_ms: 10_000,
+            heartbeat_ms: 1_000,
+            backoff_ms: 5,
+        },
+        shard_size: 3,
+        workers_hint: 2,
+        ..CoordinatorConfig::default()
+    };
+    let campaign = serve_campaign(profile, &spec, Some(&telemetry), &cfg).unwrap();
+    let addr = campaign.addr().to_string();
+
+    std::thread::scope(|scope| {
+        let crasher_addr = addr.clone();
+        let crasher = scope.spawn(move || {
+            nestsim::cluster::run_worker(
+                &crasher_addr,
+                &WorkerOptions {
+                    crash_after_samples: Some(1),
+                    ..WorkerOptions::default()
+                },
+            )
+        });
+        // Give the crasher a head start so it certainly leases a shard
+        // before the healthy worker can drain the campaign.
+        while campaign
+            .engine_stats()
+            .counter(names::CLUSTER_LEASES_GRANTED)
+            == 0
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let healthy_addr = addr.clone();
+        let healthy = scope
+            .spawn(move || nestsim::cluster::run_worker(&healthy_addr, &WorkerOptions::default()));
+
+        let got = campaign.wait();
+        let crasher_stats = crasher.join().unwrap().unwrap();
+        let healthy_stats = healthy.join().unwrap().unwrap();
+
+        assert_eq!(crasher_stats.shards_abandoned, 1);
+        let engine = &got.telemetry.engine;
+        assert!(
+            engine.counter(names::CLUSTER_REDISPATCHES) >= 1,
+            "the crashed worker's shard must be re-dispatched"
+        );
+        assert!(
+            healthy_stats.shards_completed >= 1,
+            "the healthy worker must pick up the abandoned work"
+        );
+        assert_identical("crashed worker", &reference, &got);
+    });
+}
