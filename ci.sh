@@ -10,6 +10,12 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> nestlint self-test (rules vs committed fixtures)"
+cargo run --offline -q -p nestlint -- --self-test
+
+echo "==> nestlint scan (determinism / hermeticity invariants, fails on unsuppressed findings)"
+cargo run --offline -q -p nestlint
+
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -1,11 +1,15 @@
 //! DRAM contents: the MCU's high-level uncore state (Table 1).
 
-use std::collections::HashMap;
-
 use nestsim_proto::addr::{LineAddr, PAddr, LINE_BYTES};
 
 /// Words (u64) per cache line.
 pub const WORDS_PER_LINE: usize = (LINE_BYTES / 8) as usize;
+
+// nestlint: allow(no-nondeterminism) -- audited: line maps are accessed
+// point-wise by line address; the only iterations are diff_lines (sorts
+// keys first) and apply_to (one independent write per key, order
+// commutes), so hash order never reaches results.
+type LineMap = std::collections::HashMap<u64, [u64; WORDS_PER_LINE]>;
 
 /// Sparse main-memory contents, line-granular.
 ///
@@ -14,7 +18,7 @@ pub const WORDS_PER_LINE: usize = (LINE_BYTES / 8) as usize;
 /// zero (the modeled DRAM is initialized to zero at "boot").
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramContents {
-    lines: HashMap<u64, [u64; WORDS_PER_LINE]>,
+    lines: LineMap,
 }
 
 impl DramContents {
@@ -59,11 +63,6 @@ impl DramContents {
     pub fn backed_lines(&self) -> usize {
         self.lines.len()
     }
-
-    /// Iterates over backed lines.
-    pub fn iter_lines(&self) -> impl Iterator<Item = (LineAddr, &[u64; WORDS_PER_LINE])> {
-        self.lines.iter().map(|(&k, v)| (LineAddr::new(k), v))
-    }
 }
 
 /// A copy-on-write overlay over base DRAM contents.
@@ -75,7 +74,7 @@ impl DramContents {
 /// the quantity Sec. 5.2's rollback-distance analysis is built on.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramOverlay {
-    writes: HashMap<u64, [u64; WORDS_PER_LINE]>,
+    writes: LineMap,
 }
 
 impl DramOverlay {

@@ -309,7 +309,9 @@ fn recv(shared: &Shared, stream: &mut TcpStream) -> io::Result<Message> {
 
 /// Sends one message, counting frames/bytes into the engine recorder.
 fn send(shared: &Shared, stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
-    let payload = msg.encode();
+    let payload = msg
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     {
         let mut st = shared.state.lock().expect("cluster state poisoned");
         st.engine.count(names::CLUSTER_FRAMES_SENT, 1);

@@ -45,16 +45,18 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// length yield `InvalidData`; a clean EOF before the first header byte
 /// yields `UnexpectedEof` (the peer hung up).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let mut header = [0u8; 8];
-    r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let mut magic_bytes = [0u8; 4];
+    r.read_exact(&mut magic_bytes)?;
+    let magic = u32::from_le_bytes(magic_bytes);
     if magic != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("bad frame magic {magic:#010x}"),
         ));
     }
-    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

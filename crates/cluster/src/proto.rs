@@ -240,12 +240,14 @@ const TAG_SUBMIT: u8 = 7;
 const TAG_SUBMIT_ACK: u8 = 8;
 const TAG_ERROR: u8 = 9;
 
-fn put_component(w: &mut Writer, c: ComponentKind) {
+fn put_component(w: &mut Writer, c: ComponentKind) -> Result<(), WireError> {
     let i = ComponentKind::ALL
         .iter()
         .position(|&x| x == c)
-        .expect("component in ALL") as u8;
+        .ok_or_else(|| format!("component {c:?} missing from ComponentKind::ALL"))?
+        as u8;
     w.u8(i);
+    Ok(())
 }
 
 fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
@@ -256,9 +258,9 @@ fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
         .ok_or_else(|| format!("unknown component tag {i}"))
 }
 
-fn put_job(w: &mut Writer, j: &JobWire) {
+fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
     w.str(&j.benchmark);
-    put_component(w, j.component);
+    put_component(w, j.component)?;
     w.u64(j.samples);
     w.u64(j.seed);
     w.u64(j.length_scale);
@@ -267,6 +269,7 @@ fn put_job(w: &mut Writer, j: &JobWire) {
     w.u64(j.snapshot_interval);
     w.bool(j.telemetry);
     w.u64(j.trace_capacity);
+    Ok(())
 }
 
 fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
@@ -285,8 +288,11 @@ fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
 }
 
 impl Message {
-    /// Serializes the message to a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the message to a frame payload. The only failure is
+    /// a domain value missing from its `ALL` table — a schema bug, but
+    /// one that must surface as an error on the sender, not a panic
+    /// inside the connection handler.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
         match self {
             Message::Hello { version } => {
@@ -311,7 +317,7 @@ impl Message {
                 w.u32(shard.id);
                 w.u64(shard.start);
                 w.u64(shard.len);
-                put_job(&mut w, job);
+                put_job(&mut w, job)?;
                 w.u64(*lease_ms);
                 w.u64(*heartbeat_ms);
             }
@@ -339,8 +345,8 @@ impl Message {
                 w.u32(s.runs.len() as u32);
                 for run in &s.runs {
                     w.u64(run.sample);
-                    put_record(&mut w, &run.record);
-                    put_recorder(&mut w, &run.recorder);
+                    put_record(&mut w, &run.record)?;
+                    put_recorder(&mut w, &run.recorder)?;
                 }
             }
             Message::SubmitAck { accepted } => {
@@ -352,7 +358,7 @@ impl Message {
                 w.str(message);
             }
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Deserializes a frame payload; the whole payload must be
@@ -498,7 +504,7 @@ mod tests {
             },
         ];
         for msg in msgs {
-            let bytes = msg.encode();
+            let bytes = msg.encode().unwrap();
             assert_eq!(Message::decode(&bytes).unwrap(), msg, "{msg:?}");
         }
     }
@@ -530,7 +536,7 @@ mod tests {
     #[test]
     fn unknown_tag_and_trailing_bytes_are_errors() {
         assert!(Message::decode(&[200]).is_err());
-        let mut bytes = Message::HelloAck { worker: 1 }.encode();
+        let mut bytes = Message::HelloAck { worker: 1 }.encode().unwrap();
         bytes.push(0);
         assert!(Message::decode(&bytes).is_err());
     }

@@ -106,36 +106,46 @@ impl<'a> Reader<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("length overflow at offset {}", self.pos))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
             .ok_or_else(|| format!("truncated payload at offset {}", self.pos))?;
-        let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes into an array; `copy_from_slice` cannot
+    /// miss because `take` either returns `N` bytes or errors.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u128`.
     pub fn u128(&mut self) -> Result<u128, WireError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(u128::from_le_bytes(self.array()?))
     }
 
     /// Reads a `u64` and narrows it to `usize`.
@@ -199,11 +209,12 @@ pub fn get_golden(r: &mut Reader<'_>) -> Result<GoldenRef, WireError> {
 
 /// Encodes an [`InjectionRecord`]; the outcome travels as its index
 /// into [`Outcome::ALL`].
-pub fn put_record(w: &mut Writer, rec: &InjectionRecord) {
+pub fn put_record(w: &mut Writer, rec: &InjectionRecord) -> Result<(), WireError> {
     let outcome = Outcome::ALL
         .iter()
         .position(|&o| o == rec.outcome)
-        .expect("outcome in ALL") as u8;
+        .ok_or_else(|| format!("outcome {:?} missing from Outcome::ALL", rec.outcome))?
+        as u8;
     w.u8(outcome);
     w.usize(rec.bit);
     w.u64(rec.inject_cycle);
@@ -212,6 +223,7 @@ pub fn put_record(w: &mut Writer, rec: &InjectionRecord) {
     w.opt_u64(rec.propagation_latency);
     w.usize(rec.corrupted_line_count);
     w.opt_u64(rec.rollback_distance);
+    Ok(())
 }
 
 /// Decodes an [`InjectionRecord`].
@@ -234,10 +246,10 @@ pub fn get_record(r: &mut Reader<'_>) -> Result<InjectionRecord, WireError> {
 
 /// Encodes a [`Recorder`] — active flag, counters, sparse histograms,
 /// and the full trace (capacity, drop count, retained events).
-pub fn put_recorder(w: &mut Writer, rec: &Recorder) {
+pub fn put_recorder(w: &mut Writer, rec: &Recorder) -> Result<(), WireError> {
     w.bool(rec.is_active());
     if !rec.is_active() {
-        return;
+        return Ok(());
     }
     let counters = rec.counters();
     w.u32(counters.len() as u32);
@@ -264,7 +276,9 @@ pub fn put_recorder(w: &mut Writer, rec: &Recorder) {
             w.u64(c);
         }
     }
-    let trace = rec.trace().expect("active recorder has a trace");
+    let trace = rec
+        .trace()
+        .ok_or_else(|| "active recorder has no trace".to_string())?;
     w.usize(trace.capacity());
     w.u64(trace.dropped());
     w.u32(trace.len() as u32);
@@ -274,10 +288,12 @@ pub fn put_recorder(w: &mut Writer, rec: &Recorder) {
         let kind = EventKind::ALL
             .iter()
             .position(|&k| k == e.kind)
-            .expect("kind in ALL") as u8;
+            .ok_or_else(|| format!("event kind {:?} missing from EventKind::ALL", e.kind))?
+            as u8;
         w.u8(kind);
         w.u64(e.payload);
     }
+    Ok(())
 }
 
 /// Decodes a [`Recorder`]; the result compares `==` to the encoded one.
@@ -298,10 +314,10 @@ pub fn get_recorder(r: &mut Reader<'_>) -> Result<Recorder, WireError> {
         let mut buckets = [0u64; NUM_BUCKETS];
         for _ in 0..r.u8()? {
             let i = r.u8()? as usize;
-            if i >= NUM_BUCKETS {
-                return Err(format!("histogram bucket index {i} out of range"));
-            }
-            buckets[i] = r.u64()?;
+            let slot = buckets
+                .get_mut(i)
+                .ok_or_else(|| format!("histogram bucket index {i} out of range"))?;
+            *slot = r.u64()?;
         }
         let total: u64 = buckets.iter().sum();
         if total != count {
@@ -394,7 +410,7 @@ mod tests {
             rollback_distance: Some(512),
         };
         let mut w = Writer::new();
-        put_record(&mut w, &rec);
+        put_record(&mut w, &rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(get_record(&mut r).unwrap(), rec);
@@ -413,7 +429,7 @@ mod tests {
             rec.event(c, "L2C", EventKind::BitFlip, c * 2);
         }
         let mut w = Writer::new();
-        put_recorder(&mut w, &rec);
+        put_recorder(&mut w, &rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let back = get_recorder(&mut r).unwrap();
@@ -425,12 +441,105 @@ mod tests {
     #[test]
     fn null_recorder_round_trips() {
         let mut w = Writer::new();
-        put_recorder(&mut w, &Recorder::null());
+        put_recorder(&mut w, &Recorder::null()).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let back = get_recorder(&mut r).unwrap();
         assert!(!back.is_active());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_primitives_error_at_every_width() {
+        // One regression per fixed `take`/`try_into` site: a payload
+        // one byte short of each primitive width must error, not panic.
+        assert!(Reader::new(&[]).u8().is_err());
+        assert!(Reader::new(&[0; 1]).u16().is_err());
+        assert!(Reader::new(&[0; 3]).u32().is_err());
+        assert!(Reader::new(&[0; 7]).u64().is_err());
+        assert!(Reader::new(&[0; 15]).u128().is_err());
+    }
+
+    #[test]
+    fn unknown_outcome_tag_is_a_protocol_error() {
+        let mut w = Writer::new();
+        w.u8(0xfe); // no such index in Outcome::ALL
+        let bytes = w.into_bytes();
+        let err = get_record(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("unknown outcome tag"), "{err}");
+    }
+
+    #[test]
+    fn bucket_index_out_of_range_is_a_protocol_error() {
+        let mut w = Writer::new();
+        w.bool(true);
+        w.u32(0); // no counters
+        w.u32(1); // one histogram
+        w.str(names::H_COSIM_RESIDENCY);
+        w.u64(1); // count
+        w.u128(1); // sum
+        w.u8(1); // one sparse bucket...
+        w.u8(NUM_BUCKETS as u8); // ...at an impossible index
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let err = get_recorder(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("bucket index"), "{err}");
+    }
+
+    #[test]
+    fn bucket_total_mismatch_is_a_protocol_error() {
+        let mut w = Writer::new();
+        w.bool(true);
+        w.u32(0);
+        w.u32(1);
+        w.str(names::H_COSIM_RESIDENCY);
+        w.u64(5); // claims five samples
+        w.u128(5);
+        w.u8(1);
+        w.u8(0);
+        w.u64(1); // but the buckets only hold one
+        let bytes = w.into_bytes();
+        let err = get_recorder(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("totals disagree"), "{err}");
+    }
+
+    #[test]
+    fn trace_longer_than_capacity_is_a_protocol_error() {
+        let mut w = Writer::new();
+        w.bool(true);
+        w.u32(0); // no counters
+        w.u32(0); // no histograms
+        w.usize(2); // capacity 2...
+        w.u64(0);
+        w.u32(3); // ...but three events claimed
+        let bytes = w.into_bytes();
+        let err = get_recorder(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("ring capacity"), "{err}");
+    }
+
+    #[test]
+    fn every_outcome_and_event_kind_encodes() {
+        // The encode side returns Err only if a variant is missing
+        // from its ALL table; lock the tables' completeness here.
+        for outcome in Outcome::ALL {
+            let rec = InjectionRecord {
+                outcome,
+                bit: 0,
+                inject_cycle: 0,
+                cosim_cycles: 0,
+                erroneous_output_cycle: None,
+                propagation_latency: None,
+                corrupted_line_count: 0,
+                rollback_distance: None,
+            };
+            put_record(&mut Writer::new(), &rec).unwrap();
+        }
+        let cfg = TelemetryConfig { trace_capacity: 4 };
+        for kind in EventKind::ALL {
+            let mut rec = Recorder::active(&cfg);
+            rec.event(1, "L2C", kind, 0);
+            put_recorder(&mut Writer::new(), &rec).unwrap();
+        }
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl JobState {
 }
 
 fn send(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
-    write_frame(stream, &msg.encode())
+    let payload = msg
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    write_frame(stream, &payload)
 }
 
 fn recv(stream: &mut TcpStream) -> io::Result<Message> {
@@ -181,6 +184,8 @@ enum ShardEnd {
     Abandoned,
 }
 
+// Everything here is per-shard context the coordinator dictated;
+// bundling it into a struct would just rename the argument list.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     stream: &mut TcpStream,

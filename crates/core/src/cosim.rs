@@ -13,7 +13,7 @@
 //! per-driver overlay that is applied at detach, so golden-side reads
 //! stay isolated during co-simulation).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use nestsim_arch::{DramOverlay, OverlayBackend};
 use nestsim_hlsim::{InterceptMode, OutMsg, System};
@@ -28,6 +28,12 @@ use nestsim_telemetry::{names, Recorder};
 
 /// DRAM round-trip latency seen by a co-simulated L2 bank.
 pub const COSIM_DRAM_LATENCY: u64 = 40;
+
+// nestlint: allow(no-nondeterminism) -- audited: the in-flight tag map
+// is keyed by wire tag and only probed point-wise (contains_key,
+// insert, remove, is_empty); nothing iterates it, so hash order cannot
+// reach results.
+type TagMap = std::collections::HashMap<u32, Option<(BankId, LineAddr)>>;
 /// Functional-bank service latency seen by the co-simulated crossbar.
 pub const COSIM_BANK_LATENCY: u64 = 15;
 
@@ -391,7 +397,7 @@ pub struct McuDriver {
     /// in-flight commands — a fill reusing a live writeback's tag would
     /// lose its routing entry when the writeback acks, stranding the
     /// requesting threads forever.
-    tag_map: HashMap<u32, Option<(BankId, LineAddr)>>,
+    tag_map: TagMap,
     next_tag: u32,
     first_err_out: Option<u64>,
 }
@@ -410,7 +416,7 @@ impl McuDriver {
             t_ov: DramOverlay::new(),
             g_ov: DramOverlay::new(),
             inbox: VecDeque::new(),
-            tag_map: HashMap::new(),
+            tag_map: TagMap::new(),
             next_tag: 0,
             first_err_out: None,
         }

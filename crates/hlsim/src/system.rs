@@ -1,7 +1,7 @@
 //! The event-driven full-system simulator (accelerated mode).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use nestsim_arch::{DramContents, L2BankArch, L2Geometry};
 use nestsim_proto::addr::{l2_bank_of, BankId, LineAddr, McuId, PAddr, ThreadId};
@@ -240,13 +240,28 @@ pub struct System {
 
     intercept: InterceptMode,
     outbox: VecDeque<OutMsg>,
-    inflight: HashMap<u64, u8>,
-    pending_fills: HashMap<(u8, u64), Vec<u8>>,
+    inflight: ReqMap,
+    pending_fills: FillMap,
 
-    last_store: HashMap<u64, u64>,
-    tainted: HashSet<u64>,
+    last_store: StoreMap,
+    tainted: LineSet,
     first_taint_read: Option<u64>,
 }
+
+// nestlint: allow(no-nondeterminism) -- audited: in-flight requests are
+// probed point-wise by request id (get/insert/remove/len only).
+type ReqMap = std::collections::HashMap<u64, u8>;
+// nestlint: allow(no-nondeterminism) -- audited: fill waiters are keyed
+// by (bank, line) and probed point-wise; the only reduction is an
+// order-insensitive sum of waiter counts, and per-key waiter order
+// lives in the Vec value, never in hasher order.
+type FillMap = std::collections::HashMap<(u8, u64), Vec<u8>>;
+// nestlint: allow(no-nondeterminism) -- audited: last-store cycles are
+// read point-wise by line address (get/insert/len only).
+type StoreMap = std::collections::HashMap<u64, u64>;
+// nestlint: allow(no-nondeterminism) -- audited: the taint set is only
+// probed with contains/is_empty and extended; never iterated.
+type LineSet = std::collections::HashSet<u64>;
 
 impl System {
     /// Builds the system: writes the program image, programs the DMA
@@ -298,10 +313,10 @@ impl System {
             watchdog,
             intercept: InterceptMode::None,
             outbox: VecDeque::new(),
-            inflight: HashMap::new(),
-            pending_fills: HashMap::new(),
-            last_store: HashMap::new(),
-            tainted: HashSet::new(),
+            inflight: ReqMap::new(),
+            pending_fills: FillMap::new(),
+            last_store: StoreMap::new(),
+            tainted: LineSet::new(),
             first_taint_read: None,
             threads,
             cfg,

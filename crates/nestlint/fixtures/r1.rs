@@ -1,0 +1,43 @@
+// Fixture for rule `no-nondeterminism` (R1). Lines with trailing
+// expectation markers must fire; every other line must stay clean.
+// This file is lint input, not compiled code.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; //~ no-nondeterminism
+
+pub struct Tally {
+    by_bank: BTreeMap<u32, u64>,
+}
+
+pub fn hash_ordered(m: HashMap<u64, u8>) -> usize { //~ no-nondeterminism
+    m.len()
+}
+
+pub fn wall_clock_reads() {
+    let _t = std::time::Instant::now(); //~ no-nondeterminism
+    let _s = SystemTime::now().duration_since(UNIX_EPOCH); //~ no-nondeterminism no-nondeterminism
+    let _id = std::thread::current().id(); //~ no-nondeterminism
+}
+
+pub fn strings_and_comments_are_inert() {
+    // A HashMap or Instant mentioned in a comment is not a finding.
+    let _s = "HashMap::<SystemTime, Instant>";
+}
+
+// nestlint: allow(no-nondeterminism) -- audited: point insert/lookup only,
+// iteration never observes hasher order.
+type TagMap = std::collections::HashMap<u32, u64>;
+
+pub fn unjustified_suppression() {
+    let _m = std::collections::HashSet::new(); // nestlint: allow(no-nondeterminism) //~ suppression no-nondeterminism
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

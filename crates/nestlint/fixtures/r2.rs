@@ -1,0 +1,41 @@
+// Fixture for rule `no-panic-on-wire` (R2). Lines with trailing
+// expectation markers must fire; every other line must stay clean.
+// This file is lint input, not compiled code.
+
+pub fn decode(buf: &[u8]) -> Result<u64, String> {
+    let first = buf[0]; //~ no-panic-on-wire
+    let tail = buf.get(1..).ok_or("short")?;
+    let word: [u8; 8] = tail.try_into().unwrap(); //~ no-panic-on-wire
+    let n = maybe_head(tail).expect("has a head"); //~ no-panic-on-wire
+    let b = take(1)?[0]; //~ no-panic-on-wire
+    if first > 9 {
+        panic!("bad tag"); //~ no-panic-on-wire
+    }
+    if n > 4 {
+        unreachable!("tag checked above"); //~ no-panic-on-wire
+    }
+    assert!(n < 4); //~ no-panic-on-wire
+    Ok(u64::from_le_bytes(word))
+}
+
+pub fn clean(buf: &[u8]) -> Result<u8, String> {
+    // Declarations, patterns, array literals, and bracketed types are
+    // not index expressions; `.get(…)` is the sanctioned accessor.
+    let _header = [0u8; 8];
+    let [_a, _b] = split_pair(buf)?;
+    let _v: Vec<[u8; 2]> = Vec::new();
+    buf.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+// nestlint: allow(no-panic-on-wire) -- length proven by the read_exact
+// above; documented invariant, not input-dependent.
+pub fn justified(buf: &[u8; 8]) -> u8 { buf[7] }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        decode(&[1, 2, 3]).unwrap();
+        assert_eq!(clean(&[9]).unwrap(), 9);
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture for rule `telemetry-names` (R3): the schema side. Paired
+// with r3_use.rs, which counts RUNS, DUP_A, DUP_B, UNREGISTERED, and
+// the undeclared MISSING. This file is lint input, not compiled code.
+
+pub mod names {
+    /// Counter: completed injection runs.
+    pub const RUNS: &str = "inject.runs";
+    /// Two constants sharing one string silently merge on export.
+    pub const DUP_A: &str = "shared.value";
+    pub const DUP_B: &str = "shared.value"; //~ telemetry-names
+    /// Declared and counted, but absent from ALL.
+    pub const UNREGISTERED: &str = "ghost.counter"; //~ telemetry-names
+    /// Registered but never counted anywhere.
+    pub const ORPHANED: &str = "dead.counter";
+
+    pub const ALL: &[&str] = &[
+        RUNS,
+        RUNS, //~ telemetry-names
+        DUP_A,
+        DUP_B,
+        ORPHANED, //~ telemetry-names
+        GHOST, //~ telemetry-names
+    ];
+
+    pub const COMPONENTS: &[&str] = &["l2c", "mcu"];
+
+    pub fn resolve(name: &str) -> Option<&'static str> {
+        ALL.iter().copied().find(|n| *n == name)
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture for rule `allow-justification` (R5). Lines with trailing
+// expectation markers must fire; every other line must stay clean.
+// This file is lint input, not compiled code.
+
+#[allow(dead_code)] //~ allow-justification
+pub fn unjustified() {}
+
+#[expect(unused_variables)] //~ allow-justification
+pub fn unjustified_expect(x: u8) {}
+
+#[allow(clippy::too_many_arguments)] // the signature mirrors the paper's Table 2 columns
+pub fn trailing_comment_ok(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {}
+
+// The paired-iteration here trips a clippy false positive; the two
+// slices are constructed with equal lengths three lines up.
+#[allow(clippy::needless_range_loop)]
+pub fn block_above_ok(xs: &[u8], ys: &mut [u8]) {
+    for i in 0..xs.len() {
+        ys[i] = xs[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(unused)]
+    fn exempt_in_tests() {}
+}

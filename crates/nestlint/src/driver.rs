@@ -1,0 +1,177 @@
+//! The workspace walker: finds sources and manifests, applies the
+//! policy table, filters through suppressions, and aggregates the
+//! final finding list.
+//!
+//! Scope — what gets which checks:
+//!
+//! * `.rs` files outside `tests/` / `benches/` / `examples/`
+//!   directories: path-scoped rules from [`crate::policy`], plus
+//!   `allow-justification` and suppression hygiene everywhere, with
+//!   `#[cfg(test)]` / `#[test]` items masked out;
+//! * every `.rs` file (including tests and benches): `names::X`
+//!   reference collection for the R3 coherence check — a name counted
+//!   only from a test still counts as used;
+//! * every `Cargo.toml`: the R4 hermeticity check;
+//! * the telemetry schema file is additionally parsed as the R3
+//!   registry.
+//!
+//! `target/`, `.git/`, and fixture directories are skipped.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::lex;
+use crate::manifest::check_manifest;
+use crate::names_check::{check_names, collect_uses, parse_names};
+use crate::policy::rules_for;
+use crate::rules::{
+    check_allow_justification, check_no_nondeterminism, check_no_panic_on_wire, parse_suppressions,
+    test_ranges, Finding, Rule, Suppressions,
+};
+
+/// Where the telemetry name registry lives, workspace-relative.
+pub const NAMES_FILE: &str = "crates/telemetry/src/lib.rs";
+
+/// Aggregate result of one workspace scan.
+pub struct ScanResult {
+    /// Surviving findings, sorted for stable output.
+    pub findings: Vec<Finding>,
+    /// Findings waved through by justified suppressions.
+    pub suppressed: usize,
+    /// Number of files examined (sources + manifests).
+    pub files: usize,
+}
+
+/// Scans the workspace rooted at `root`.
+pub fn scan(root: &Path) -> Result<ScanResult, String> {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut sources, &mut manifests)?;
+    sources.sort();
+    manifests.sort();
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files = 0usize;
+    let mut uses: Vec<(String, String, u32)> = Vec::new();
+    let mut names_decl = None;
+    let mut sups: BTreeMap<String, Suppressions> = BTreeMap::new();
+
+    for rel in &sources {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        files += 1;
+        let lexed = lex(&text);
+        for (ident, line) in collect_uses(&lexed) {
+            uses.push((rel.clone(), ident, line));
+        }
+        if rel == NAMES_FILE {
+            names_decl = Some(parse_names(&lexed));
+        }
+        if is_test_like(rel) {
+            continue;
+        }
+        let s = parse_suppressions(rel, &lexed);
+        findings.extend(s.findings.iter().cloned());
+        let skip = test_ranges(&lexed.tokens);
+        for rule in rules_for(rel) {
+            match rule {
+                Rule::NoNondeterminism => {
+                    findings.extend(check_no_nondeterminism(rel, &lexed, &skip))
+                }
+                Rule::NoPanicOnWire => findings.extend(check_no_panic_on_wire(rel, &lexed, &skip)),
+                _ => {}
+            }
+        }
+        findings.extend(check_allow_justification(rel, &lexed, &skip));
+        sups.insert(rel.clone(), s);
+    }
+
+    if let Some(decl) = &names_decl {
+        findings.extend(check_names(NAMES_FILE, decl, &uses));
+    }
+
+    for rel in &manifests {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        files += 1;
+        let rep = check_manifest(rel, &text);
+        findings.extend(rep.findings);
+        suppressed += rep.suppressed;
+    }
+
+    let before = findings.len();
+    findings.retain(|f| {
+        !sups
+            .get(&f.file)
+            .map(|s| s.covers(f.rule, f.line))
+            .unwrap_or(false)
+    });
+    suppressed += before - findings.len();
+    findings.sort();
+    findings.dedup();
+    Ok(ScanResult {
+        findings,
+        suppressed,
+        files,
+    })
+}
+
+/// Directories whose contents never get path-scoped rules.
+fn is_test_like(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    sources: &mut Vec<String>,
+    manifests: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | ".github" | "fixtures") {
+                continue;
+            }
+            walk(root, &path, sources, manifests)?;
+        } else if name == "Cargo.toml" {
+            manifests.push(rel_path(root, &path));
+        } else if name.ends_with(".rs") {
+            sources.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_like_paths_are_classified() {
+        assert!(is_test_like("tests/end_to_end.rs"));
+        assert!(is_test_like("crates/cluster/tests/chaos.rs"));
+        assert!(is_test_like("crates/bench/benches/kernel.rs"));
+        assert!(is_test_like("examples/sweep.rs"));
+        assert!(!is_test_like("crates/cluster/src/wire.rs"));
+        assert!(!is_test_like("src/main.rs"));
+    }
+}

@@ -1,0 +1,479 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The rules in this crate reason about *tokens*, never raw text, so a
+//! banned identifier inside a string literal, a doc comment, or a
+//! `panic!` spelled out in an error message cannot trip a finding. The
+//! lexer therefore has to get exactly three hard things right:
+//!
+//! 1. **Comments** — line comments (kept, because suppression
+//!    directives and justification comments live there), nested block
+//!    comments (Rust allows `/* /* */ */`), and doc comments;
+//! 2. **String-likes** — `"…"` with escapes, raw strings `r#"…"#` with
+//!    any number of hashes, byte/C-string variants, and char literals
+//!    (`'a'`, `'\n'`, `'\u{1F600}'`) versus lifetimes (`'a`, `'static`);
+//! 3. **Everything else** reduced to identifiers, numbers, and
+//!    single-character punctuation with line numbers attached.
+//!
+//! No spans, no interning, no error recovery cleverness: on malformed
+//! input (unterminated string, stray byte) the lexer consumes one
+//! character and moves on — a linter must never be the thing that
+//! fails the build on code rustc itself accepts, and rustc will reject
+//! what it should.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`foo`, `let`, `r#type` → `type`).
+    Ident(String),
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+    /// A string-like literal (string / raw string / byte string); the
+    /// cooked contents are kept for the telemetry-names rule.
+    Str(String),
+    /// A char literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `[`, `::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was lexed.
+    pub tok: Tok,
+}
+
+/// A `//` comment (regular or doc), with its 1-based line and its text
+/// *after* the slashes, untrimmed. Suppression directives and
+/// justification comments are mined from these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs only for `/* */`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Comments, in order (line and block).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` (one `.rs` file) into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, tok: Tok) {
+        self.out.tokens.push(Token { line, tok });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' | 'c' if self.string_prefix() => self.prefixed_string(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(line, Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the identifier-looking char at `pos` actually starts a
+    /// string-like literal: `r"`, `r#"`, `b"`, `b'`, `br"`, `rb` is not
+    /// a thing, `c"`, `cr#"`, `br#"` …
+    fn string_prefix(&self) -> bool {
+        let mut i = 1;
+        // Up to two prefix letters (`br`, `cr`), then hashes, then a quote.
+        if matches!(self.peek(i), Some('r')) && matches!(self.peek(0), Some('b' | 'c')) {
+            i += 1;
+        }
+        let raw = matches!(self.peek(i - 1), Some('r')) || matches!(self.peek(0), Some('r'));
+        if raw {
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+        }
+        match self.peek(i) {
+            Some('"') => true,
+            // b'x' byte char literal.
+            Some('\'') => i == 1 && self.peek(0) == Some('b'),
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // //
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; rustc's problem
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// A plain `"…"` string starting at the current quote.
+    fn string(&mut self, line: u32) {
+        self.bump(); // "
+        let mut value = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    // Keep escapes simple: the only consumers are the
+                    // telemetry-name checks, whose names are plain
+                    // ASCII. Preserve the common escapes, drop exotic
+                    // ones.
+                    match self.bump() {
+                        Some('n') => value.push('\n'),
+                        Some('t') => value.push('\t'),
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('\'') => value.push('\''),
+                        _ => {}
+                    }
+                }
+                c => value.push(c),
+            }
+        }
+        self.push(line, Tok::Str(value));
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`.
+    fn prefixed_string(&mut self, line: u32) {
+        // Consume prefix letters.
+        while matches!(self.peek(0), Some('r' | 'b' | 'c')) && self.peek(0) != Some('"') {
+            // Guard: a lone `r` identifier can't reach here (string_prefix
+            // checked a quote follows), so consuming is safe.
+            if matches!(self.peek(0), Some('b')) && self.peek(1) == Some('\'') {
+                // b'x' byte char: consume prefix then lex as char.
+                self.bump();
+                self.char_literal(line);
+                return;
+            }
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        let mut value = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` following '#'.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        value.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            value.push(c);
+        }
+        self.push(line, Tok::Str(value));
+    }
+
+    /// At a `'`: either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'x' / '\n' are char literals; 'ident not followed by a
+        // closing quote is a lifetime.
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => self.char_literal(line),
+            (Some(c), Some('\'')) if c != '\'' => self.char_literal(line),
+            (Some(c), _) if c == '_' || c.is_alphabetic() => {
+                self.bump(); // '
+                while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    self.bump();
+                }
+                self.push(line, Tok::Lifetime);
+            }
+            _ => self.char_literal(line),
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // '
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        self.push(line, Tok::Char);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut s = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            s.push(self.bump().unwrap_or('_'));
+        }
+        self.push(line, Tok::Ident(s));
+    }
+
+    fn number(&mut self, line: u32) {
+        // Numbers can contain `_`, type suffixes, hex/bin/oct digits,
+        // exponents. Consume the alphanumeric run plus `_`; a float's
+        // `.` arrives as Punct('.'), which no rule minds.
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.bump();
+        }
+        self.push(line, Tok::Num);
+    }
+}
+
+/// True if `ident` is a Rust keyword that can legally precede `[`
+/// without forming an index expression (`let [a, b] = …`, `in [..]`,
+/// `return [..]`, …). `self` is deliberately *not* here: `self[i]` is
+/// an index expression.
+pub fn keyword_before_bracket(ident: &str) -> bool {
+    matches!(
+        ident,
+        "as" | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+            | "await"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested HashMap */ still */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" here"#;
+            let b = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "only the real identifier counts: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let n = '\\n'; x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 3, "{:?}", lexed.tokens);
+        assert_eq!(chars, 2, "{:?}", lexed.tokens);
+    }
+
+    #[test]
+    fn byte_char_literals_lex_as_chars() {
+        let src = "let b = b'x'; let v = b\"bytes\";";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count(),
+            1
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::Str(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;";
+        let lexed = lex(src);
+        let c_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("c".into()))
+            .map(|t| t.line);
+        assert_eq!(c_line, Some(6));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn string_contents_are_preserved_for_name_checks() {
+        let lexed = lex("const X: &str = \"inject.runs\";");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Str("inject.runs".into())));
+    }
+
+    #[test]
+    fn raw_string_hashes_terminate_correctly() {
+        let lexed = lex(r###"let x = r##"a "# b"##; let tail = 1;"###);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Str("a \"# b".into())));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Ident("tail".into())));
+    }
+
+    #[test]
+    fn comments_capture_text_for_directives() {
+        let lexed = lex("let x = 1; // nestlint: allow(r1) -- why\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("nestlint: allow"));
+    }
+}

@@ -1,0 +1,29 @@
+//! nestlint — workspace-local static analysis for nestsim.
+//!
+//! A zero-dependency lint pass that enforces the repo invariants the
+//! compiler can't: determinism in result-affecting crates (R1,
+//! `no-nondeterminism`), error-returning wire decode paths (R2,
+//! `no-panic-on-wire`), telemetry name-registry coherence (R3,
+//! `telemetry-names`), hermetic manifests (R4, `hermeticity`), and
+//! justified `#[allow]`s (R5, `allow-justification`).
+//!
+//! Everything works off a hand-rolled Rust lexer ([`lexer`]) — tokens
+//! and comments, never raw text — so identifiers inside strings or
+//! comments can't produce findings. Which rules apply where is decided
+//! by the policy table in [`policy`]; individual lines opt out via a
+//! justified suppression comment (see [`rules::parse_suppressions`]).
+//! The binary (`cargo run -p nestlint --offline`) scans the workspace
+//! and exits non-zero on any unsuppressed finding; `--self-test` pins
+//! rule behavior against the committed `fixtures/`.
+
+pub mod driver;
+pub mod lexer;
+pub mod manifest;
+pub mod names_check;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod selftest;
+
+pub use driver::{scan, ScanResult};
+pub use rules::{Finding, Rule};

@@ -1,0 +1,130 @@
+//! The nestlint binary. See the library docs for what gets checked.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p nestlint --offline                  # scan the workspace
+//! cargo run -p nestlint --offline -- --self-test   # pin rules against fixtures/
+//! cargo run -p nestlint --offline -- --jsonl out.jsonl
+//! cargo run -p nestlint --offline -- --policy      # print the policy table
+//! ```
+//!
+//! Exit code 0 means clean (or self-test passed); 1 means findings (or
+//! self-test failures); 2 means the tool itself could not run.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nestlint::policy::TABLE;
+use nestlint::report::{render_jsonl, render_text};
+use nestlint::{driver, selftest};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut jsonl: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut show_policy = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--policy" => show_policy = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--jsonl" => match args.next() {
+                Some(p) => jsonl = Some(PathBuf::from(p)),
+                None => return usage("--jsonl needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if show_policy {
+        print_policy();
+        return ExitCode::SUCCESS;
+    }
+    if self_test {
+        return run_self_test();
+    }
+    run_scan(&root, jsonl.as_deref())
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("nestlint: {err}");
+    eprintln!("usage: nestlint [--root <dir>] [--jsonl <file>] [--self-test] [--policy]");
+    ExitCode::from(2)
+}
+
+fn print_policy() {
+    println!("nestlint policy table (first match wins):");
+    for row in TABLE {
+        let rules = if row.rules.is_empty() {
+            "(path-scoped rules off)".to_string()
+        } else {
+            row.rules
+                .iter()
+                .map(|r| r.id())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("  {:<38} {rules}", row.prefix);
+        println!("  {:<38}   why: {}", "", row.why);
+    }
+    println!("  everywhere                             allow-justification, suppression hygiene");
+    println!("  every Cargo.toml                       hermeticity");
+    println!("  whole workspace                        telemetry-names");
+}
+
+fn run_self_test() -> ExitCode {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let st = selftest::run(&fixtures);
+    if st.failures.is_empty() {
+        println!("nestlint self-test: ok ({} fixture files)", st.checked);
+        ExitCode::SUCCESS
+    } else {
+        for f in &st.failures {
+            eprintln!("nestlint self-test: {f}");
+        }
+        eprintln!(
+            "nestlint self-test: FAILED ({} problems across {} fixture files)",
+            st.failures.len(),
+            st.checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_scan(root: &Path, jsonl: Option<&Path>) -> ExitCode {
+    let res = match driver::scan(root) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("nestlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = jsonl {
+        if let Err(e) = std::fs::write(path, render_jsonl(&res.findings)) {
+            eprintln!("nestlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", render_text(&res.findings));
+    if res.findings.is_empty() {
+        println!(
+            "nestlint: clean — {} files, {} suppressed finding(s)",
+            res.files, res.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "nestlint: {} finding(s) across {} files ({} suppressed)",
+            res.findings.len(),
+            res.files,
+            res.suppressed
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,317 @@
+//! R4 — hermeticity: every dependency in every `Cargo.toml` must be a
+//! workspace path dependency (or inherit one via `workspace = true`).
+//!
+//! The CI gate builds `--offline` with no vendored registry, so a
+//! registry or git dependency doesn't just violate policy — it breaks
+//! the build in a way that only shows up on a clean machine. This
+//! check reports the exact manifest line instead.
+//!
+//! The parser is deliberately line-based: Cargo manifests in this
+//! workspace are flat, and a full TOML parser would itself be a
+//! dependency. Handled forms:
+//!
+//! * `foo = { path = "../foo" }` — ok
+//! * `foo = { workspace = true }` / `foo.workspace = true` — ok
+//!   (the `[workspace.dependencies]` entry it points at is checked in
+//!   the root manifest, where `path` is required)
+//! * `[dependencies.foo]` sub-tables — ok when a `path` or
+//!   `workspace = true` key appears before the next section
+//! * `foo = "1.2"` or `version =` without `path` — finding
+//! * any `git =` source — finding, even alongside `path`
+
+use crate::rules::{Finding, Rule};
+
+/// Findings plus the count of findings waved through by an inline
+/// `allow(hermeticity)` suppression with a justification.
+pub struct ManifestReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+}
+
+/// Checks one manifest. `file` is the workspace-relative path used in
+/// findings; `src` the manifest text.
+pub fn check_manifest(file: &str, src: &str) -> ManifestReport {
+    let mut rep = ManifestReport {
+        findings: Vec::new(),
+        suppressed: 0,
+    };
+    // (name, header line, suppressed, satisfied) for an open
+    // `[dependencies.<name>]` sub-table.
+    let mut subtable: Option<(String, u32, bool, bool)> = None;
+    let mut section = String::new();
+    let lines: Vec<&str> = src.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        let code = strip_comment(raw);
+        let t = code.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('[') {
+            flush_subtable(file, &mut subtable, &mut rep);
+            section = t.trim_matches(['[', ']']).trim().to_string();
+            if let Some(name) = subtable_dep_name(&section) {
+                subtable = Some((name, line_no, line_suppressed(raw), false));
+            }
+            continue;
+        }
+        if let Some(sub) = &mut subtable {
+            let key = t.split('=').next().unwrap_or("").trim();
+            let val = t.split_once('=').map(|(_, v)| v.trim()).unwrap_or("");
+            if key == "path" || (key == "workspace" && val == "true") {
+                sub.3 = true;
+            }
+            if key == "git" {
+                sub.3 = false;
+                // A git key poisons the sub-table outright.
+                emit(
+                    file,
+                    line_no,
+                    "fetched from git",
+                    key,
+                    line_suppressed(raw),
+                    &mut rep,
+                );
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = t.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let suppressed = line_suppressed(raw);
+        if key.ends_with(".workspace") {
+            // `foo.workspace = true` inherits the (path-checked)
+            // workspace entry.
+            continue;
+        }
+        let in_workspace_table = section == "workspace.dependencies";
+        if has_key(value, "git") {
+            emit(file, line_no, "fetched from git", key, suppressed, &mut rep);
+        } else if has_key(value, "path") {
+            // ok: path dependency
+        } else if !in_workspace_table && has_key(value, "workspace") {
+            // ok: inherits from [workspace.dependencies]
+        } else if value.starts_with('"') || has_key(value, "version") {
+            let reason = if in_workspace_table {
+                "workspace.dependencies entry without a path"
+            } else {
+                "registry version, not a workspace path"
+            };
+            emit(file, line_no, reason, key, suppressed, &mut rep);
+        } else {
+            emit(
+                file,
+                line_no,
+                "unrecognized dependency source",
+                key,
+                suppressed,
+                &mut rep,
+            );
+        }
+    }
+    flush_subtable(file, &mut subtable, &mut rep);
+    rep
+}
+
+fn emit(
+    file: &str,
+    line: u32,
+    reason: &str,
+    name: &str,
+    suppressed: bool,
+    rep: &mut ManifestReport,
+) {
+    if suppressed {
+        rep.suppressed += 1;
+        return;
+    }
+    rep.findings.push(Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::Hermeticity,
+        msg: format!("dependency `{name}`: {reason} — the offline build can't resolve it"),
+    });
+}
+
+fn flush_subtable(
+    file: &str,
+    subtable: &mut Option<(String, u32, bool, bool)>,
+    rep: &mut ManifestReport,
+) {
+    if let Some((name, line, suppressed, satisfied)) = subtable.take() {
+        if !satisfied {
+            emit(
+                file,
+                line,
+                "sub-table has no `path` or `workspace = true` key",
+                &name,
+                suppressed,
+                rep,
+            );
+        }
+    }
+}
+
+/// Does an inline-table value carry `key = …` as a key (not as a
+/// prefix of a longer key)?
+fn has_key(value: &str, key: &str) -> bool {
+    value.split([',', '{', '}']).any(|part| {
+        part.trim()
+            .strip_prefix(key)
+            .is_some_and(|rest| rest.trim_start().starts_with('='))
+    })
+}
+
+/// Cuts a TOML line at the first `#` outside a basic string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Inline suppression: the line's comment reads
+/// `allow(hermeticity) -- <justification>` after the tool marker.
+fn line_suppressed(raw: &str) -> bool {
+    let comment = match raw.find('#') {
+        Some(i) => &raw[i..],
+        None => return false,
+    };
+    let Some(at) = comment.find("nestlint:") else {
+        return false;
+    };
+    let rest = comment[at + "nestlint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(hermeticity)") else {
+        return false;
+    };
+    rest.trim_start()
+        .trim_start_matches(['-', ':', ' '])
+        .trim()
+        .len()
+        >= 10
+}
+
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || (section.starts_with("target.") && section.ends_with(".dependencies"))
+}
+
+/// For `[dependencies.foo]`-style headers, the dependency name.
+fn subtable_dep_name(section: &str) -> Option<String> {
+    for prefix in [
+        "dependencies.",
+        "dev-dependencies.",
+        "build-dependencies.",
+        "workspace.dependencies.",
+    ] {
+        if let Some(name) = section.strip_prefix(prefix) {
+            if !name.is_empty() && !name.contains('.') {
+                return Some(name.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(rep: &ManifestReport) -> Vec<u32> {
+        rep.findings.iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn path_and_workspace_deps_are_clean() {
+        let src = r#"
+[package]
+name = "x"
+
+[dependencies]
+core = { path = "../core" }
+stats = { path = "../stats", default-features = false }
+telemetry = { workspace = true }
+harness.workspace = true
+
+[dev-dependencies]
+bench = { path = "../bench" }
+"#;
+        let rep = check_manifest("Cargo.toml", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn registry_git_and_bare_versions_are_findings() {
+        let src = r#"
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8" }
+thing = { git = "https://example.com/thing" }
+"#;
+        let rep = check_manifest("Cargo.toml", src);
+        assert_eq!(lines(&rep), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn subtables_need_path_or_workspace() {
+        let src = "\
+[dependencies.good]
+path = \"../good\"
+
+[dependencies.bad]
+version = \"2\"
+
+[dependencies]
+fine = { path = \"../fine\" }
+";
+        let rep = check_manifest("Cargo.toml", src);
+        assert_eq!(lines(&rep), vec![4]);
+    }
+
+    #[test]
+    fn workspace_dependency_table_requires_paths() {
+        let src = "\
+[workspace.dependencies]
+harness = { path = \"crates/harness\" }
+serde = { workspace = true }
+";
+        let rep = check_manifest("Cargo.toml", src);
+        assert_eq!(lines(&rep), vec![3]);
+    }
+
+    #[test]
+    fn inline_suppression_with_justification_is_honored() {
+        let src = "\
+[dependencies]
+odd = \"1.0\" # nestlint: allow(hermeticity) -- vendored below, resolved by override
+bad = \"1.0\" # nestlint: allow(hermeticity)
+";
+        let rep = check_manifest("Cargo.toml", src);
+        assert_eq!(rep.suppressed, 1);
+        assert_eq!(lines(&rep), vec![3]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_confuse_the_parser() {
+        let src = "\
+[dependencies]
+# serde = \"1.0\"
+core = { path = \"../core\" } # a # in a trailing comment
+named = { path = \"../with#hash\" }
+";
+        let rep = check_manifest("Cargo.toml", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+}

@@ -1,0 +1,147 @@
+//! The per-crate / per-module policy table: which rules apply where.
+//!
+//! Paths are workspace-relative with forward slashes. The table is
+//! first-match-wins, so narrow exemptions (one file) sit above the
+//! broad crate entries they carve a hole into. Everything the table
+//! does not mention gets no path-scoped rules — the workspace-global
+//! rules (`telemetry-names`, `hermeticity`) and the everywhere rules
+//! (`allow-justification`, suppression hygiene) are not path-scoped
+//! and do not appear here.
+//!
+//! The split encodes the repo's determinism argument (see DESIGN.md
+//! "Static analysis"): crates whose outputs feed campaign *results*
+//! must be deterministic by construction, so hash-ordered containers
+//! and wall clocks are banned there; infrastructure that exists to
+//! measure wall time (bench harness, perf self-calibration) or to run
+//! real clocks (cluster lease bookkeeping, sockets) is exempt by
+//! listing, not by accident.
+
+use crate::rules::Rule;
+
+/// One policy row: path prefix (or exact file) → rules enabled.
+pub struct PolicyRow {
+    /// Workspace-relative path prefix, forward slashes.
+    pub prefix: &'static str,
+    /// Rules enabled under this prefix.
+    pub rules: &'static [Rule],
+    /// Why this row says what it says (rendered by `--policy`).
+    pub why: &'static str,
+}
+
+/// The policy table. First match wins.
+pub const TABLE: &[PolicyRow] = &[
+    PolicyRow {
+        prefix: "crates/core/src/perfmodel.rs",
+        rules: &[],
+        why: "perf self-calibration measures wall time by design; its outputs never feed results",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/src/wire.rs",
+        rules: &[Rule::NoNondeterminism, Rule::NoPanicOnWire],
+        why: "decodes untrusted TCP bytes into result-carrying values",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/src/frame.rs",
+        rules: &[Rule::NoNondeterminism, Rule::NoPanicOnWire],
+        why: "parses untrusted frame headers; a bad length must be an error, not a panic",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/src/proto.rs",
+        rules: &[Rule::NoNondeterminism, Rule::NoPanicOnWire],
+        why: "decodes untrusted protocol messages",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/src/shard.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "shard planning must be identical in every process",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/",
+        rules: &[],
+        why: "lease deadlines, sockets, and backoff run on real clocks by design",
+    },
+    PolicyRow {
+        prefix: "crates/arch/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "architectural state feeds golden digests and corruption diffs",
+    },
+    PolicyRow {
+        prefix: "crates/ckpt/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "rollback/propagation analysis is part of every record",
+    },
+    PolicyRow {
+        prefix: "crates/core/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "the injection engine: everything here is result-affecting",
+    },
+    PolicyRow {
+        prefix: "crates/hlsim/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "the accelerated-mode simulator produces the golden reference",
+    },
+    PolicyRow {
+        prefix: "crates/models/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "component models decide every outcome classification",
+    },
+    PolicyRow {
+        prefix: "crates/proto/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "address/packet types flow through digests",
+    },
+    PolicyRow {
+        prefix: "crates/qrr/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "detection/recovery outcomes are results",
+    },
+    PolicyRow {
+        prefix: "crates/rtl/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "RTL state and parity feed outcome classification",
+    },
+    PolicyRow {
+        prefix: "crates/stats/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "estimators and seeds must replay bit-identically",
+    },
+];
+
+/// Path-scoped rules for one workspace-relative file path.
+pub fn rules_for(path: &str) -> &'static [Rule] {
+    for row in TABLE {
+        if path.starts_with(row.prefix) {
+            return row.rules;
+        }
+    }
+    &[]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_exemptions_win_over_crate_rows() {
+        assert!(rules_for("crates/core/src/perfmodel.rs").is_empty());
+        assert!(rules_for("crates/core/src/cosim.rs").contains(&Rule::NoNondeterminism));
+    }
+
+    #[test]
+    fn cluster_wire_paths_get_both_rules() {
+        for f in ["wire.rs", "frame.rs", "proto.rs"] {
+            let rules = rules_for(&format!("crates/cluster/src/{f}"));
+            assert!(rules.contains(&Rule::NoPanicOnWire), "{f}");
+            assert!(rules.contains(&Rule::NoNondeterminism), "{f}");
+        }
+        assert!(rules_for("crates/cluster/src/lease.rs").is_empty());
+        assert!(rules_for("crates/cluster/src/coordinator.rs").is_empty());
+    }
+
+    #[test]
+    fn unlisted_paths_get_no_path_scoped_rules() {
+        assert!(rules_for("crates/telemetry/src/lib.rs").is_empty());
+        assert!(rules_for("crates/bench/benches/kernel.rs").is_empty());
+        assert!(rules_for("tests/end_to_end.rs").is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Rendering: human-readable text and a byte-stable JSONL report.
+//!
+//! The JSONL form mirrors the telemetry export style used elsewhere in
+//! the workspace: one object per line, keys in a fixed order, findings
+//! sorted by (file, line, rule, message) — so two runs over the same
+//! tree produce byte-identical reports and the file can be diffed in
+//! CI artifacts.
+
+use crate::rules::Finding;
+
+/// One finding per line: `file:line: [rule-id] message`.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file,
+            f.line,
+            f.rule.id(),
+            f.msg
+        ));
+    }
+    out
+}
+
+/// One JSON object per line, stable key order, sorted input assumed.
+pub fn render_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"msg\":\"{}\"}}\n",
+            json_escape(&f.file),
+            f.line,
+            f.rule.id(),
+            json_escape(&f.msg)
+        ));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (backslash, quote, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::NoPanicOnWire,
+            msg: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn text_and_jsonl_are_stable() {
+        let f = vec![finding("a.rs", 3, "uses `.unwrap()`")];
+        assert_eq!(
+            render_text(&f),
+            "a.rs:3: [no-panic-on-wire] uses `.unwrap()`\n"
+        );
+        assert_eq!(
+            render_jsonl(&f),
+            "{\"file\":\"a.rs\",\"line\":3,\"rule\":\"no-panic-on-wire\",\"msg\":\"uses `.unwrap()`\"}\n"
+        );
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let f = vec![finding(
+            "a.rs",
+            1,
+            "quote \" slash \\ tab \t nl \n bell \u{7}",
+        )];
+        let line = render_jsonl(&f);
+        assert!(line.contains("quote \\\" slash \\\\ tab \\t nl \\n bell \\u0007"));
+        // Still exactly one (terminated) line.
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+}

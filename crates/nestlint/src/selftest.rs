@@ -1,0 +1,208 @@
+//! `--self-test`: runs every rule against the committed fixtures and
+//! compares the findings against inline expectation markers —
+//! compiletest-style, so the lint's own behavior is pinned by files in
+//! the repo rather than only by unit tests.
+//!
+//! Markers are trailing comments: `//~ <rule-id> [<rule-id> …]` in
+//! Rust fixtures, `#~ <rule-id>` in TOML fixtures. Each marker means
+//! "this line must produce exactly these findings". Lines without a
+//! marker must be clean. Markers are stripped from the source before
+//! lexing so they can't themselves satisfy (or trip) a rule — e.g. a
+//! trailing marker would otherwise read as an `#[allow]` justification
+//! comment.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::lex;
+use crate::manifest::check_manifest;
+use crate::names_check::{check_names, collect_uses, parse_names};
+use crate::rules::{
+    check_allow_justification, check_no_nondeterminism, check_no_panic_on_wire, parse_suppressions,
+    test_ranges, Finding,
+};
+
+/// Self-test outcome: files checked and human-readable failures.
+pub struct SelfTest {
+    pub checked: usize,
+    pub failures: Vec<String>,
+}
+
+/// Extracts `(line, rule-id)` expectations and returns the source with
+/// markers removed (newlines preserved, so line numbers are stable).
+fn extract_markers(src: &str, marker: &str) -> (String, Vec<(u32, String)>) {
+    let mut stripped = String::with_capacity(src.len());
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        match line.find(marker) {
+            Some(at) => {
+                for id in line[at + marker.len()..].split_whitespace() {
+                    expected.push((line_no, id.to_string()));
+                }
+                stripped.push_str(line[..at].trim_end());
+            }
+            None => stripped.push_str(line),
+        }
+        stripped.push('\n');
+    }
+    (stripped, expected)
+}
+
+fn compare(
+    file: &str,
+    expected: &mut Vec<(u32, String)>,
+    findings: &[Finding],
+    failures: &mut Vec<String>,
+) {
+    let mut got: Vec<(u32, String)> = findings
+        .iter()
+        .filter(|f| f.file == file)
+        .map(|f| (f.line, f.rule.id().to_string()))
+        .collect();
+    expected.sort();
+    got.sort();
+    if *expected != got {
+        for e in expected.iter() {
+            if !got.contains(e) {
+                failures.push(format!("{file}:{}: expected `{}`, not produced", e.0, e.1));
+            }
+        }
+        for g in &got {
+            if !expected.contains(g) {
+                let msg = findings
+                    .iter()
+                    .find(|f| f.file == file && f.line == g.0 && f.rule.id() == g.1)
+                    .map(|f| f.msg.as_str())
+                    .unwrap_or("");
+                failures.push(format!("{file}:{}: unexpected `{}`: {msg}", g.0, g.1));
+            }
+        }
+    }
+}
+
+/// Runs one Rust fixture through `check` with suppression filtering,
+/// mirroring the driver's pipeline for a single file.
+fn run_rust_fixture(
+    dir: &Path,
+    file: &str,
+    check: impl Fn(&str, &crate::lexer::Lexed, &[(usize, usize)]) -> Vec<Finding>,
+    checked: &mut usize,
+    failures: &mut Vec<String>,
+) {
+    let path = dir.join(file);
+    let src = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("{file}: unreadable: {e}"));
+            return;
+        }
+    };
+    *checked += 1;
+    let (stripped, mut expected) = extract_markers(&src, "//~");
+    let lexed = lex(&stripped);
+    let sups = parse_suppressions(file, &lexed);
+    let skip = test_ranges(&lexed.tokens);
+    let mut findings = check(file, &lexed, &skip);
+    findings.extend(sups.findings.iter().cloned());
+    findings.retain(|f| !sups.covers(f.rule, f.line));
+    compare(file, &mut expected, &findings, failures);
+}
+
+/// Runs the full fixture suite under `dir`.
+pub fn run(dir: &Path) -> SelfTest {
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+
+    run_rust_fixture(
+        dir,
+        "r1.rs",
+        check_no_nondeterminism,
+        &mut checked,
+        &mut failures,
+    );
+    run_rust_fixture(
+        dir,
+        "r2.rs",
+        check_no_panic_on_wire,
+        &mut checked,
+        &mut failures,
+    );
+    run_rust_fixture(
+        dir,
+        "r5.rs",
+        check_allow_justification,
+        &mut checked,
+        &mut failures,
+    );
+
+    // R3 needs the schema/use pair processed together.
+    let names_src = fs::read_to_string(dir.join("r3_names.rs"));
+    let use_src = fs::read_to_string(dir.join("r3_use.rs"));
+    match (names_src, use_src) {
+        (Ok(names_src), Ok(use_src)) => {
+            checked += 2;
+            let (names_stripped, mut exp_names) = extract_markers(&names_src, "//~");
+            let (use_stripped, mut exp_use) = extract_markers(&use_src, "//~");
+            let decl = parse_names(&lex(&names_stripped));
+            let uses: Vec<(String, String, u32)> = collect_uses(&lex(&use_stripped))
+                .into_iter()
+                .map(|(ident, line)| ("r3_use.rs".to_string(), ident, line))
+                .collect();
+            let findings = check_names("r3_names.rs", &decl, &uses);
+            compare("r3_names.rs", &mut exp_names, &findings, &mut failures);
+            compare("r3_use.rs", &mut exp_use, &findings, &mut failures);
+        }
+        (names, uses) => {
+            for (f, r) in [("r3_names.rs", names), ("r3_use.rs", uses)] {
+                if let Err(e) = r {
+                    failures.push(format!("{f}: unreadable: {e}"));
+                }
+            }
+        }
+    }
+
+    match fs::read_to_string(dir.join("r4.toml")) {
+        Ok(src) => {
+            checked += 1;
+            let (stripped, mut expected) = extract_markers(&src, "#~");
+            let rep = check_manifest("r4.toml", &stripped);
+            compare("r4.toml", &mut expected, &rep.findings, &mut failures);
+        }
+        Err(e) => failures.push(format!("r4.toml: unreadable: {e}")),
+    }
+
+    SelfTest { checked, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_extraction_strips_and_collects() {
+        let (stripped, expected) = extract_markers(
+            "let a = x.unwrap(); //~ no-panic-on-wire\nlet b = 1;\n",
+            "//~",
+        );
+        assert_eq!(stripped, "let a = x.unwrap();\nlet b = 1;\n");
+        assert_eq!(expected, vec![(1, "no-panic-on-wire".to_string())]);
+    }
+
+    #[test]
+    fn multiple_ids_per_marker() {
+        let (_, expected) = extract_markers(
+            "buf[i].unwrap(); //~ no-panic-on-wire no-panic-on-wire\n",
+            "//~",
+        );
+        assert_eq!(expected.len(), 2);
+    }
+
+    #[test]
+    fn committed_fixtures_pass() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let st = run(&dir);
+        assert_eq!(st.checked, 6, "fixture files missing");
+        assert!(st.failures.is_empty(), "{:#?}", st.failures);
+    }
+}

@@ -12,7 +12,7 @@
 //! writebacks idempotent writes over the preserved DRAM contents, and
 //! in-order replay preserves the original per-line ordering.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use nestsim_core::inject::{GoldenRef, MIN_WARMUP};
 use nestsim_core::Outcome;
@@ -42,9 +42,15 @@ pub struct QrrMcuDriver {
     /// `None`. Unique across all in-flight commands (see the same field
     /// in `nestsim_core::cosim::McuDriver` for the stranding bug this
     /// prevents).
-    tag_map: HashMap<u32, Option<(BankId, LineAddr)>>,
+    tag_map: TagMap,
     next_tag: u32,
 }
+
+// nestlint: allow(no-nondeterminism) -- audited: the in-flight tag map
+// is keyed by wire tag and only probed point-wise (contains_key,
+// insert, remove, is_empty); nothing iterates it, so hash order cannot
+// reach results.
+type TagMap = std::collections::HashMap<u32, Option<(BankId, LineAddr)>>;
 
 impl QrrMcuDriver {
     /// Attaches QRR co-simulation for `mcu`.
@@ -58,7 +64,7 @@ impl QrrMcuDriver {
             ctrl: QrrController::new(),
             detector: ParityDetector::new(plan),
             inbox: VecDeque::new(),
-            tag_map: HashMap::new(),
+            tag_map: TagMap::new(),
             next_tag: 0,
         }
     }

@@ -270,7 +270,7 @@ pub fn run_qrr_injection(
 
 /// [`run_qrr_injection`] with telemetry: parity detections, replay
 /// attempts and recovery outcomes are recorded into `rec`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors run_injection_with's published signature
 pub fn run_qrr_injection_with(
     base: &System,
     golden: &GoldenRef,

@@ -18,6 +18,7 @@
 
 use nestsim_harness::{properties, Source};
 
+use nestsim::cluster::frame::{read_frame, write_frame};
 use nestsim::cluster::proto::{JobWire, Message, SubmitWire, PROTOCOL_VERSION};
 use nestsim::cluster::{auto_shard_size, plan_shards, Shard};
 use nestsim::models::ComponentKind;
@@ -26,6 +27,80 @@ use nestsim::models::ComponentKind;
 fn shuffle<T>(src: &mut Source, items: &mut [T]) {
     for i in (1..items.len()).rev() {
         items.swap(i, src.index(i + 1));
+    }
+}
+
+/// One random byte-level corruption: flip a bit, overwrite a byte,
+/// truncate, or insert.
+fn mutate(src: &mut Source, bytes: &mut Vec<u8>) {
+    match src.index(4) {
+        0 if !bytes.is_empty() => {
+            let i = src.index(bytes.len());
+            bytes[i] ^= 1 << src.index(8);
+        }
+        1 if !bytes.is_empty() => {
+            let i = src.index(bytes.len());
+            bytes[i] = src.u8();
+        }
+        2 => bytes.truncate(src.index(bytes.len() + 1)),
+        _ => {
+            let i = src.index(bytes.len() + 1);
+            bytes.insert(i, src.u8());
+        }
+    }
+}
+
+/// An arbitrary control-plane message (plus the degenerate submit) for
+/// the decoder fuzz.
+fn arbitrary_message(src: &mut Source) -> Message {
+    match src.index(10) {
+        0 => Message::Hello {
+            version: src.u64() as u16,
+        },
+        1 => Message::HelloAck {
+            worker: src.u64() as u32,
+        },
+        2 => Message::RequestShard {
+            worker: src.u64() as u32,
+        },
+        3 => Message::Assign {
+            shard: Shard {
+                id: src.u64() as u32,
+                start: src.below(1 << 40),
+                len: src.range_u64(1, 1 << 20),
+            },
+            job: arbitrary_job(src),
+            lease_ms: src.u64(),
+            heartbeat_ms: src.u64(),
+        },
+        4 => Message::Wait {
+            ms: src.u64(),
+            done: src.bool(),
+        },
+        5 => Message::Heartbeat {
+            worker: src.u64() as u32,
+            shard: src.u64() as u32,
+        },
+        6 => Message::HeartbeatAck {
+            current: src.bool(),
+        },
+        7 => Message::SubmitAck {
+            accepted: src.bool(),
+        },
+        8 => Message::Error {
+            message: src.lowercase_string(0, 64),
+        },
+        _ => Message::Submit(SubmitWire {
+            worker: src.u64() as u32,
+            shard: src.u64() as u32,
+            golden: nestsim::core::inject::GoldenRef {
+                digest: src.u64(),
+                cycles: src.u64(),
+            },
+            forward: src.u64(),
+            restores: src.u64(),
+            runs: Vec::new(),
+        }),
     }
 }
 
@@ -138,7 +213,7 @@ properties! {
             Message::Error { message: src.lowercase_string(0, 64) },
         ];
         for msg in msgs {
-            let decoded = Message::decode(&msg.encode()).expect("decode");
+            let decoded = Message::decode(&msg.encode().expect("encode")).expect("decode");
             assert_eq!(decoded, msg);
         }
     }
@@ -159,7 +234,38 @@ properties! {
             restores: src.u64(),
             runs: Vec::new(),
         });
-        let decoded = Message::decode(&msg.encode()).expect("decode");
+        let decoded = Message::decode(&msg.encode().expect("encode")).expect("decode");
         assert_eq!(decoded, msg);
+    }
+
+    /// Fuzz the payload decoder: random byte-level corruption of a
+    /// valid encoded message — bit flips, truncation, insertions,
+    /// overwrites — must never panic `Message::decode`. Every mutant
+    /// yields `Ok` or `Err`, and a mutant that still decodes is a real
+    /// message, so it must re-encode cleanly.
+    fn corrupted_payloads_never_panic_the_decoder(src) {
+        let msg = arbitrary_message(src);
+        let mut bytes = msg.encode().expect("encode");
+        for _ in 0..src.range_usize_inclusive(1, 8) {
+            mutate(src, &mut bytes);
+        }
+        if let Ok(decoded) = Message::decode(&bytes) {
+            decoded.encode().expect("a decoded message must re-encode");
+        }
+    }
+
+    /// Fuzz the framing layer the same way: corrupting the header or
+    /// body of a valid frame must yield `Ok` or an `io::Error` from
+    /// `read_frame`, never a panic — and never an attempt to allocate
+    /// a payload larger than the frame cap.
+    fn corrupted_frames_never_panic_the_reader(src) {
+        let payload_len = src.index(64);
+        let payload: Vec<u8> = (0..payload_len).map(|_| src.u8()).collect();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("write_frame");
+        for _ in 0..src.range_usize_inclusive(1, 8) {
+            mutate(src, &mut framed);
+        }
+        let _ = read_frame(&mut &framed[..]);
     }
 }
