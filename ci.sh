@@ -4,69 +4,94 @@
 # The workspace is hermetic by construction — no external crates — so
 # every step runs with `--offline`: a clean checkout plus a bare
 # rustc/cargo toolchain must be enough. If a step here fails, CI fails.
+#
+# Set NESTSIM_CI_ARTIFACTS to a directory to collect the fresh
+# BENCH_*.json measurement files the gates produce (ci.yml uploads
+# them so a red gate can be diagnosed from the run page).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
+# Per-stage wall-clock accounting: stage <name> closes the previous
+# stage and opens the next; the summary table prints at the end.
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_START=0
+stage() {
+    local now=$SECONDS
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((now - STAGE_START)))
+    fi
+    CURRENT_STAGE="$1"
+    STAGE_START=$now
+    echo "==> $1"
+}
+stage_summary() {
+    stage "done"
+    echo "==> ci.sh stage timing"
+    local i
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '    %4ds  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+    done
+}
+
+# bench_gate <name>: three measured runs of the <name> bench, compared
+# against the committed BENCH_<name>.json baseline (>15% fails). Three
+# runs because the gate takes the best-of-runs fastest sample against
+# the baseline median, which keeps it robust to background load on
+# shared machines (see bench_compare's docs).
+bench_gate() {
+    local name="$1"
+    stage "bench regression gate ($name vs committed BENCH_${name}.json, >15% fails)"
+    local runs=()
+    local i tmp
+    for i in 1 2 3; do
+        tmp="$(mktemp -d)"
+        NESTSIM_BENCH_OUT="$tmp" cargo bench --offline -p nestsim-bench --bench "$name"
+        runs+=("$tmp/BENCH_${name}.json")
+        if [[ -n "${NESTSIM_CI_ARTIFACTS:-}" ]]; then
+            mkdir -p "$NESTSIM_CI_ARTIFACTS"
+            cp "$tmp/BENCH_${name}.json" "$NESTSIM_CI_ARTIFACTS/BENCH_${name}.run${i}.json"
+        fi
+    done
+    cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
+        "BENCH_${name}.json" "${runs[@]}"
+}
+
+stage "cargo fmt --check"
 cargo fmt --check
 
-echo "==> nestlint self-test (rules vs committed fixtures)"
+stage "nestlint self-test (rules vs committed fixtures)"
 cargo run --offline -q -p nestlint -- --self-test
 
-echo "==> nestlint scan (determinism / hermeticity invariants, fails on unsuppressed findings)"
+stage "nestlint scan (determinism / hermeticity invariants, fails on unsuppressed findings)"
 cargo run --offline -q -p nestlint
 
-echo "==> cargo clippy (all targets, -D warnings)"
+stage "cargo clippy (all targets, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+stage "cargo build --release"
 cargo build --offline --release
 
-echo "==> cargo test"
+stage "cargo test"
 cargo test --offline --workspace -q
 
-echo "==> cluster smoke (coordinator + 2 worker processes on loopback, byte-identity + crash re-dispatch)"
+stage "cluster smoke (coordinator + 2 worker processes on loopback, byte-identity + crash re-dispatch)"
 # cluster_smoke execs the sibling nestsim-worker binary, so build the
 # package's bins explicitly (`cargo run --bin` alone would only build
 # cluster_smoke). Loopback TCP only; fully offline.
 cargo build --offline --release -p nestsim-cluster --bins
 cargo run --offline --release -p nestsim-cluster --bin cluster_smoke
 
-echo "==> bench smoke run (1 iteration per bench)"
+stage "bench smoke run (1 iteration per bench)"
 NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
     cargo bench --offline -p nestsim-bench
 
-echo "==> bench regression gate (kernel vs committed BENCH_kernel.json, >15% fails)"
-# Three measured runs; the gate compares the best-of-runs fastest
-# sample against the committed baseline median, which keeps it robust
-# to background load on shared machines (see bench_compare's docs).
-BENCH_RUNS=()
-for i in 1 2 3; do
-    BENCH_TMP="$(mktemp -d)"
-    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench kernel
-    BENCH_RUNS+=("$BENCH_TMP/BENCH_kernel.json")
-done
-cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
-    BENCH_kernel.json "${BENCH_RUNS[@]}"
+bench_gate kernel
+bench_gate campaign_grid
+bench_gate campaign_cluster
+bench_gate campaign_lanes
 
-echo "==> bench regression gate (campaign_grid vs committed BENCH_campaign_grid.json, >15% fails)"
-BENCH_RUNS=()
-for i in 1 2 3; do
-    BENCH_TMP="$(mktemp -d)"
-    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench campaign_grid
-    BENCH_RUNS+=("$BENCH_TMP/BENCH_campaign_grid.json")
-done
-cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
-    BENCH_campaign_grid.json "${BENCH_RUNS[@]}"
-
-echo "==> bench regression gate (campaign_cluster vs committed BENCH_campaign_cluster.json, >15% fails)"
-BENCH_RUNS=()
-for i in 1 2 3; do
-    BENCH_TMP="$(mktemp -d)"
-    NESTSIM_BENCH_OUT="$BENCH_TMP" cargo bench --offline -p nestsim-bench --bench campaign_cluster
-    BENCH_RUNS+=("$BENCH_TMP/BENCH_campaign_cluster.json")
-done
-cargo run --offline --release -p nestsim-bench --bin bench_compare -- \
-    BENCH_campaign_cluster.json "${BENCH_RUNS[@]}"
-
+stage_summary
 echo "==> ci.sh: all gates green"

@@ -104,6 +104,7 @@ fn run() -> Result<bool, String> {
 
     let mut regressed = false;
     let mut compared = 0;
+    let mut ln_ratio_sum = 0.0f64;
     println!(
         "{:<28} {:<28} {:>12} {:>12} {:>7}  status",
         "group", "name", "base med", "cur min", "ratio"
@@ -126,15 +127,19 @@ fn run() -> Result<bool, String> {
         compared += 1;
         let bound = base.median_ns * (1.0 + tolerance) + floor_ns;
         let ratio = cur.min_ns / base.median_ns.max(f64::MIN_POSITIVE);
+        ln_ratio_sum += ratio.max(f64::MIN_POSITIVE).ln();
         let status = if cur.min_ns > bound {
             regressed = true;
-            "REGRESSION"
+            "REGRESSION".to_string()
         } else if ratio > 1.0 + tolerance {
             // Over the relative bound but under the absolute floor:
             // timer noise on a nanosecond-scale bench, not a failure.
-            "noisy (under floor)"
+            "noisy (under floor)".to_string()
         } else {
-            "ok"
+            // Headroom: how much slower this bench could get before
+            // tripping the gate — the early-warning signal a bare "ok"
+            // hides when a row creeps toward its bound PR over PR.
+            format!("ok ({:.0}% headroom)", (1.0 - cur.min_ns / bound) * 100.0)
         };
         println!(
             "{:<28} {:<28} {:>12} {:>12} {:>6.2}x  {status}",
@@ -163,8 +168,13 @@ fn run() -> Result<bool, String> {
     if compared == 0 {
         return Err("no overlapping benches between baseline and current run".into());
     }
+    // The geometric mean of the per-bench current/baseline ratios: one
+    // number for "did this change make the suite faster or slower
+    // overall", robust to the rows' very different magnitudes.
+    let geomean = (ln_ratio_sum / compared as f64).exp();
     println!(
-        "\ncompared {compared} benches (tolerance {:.0}%, floor {})",
+        "\ncompared {compared} benches (tolerance {:.0}%, floor {}); \
+         geomean current/baseline {geomean:.3}x",
         tolerance * 100.0,
         fmt_ns(floor_ns)
     );

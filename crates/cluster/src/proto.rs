@@ -1,4 +1,4 @@
-//! The coordinator/worker message protocol, version 1.
+//! The coordinator/worker message protocol, version 2.
 //!
 //! Strictly request/response from the worker's side: the worker sends
 //! `Hello`/`RequestShard`/`Heartbeat`/`Submit` and reads exactly one
@@ -39,8 +39,9 @@ use crate::wire::{
 };
 
 /// Protocol version spoken by this build; `Hello` with any other
-/// version is refused with an `Error` reply.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// version is refused with an `Error` reply. Version 2 added the
+/// lane-batching fields (`lane_cluster`, `lane_width`) to [`JobWire`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Everything a worker needs to reconstruct one campaign cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +62,12 @@ pub struct JobWire {
     pub check_interval: u64,
     /// Snapshot-ladder rung spacing.
     pub snapshot_interval: u64,
+    /// Injection-trajectory cluster size (result-affecting sampling
+    /// parameter — must travel with the seed).
+    pub lane_cluster: u64,
+    /// Lane-batch width (execution-only, but carried so operators can
+    /// pin the whole execution configuration from the coordinator).
+    pub lane_width: u64,
     /// Whether per-run telemetry recorders should be produced.
     pub telemetry: bool,
     /// Trace ring capacity for per-run recorders.
@@ -83,6 +90,8 @@ impl JobWire {
             cosim_cap: spec.cosim_cap,
             check_interval: spec.check_interval,
             snapshot_interval: spec.snapshot_interval,
+            lane_cluster: spec.lane_cluster,
+            lane_width: spec.lane_width,
             telemetry: telemetry.is_some(),
             trace_capacity: telemetry.map_or(0, |c| c.trace_capacity as u64),
         }
@@ -101,6 +110,8 @@ impl JobWire {
             check_interval: self.check_interval,
             workers: 1,
             snapshot_interval: self.snapshot_interval,
+            lane_cluster: self.lane_cluster,
+            lane_width: self.lane_width,
         }
     }
 
@@ -128,6 +139,8 @@ impl Default for JobWire {
             cosim_cap: 1,
             check_interval: 1,
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            lane_cluster: 1,
+            lane_width: 64,
             telemetry: false,
             trace_capacity: 0,
         }
@@ -267,6 +280,8 @@ fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
     w.u64(j.cosim_cap);
     w.u64(j.check_interval);
     w.u64(j.snapshot_interval);
+    w.u64(j.lane_cluster);
+    w.u64(j.lane_width);
     w.bool(j.telemetry);
     w.u64(j.trace_capacity);
     Ok(())
@@ -282,6 +297,8 @@ fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
         cosim_cap: r.u64()?,
         check_interval: r.u64()?,
         snapshot_interval: r.u64()?,
+        lane_cluster: r.u64()?,
+        lane_width: r.u64()?,
         telemetry: r.bool()?,
         trace_capacity: r.u64()?,
     })
@@ -452,6 +469,8 @@ mod tests {
             cosim_cap: 20_000,
             check_interval: 16,
             snapshot_interval: 2_000,
+            lane_cluster: 8,
+            lane_width: 64,
             telemetry: true,
             trace_capacity: 4096,
         };

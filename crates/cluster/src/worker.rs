@@ -197,11 +197,15 @@ fn run_shard(
     opts: &WorkerOptions,
     stats: &mut WorkerStats,
 ) -> io::Result<ShardEnd> {
+    // The cluster worker runs samples one at a time (run_one, not
+    // run_span) so heartbeats stay sample-granular; the wire lane
+    // width still configures the runner for forward compatibility.
     let mut runner = ShardRunner::new(
         &state.ladder,
         &state.samples,
         &state.golden,
         state.telemetry.as_ref(),
+        state.key.lane_width as usize,
     );
     let mut runs = Vec::with_capacity(shard.len as usize);
     let mut last_contact = Instant::now();

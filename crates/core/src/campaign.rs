@@ -59,6 +59,25 @@ pub struct CampaignSpec {
     /// never affects results — only how much forward simulation the
     /// engine spends reaching injection entry points.
     pub snapshot_interval: u64,
+    /// Injection-trajectory cluster size (default 1). Consecutive
+    /// sample groups of this size share one randomly drawn trajectory
+    /// — instance, injection cycle and warm-up — and differ only in the
+    /// flipped bit, which is what lets the lane-batched engine advance
+    /// them as one batch against a single golden universe.
+    ///
+    /// **Result-affecting**: clustering changes *which* samples are
+    /// drawn (it is part of the sampling model, like `seed`), so it
+    /// belongs in reproducibility cell keys. `1` reproduces the
+    /// classic fully independent sampling bit-for-bit.
+    pub lane_cluster: u64,
+    /// Maximum faulty universes advanced per shared carrier universe
+    /// (default [`nestsim_rtl::MAX_LANES`]; valid range 1–64).
+    ///
+    /// **Execution-only**: like `workers` and `snapshot_interval`, the
+    /// lane width never affects records, counts, or merged telemetry —
+    /// `1` degenerates to the scalar engine, and the equivalence tests
+    /// lock byte-identity across widths.
+    pub lane_width: u64,
 }
 
 impl CampaignSpec {
@@ -73,6 +92,8 @@ impl CampaignSpec {
             check_interval: DEFAULT_CHECK_INTERVAL,
             workers: 0,
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            lane_cluster: 1,
+            lane_width: nestsim_rtl::MAX_LANES as u64,
         }
     }
 
@@ -111,6 +132,18 @@ impl CampaignSpec {
                 "snapshot_interval must be >= 1 (use u64::MAX to disable intermediate rungs)"
                     .into(),
             );
+        }
+        if self.lane_cluster == 0 {
+            return Err(
+                "lane_cluster must be >= 1 (1 = fully independent samples, no clustering)".into(),
+            );
+        }
+        if self.lane_width == 0 || self.lane_width > nestsim_rtl::MAX_LANES as u64 {
+            return Err(format!(
+                "lane_width must be in 1..={} (1 = scalar execution), got {}",
+                nestsim_rtl::MAX_LANES,
+                self.lane_width
+            ));
         }
         Ok(())
     }
@@ -235,6 +268,13 @@ pub fn validate_window(
 /// Draws the injection specs for a campaign (deterministic in the
 /// campaign seed).
 ///
+/// With `spec.lane_cluster > 1`, consecutive groups of that size share
+/// their *leader's* trajectory (instance, injection cycle, warm-up)
+/// while every member keeps its own independently drawn bit — each
+/// member's bit still comes from its own per-sample RNG stream, so
+/// raising the cluster size never changes which bits sample `k` flips,
+/// only where it flips them.
+///
 /// # Panics
 ///
 /// Panics if [`validate_window`] rejects the cell — sampling from an
@@ -253,10 +293,11 @@ pub fn draw_samples(
     let root = SeedSeq::new(spec.seed)
         .derive("campaign")
         .derive(profile.name);
+    let cluster = spec.lane_cluster.max(1);
     (0..spec.samples)
         .map(|k| {
             let mut rng = root.derive_index(k).rng();
-            InjectionSpec {
+            let mut s = InjectionSpec {
                 component: spec.component,
                 instance: rng.below(instances as u64) as usize,
                 bit: *rng.pick(&bits),
@@ -264,7 +305,18 @@ pub fn draw_samples(
                 warmup: MIN_WARMUP + rng.below(1_000),
                 cosim_cap: spec.cosim_cap,
                 check_interval: spec.check_interval,
+            };
+            let leader = k - k % cluster;
+            if leader != k {
+                // Replay the leader's draw sequence (same order as
+                // above, discarding its bit) and adopt its trajectory.
+                let mut lrng = root.derive_index(leader).rng();
+                s.instance = lrng.below(instances as u64) as usize;
+                let _ = lrng.pick(&bits);
+                s.inject_cycle = lrng.range(lo, hi);
+                s.warmup = MIN_WARMUP + lrng.below(1_000);
             }
+            s
         })
         .collect()
 }
@@ -292,15 +344,21 @@ pub struct ShardRunner<'a> {
     cursor: Option<System>,
     forward: u64,
     restores: u64,
+    lane_width: usize,
+    lanes: crate::lanes::LaneBatchStats,
 }
 
 impl<'a> ShardRunner<'a> {
-    /// A fresh runner (fresh cursor) for one shard.
+    /// A fresh runner (fresh cursor) for one shard. `lane_width` caps
+    /// how many same-trajectory samples [`run_span`](Self::run_span)
+    /// batches per shared carrier universe (clamped to 1–64; it never
+    /// affects results, only execution).
     pub fn new(
         ladder: &'a SnapshotLadder,
         samples: &'a [InjectionSpec],
         golden: &'a GoldenRef,
         telemetry: Option<&'a TelemetryConfig>,
+        lane_width: usize,
     ) -> Self {
         ShardRunner {
             ladder,
@@ -310,18 +368,15 @@ impl<'a> ShardRunner<'a> {
             cursor: None,
             forward: 0,
             restores: 0,
+            lane_width: lane_width.clamp(1, nestsim_rtl::MAX_LANES),
+            lanes: crate::lanes::LaneBatchStats::default(),
         }
     }
 
-    /// Runs sample `i`, returning its record and per-run recorder.
-    ///
-    /// Calls within one runner must present non-decreasing entry
-    /// cycles (any contiguous slice of [`entry_order`] does); a shard
-    /// that restarts earlier needs a fresh runner, or the cursor would
-    /// sit past the entry point.
-    pub fn run_one(&mut self, i: usize) -> (InjectionRecord, Recorder) {
-        let s = &self.samples[i];
-        let entry = entry_cycle(s);
+    /// Positions the cursor at `entry`: restores from the nearest rung
+    /// at or below it when that beats the current cursor, then runs
+    /// forward.
+    fn seek(&mut self, entry: u64) {
         let rung = self.ladder.rung_below(entry);
         if self
             .cursor
@@ -338,12 +393,75 @@ impl<'a> ShardRunner<'a> {
         );
         self.forward += entry.saturating_sub(my_base.cycle());
         my_base.run_until(entry);
+    }
+
+    /// Runs sample `i`, returning its record and per-run recorder.
+    ///
+    /// Calls within one runner must present non-decreasing entry
+    /// cycles (any contiguous slice of [`entry_order`] does); a shard
+    /// that restarts earlier needs a fresh runner, or the cursor would
+    /// sit past the entry point.
+    pub fn run_one(&mut self, i: usize) -> (InjectionRecord, Recorder) {
+        let s = &self.samples[i];
+        self.seek(entry_cycle(s));
+        let my_base = self.cursor.as_ref().expect("cursor was just positioned");
         let mut rec = match self.telemetry {
             Some(cfg) => Recorder::active(cfg),
             None => Recorder::null(),
         };
         let r = run_injection_with(my_base, self.golden, s, &mut rec);
         (r, rec)
+    }
+
+    /// Runs a whole shard (a contiguous slice of [`entry_order`]),
+    /// batching consecutive same-trajectory samples — the product of
+    /// `CampaignSpec::lane_cluster` — into lane batches of up to
+    /// `lane_width` faulty universes per shared carrier
+    /// (`crate::lanes`). Singleton groups and non-L2C components take
+    /// the scalar path; results are byte-identical to calling
+    /// [`run_one`](Self::run_one) per sample, in the same order.
+    pub fn run_span(&mut self, span: &[usize]) -> IndexedRuns {
+        let mut out: IndexedRuns = Vec::with_capacity(span.len());
+        let mut g = 0;
+        while g < span.len() {
+            let mut end = g + 1;
+            while end < span.len()
+                && end - g < self.lane_width
+                && same_trajectory(&self.samples[span[g]], &self.samples[span[end]])
+            {
+                end += 1;
+            }
+            let group = &span[g..end];
+            g = end;
+            if group.len() == 1 || self.samples[group[0]].component != ComponentKind::L2c {
+                // Clustered samples that cannot batch still count as
+                // scalar fallbacks; genuinely unclustered singletons
+                // are just the classic engine.
+                if group.len() > 1 {
+                    self.lanes.scalar_fallbacks += group.len() as u64;
+                }
+                for &i in group {
+                    let (r, rec) = self.run_one(i);
+                    out.push((i, r, rec));
+                }
+            } else {
+                self.seek(entry_cycle(&self.samples[group[0]]));
+                let base = self.cursor.as_ref().expect("cursor was just positioned");
+                let mut runs = crate::lanes::run_l2c_batch(
+                    base,
+                    self.golden,
+                    self.samples,
+                    group,
+                    self.telemetry,
+                    &mut self.lanes,
+                );
+                // Batch retirement order is check-driven; the caller
+                // contract is shard order.
+                runs.sort_by_key(|(i, _, _)| group.iter().position(|&s| s == *i));
+                out.extend(runs);
+            }
+        }
+        out
     }
 
     /// Accelerated-mode cycles forward-simulated so far.
@@ -355,6 +473,22 @@ impl<'a> ShardRunner<'a> {
     pub fn restores(&self) -> u64 {
         self.restores
     }
+
+    /// Lane-batching counters accumulated so far.
+    pub(crate) fn lane_stats(&self) -> crate::lanes::LaneBatchStats {
+        self.lanes
+    }
+}
+
+/// True when two samples share one injection trajectory — everything
+/// but the flipped bit — and can therefore ride one lane batch.
+fn same_trajectory(a: &InjectionSpec, b: &InjectionSpec) -> bool {
+    a.component == b.component
+        && a.instance == b.instance
+        && a.inject_cycle == b.inject_cycle
+        && a.warmup == b.warmup
+        && a.cosim_cap == b.cosim_cap
+        && a.check_interval == b.check_interval
 }
 
 /// Runs the error-free reference execution *and* captures the snapshot
@@ -477,20 +611,28 @@ pub fn run_campaign_with(
     let shards = contiguous_shards(&order, worker_count(spec, order.len()));
 
     let ladder = &ladder;
-    let per_worker: Vec<(IndexedRuns, u64, u64)> = std::thread::scope(|scope| {
+    type WorkerOut = (IndexedRuns, u64, u64, crate::lanes::LaneBatchStats);
+    let per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
                 let samples = &samples;
                 let golden = &golden;
                 scope.spawn(move || {
-                    let mut runner = ShardRunner::new(ladder, samples, golden, telemetry);
-                    let mut out = Vec::with_capacity(shard.len());
-                    for &i in shard {
-                        let (r, rec) = runner.run_one(i);
-                        out.push((i, r, rec));
-                    }
-                    (out, runner.forward_cycles(), runner.restores())
+                    let mut runner = ShardRunner::new(
+                        ladder,
+                        samples,
+                        golden,
+                        telemetry,
+                        spec.lane_width as usize,
+                    );
+                    let out = runner.run_span(shard);
+                    (
+                        out,
+                        runner.forward_cycles(),
+                        runner.restores(),
+                        runner.lane_stats(),
+                    )
                 })
             })
             .collect();
@@ -501,9 +643,12 @@ pub fn run_campaign_with(
     });
 
     let mut indexed = Vec::with_capacity(samples.len());
-    for (out, forward, restores) in per_worker {
+    for (out, forward, restores, lanes) in per_worker {
         engine.count(names::FORWARD_CYCLES, forward);
         engine.count(names::LADDER_RESTORES, restores);
+        engine.count(names::LANES_BATCHES, lanes.batches);
+        engine.count(names::LANES_RETIRED_EARLY, lanes.retired_early);
+        engine.count(names::LANES_SCALAR_FALLBACKS, lanes.scalar_fallbacks);
         indexed.extend(out);
     }
     finish_campaign(profile, spec, telemetry, golden, indexed, &shards, engine)
@@ -884,6 +1029,41 @@ mod tests {
         assert!(bad(|s| s.check_interval = 0).contains("check_interval"));
         assert!(bad(|s| s.cosim_cap = 0).contains("cosim_cap"));
         assert!(bad(|s| s.snapshot_interval = 0).contains("snapshot_interval"));
+        assert!(bad(|s| s.lane_cluster = 0).contains("lane_cluster"));
+        assert!(bad(|s| s.lane_width = 0).contains("lane_width"));
+        assert!(bad(|s| s.lane_width = 65).contains("lane_width"));
+    }
+
+    #[test]
+    fn clustered_sampling_shares_trajectories_but_not_bits() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec {
+            lane_cluster: 4,
+            ..CampaignSpec::quick(ComponentKind::L2c, 16)
+        };
+        let (_, golden) = golden_reference(profile, &spec);
+        let clustered = draw_samples(profile, &spec, &golden);
+        let independent = draw_samples(
+            profile,
+            &CampaignSpec {
+                lane_cluster: 1,
+                ..spec
+            },
+            &golden,
+        );
+        for (k, s) in clustered.iter().enumerate() {
+            let leader = &clustered[k - k % 4];
+            // Cluster members share the leader's trajectory...
+            assert_eq!(s.instance, leader.instance);
+            assert_eq!(s.inject_cycle, leader.inject_cycle);
+            assert_eq!(s.warmup, leader.warmup);
+            // ...but keep the very bit they would draw unclustered.
+            assert_eq!(s.bit, independent[k].bit);
+        }
+        // Leaders are untouched by clustering.
+        for k in (0..16).step_by(4) {
+            assert_eq!(clustered[k], independent[k]);
+        }
     }
 
     #[test]
@@ -916,6 +1096,21 @@ mod tests {
         );
         let flat: Vec<usize> = shards.concat();
         assert_eq!(flat, order);
+    }
+
+    #[test]
+    fn lane_batched_engine_matches_replay_with_clustering() {
+        let profile = by_name("radi").unwrap();
+        let spec = CampaignSpec {
+            workers: 2,
+            lane_cluster: 8,
+            ..CampaignSpec::quick(ComponentKind::L2c, 16)
+        };
+        let batched = run_campaign_with(profile, &spec, None);
+        let replay = run_campaign_replay(profile, &spec, None);
+        assert_eq!(batched.records, replay.records);
+        assert_eq!(batched.counts, replay.counts);
+        assert_eq!(batched.golden, replay.golden);
     }
 
     #[test]

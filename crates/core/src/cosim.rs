@@ -134,17 +134,21 @@ pub trait CosimDriver: Sized {
 
 /// Mini DRAM model (latency queue over an overlay) standing in for the
 /// rest of the memory system while an L2 bank is co-simulated.
+///
+/// Crate-visible so the lane-batched engine (`crate::lanes`) can give
+/// each faulty lane its own private DRAM queue, exactly as the scalar
+/// driver gives the target and the golden separate queues.
 #[derive(Debug, Clone, Default)]
-struct LatencyDram {
-    queue: VecDeque<(u64, DramCmd)>,
+pub(crate) struct LatencyDram {
+    pub(crate) queue: VecDeque<(u64, DramCmd)>,
 }
 
 impl LatencyDram {
-    fn push(&mut self, cycle: u64, cmd: DramCmd) {
+    pub(crate) fn push(&mut self, cycle: u64, cmd: DramCmd) {
         self.queue.push_back((cycle + COSIM_DRAM_LATENCY, cmd));
     }
 
-    fn pop_ready(
+    pub(crate) fn pop_ready(
         &mut self,
         cycle: u64,
         base: &nestsim_arch::DramContents,
@@ -188,12 +192,34 @@ pub struct L2cDriver {
     /// The golden copy (present after
     /// [`snapshot_golden`](CosimDriver::snapshot_golden)).
     pub golden: Option<L2cBank>,
-    t_ov: DramOverlay,
+    // The target-side plumbing is crate-visible: the lane-batched
+    // engine (`crate::lanes`) uses an uninjected L2cDriver as the
+    // shared carrier universe and reads its overlay/DRAM-queue/inbox as
+    // every lane's golden reference.
+    pub(crate) t_ov: DramOverlay,
     g_ov: DramOverlay,
-    t_dram: LatencyDram,
+    pub(crate) t_dram: LatencyDram,
     g_dram: LatencyDram,
-    inbox: VecDeque<PcxPacket>,
+    pub(crate) inbox: VecDeque<PcxPacket>,
     first_err_out: Option<u64>,
+}
+
+/// What one carrier cycle of the lane-batched engine produced: the
+/// input consumed and the outputs emitted by the shared uninjected
+/// universe, so every faulty lane can tick against the same stimulus.
+pub(crate) struct CarrierTick {
+    /// The cycle just simulated.
+    pub cyc: u64,
+    /// Whether the carrier bank was input-ready this cycle (the pop
+    /// gate; a live lane disagreeing while a packet was at stake must
+    /// leave the batch).
+    pub ready: bool,
+    /// Whether the inbox held a packet before the pop decision.
+    pub inbox_nonempty: bool,
+    /// The packet consumed this cycle, if any.
+    pub pcx: Option<PcxPacket>,
+    /// The carrier's outputs — each lane's golden outputs this cycle.
+    pub out: nestsim_models::l2c::L2cOutputs,
 }
 
 impl L2cDriver {
@@ -222,6 +248,48 @@ impl L2cDriver {
     fn record_divergence(&mut self, cycle: u64) {
         if self.first_err_out.is_none() {
             self.first_err_out = Some(cycle);
+        }
+    }
+
+    /// One cycle of the lane-batched engine's shared carrier: exactly
+    /// [`step`](CosimDriver::step) for a driver whose golden is absent,
+    /// but returning the consumed input and the produced outputs so the
+    /// faulty lanes can tick against the same stimulus. Any semantic
+    /// drift from `step` breaks the byte-identity of the batched engine
+    /// against the scalar oracle — the equivalence tests lock it.
+    pub(crate) fn step_carrier(&mut self) -> CarrierTick {
+        debug_assert!(
+            self.golden.is_none(),
+            "the batch carrier is its own golden; snapshot_golden must not be called"
+        );
+        let cyc = self.sys.cycle() + 1;
+        self.sys.run_until(cyc);
+        for msg in self.sys.drain_outbox() {
+            match msg {
+                OutMsg::Pcx(p) => self.inbox.push_back(p),
+                other => unreachable!("unexpected outbox message {other:?}"),
+            }
+        }
+        let ready = self.target.ready();
+        let inbox_nonempty = !self.inbox.is_empty();
+        let pcx = if ready { self.inbox.pop_front() } else { None };
+        let t_resp = self.t_dram.pop_ready(cyc, self.sys.dram(), &mut self.t_ov);
+        let out = self.target.tick(&L2cInputs {
+            pcx,
+            dram_resp: t_resp,
+        });
+        if let Some(cmd) = &out.dram_cmd {
+            self.t_dram.push(cyc, cmd.clone());
+        }
+        if let Some(cpx) = out.cpx {
+            self.sys.deliver_cpx(cpx);
+        }
+        CarrierTick {
+            cyc,
+            ready,
+            inbox_nonempty,
+            pcx,
+            out,
         }
     }
 }

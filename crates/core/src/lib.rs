@@ -44,6 +44,7 @@ pub mod campaign;
 pub mod core_inject;
 pub mod cosim;
 pub mod inject;
+mod lanes;
 pub mod outcome;
 pub mod perfmodel;
 pub mod persistence;

@@ -1,0 +1,51 @@
+// Fixture for rule `no-nondeterminism` applied to lane-batch-shaped
+// code (R6). The lane engine retires whole batches of faulty
+// universes and must stay byte-identical at every lane width, so the
+// same determinism bans hold as in the rest of the injection engine.
+// This file is lint input, not compiled code.
+
+use std::collections::BTreeMap;
+
+pub struct LaneBatch {
+    // Retirement bookkeeping iterates; ordered containers only.
+    retired: BTreeMap<usize, u64>,
+    live: u64,
+}
+
+impl LaneBatch {
+    pub fn retire_order(&self) -> Vec<usize> {
+        self.retired.keys().copied().collect()
+    }
+
+    pub fn dedup_lanes(&self) -> usize {
+        let seen = std::collections::HashSet::<u64>::new(); //~ no-nondeterminism
+        seen.len()
+    }
+
+    pub fn stamp_retirement(&mut self, lane: usize) {
+        // A wall-clock retirement stamp would differ per host.
+        let _t = std::time::Instant::now(); //~ no-nondeterminism
+        self.retired.insert(lane, self.live);
+    }
+
+    pub fn shuffle_seed(&self) -> u64 {
+        // Hasher-keyed lane maps reorder fallback replay.
+        let m = HashMap::<usize, u64>::new(); //~ no-nondeterminism
+        m.len() as u64
+    }
+}
+
+pub fn lane_mask_math_is_clean(live: u64, retired: u64) -> u64 {
+    // The real kernel: pure word-parallel bit math, nothing to flag.
+    (live & !retired).count_ones() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

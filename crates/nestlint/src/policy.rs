@@ -71,6 +71,12 @@ pub const TABLE: &[PolicyRow] = &[
         why: "rollback/propagation analysis is part of every record",
     },
     PolicyRow {
+        prefix: "crates/core/src/lanes.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "lane batching must retire byte-identical results at every lane width; \
+              pinned explicitly so a future core-wide exemption cannot silently drop it",
+    },
+    PolicyRow {
         prefix: "crates/core/src/",
         rules: &[Rule::NoNondeterminism],
         why: "the injection engine: everything here is result-affecting",
@@ -94,6 +100,12 @@ pub const TABLE: &[PolicyRow] = &[
         prefix: "crates/qrr/src/",
         rules: &[Rule::NoNondeterminism],
         why: "detection/recovery outcomes are results",
+    },
+    PolicyRow {
+        prefix: "crates/rtl/src/lanes.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "the lane-wise XOR golden compare decides which universes diverged; \
+              pinned explicitly so a future rtl-wide exemption cannot silently drop it",
     },
     PolicyRow {
         prefix: "crates/rtl/src/",
@@ -125,6 +137,21 @@ mod tests {
     fn narrow_exemptions_win_over_crate_rows() {
         assert!(rules_for("crates/core/src/perfmodel.rs").is_empty());
         assert!(rules_for("crates/core/src/cosim.rs").contains(&Rule::NoNondeterminism));
+    }
+
+    #[test]
+    fn lane_modules_are_pinned_result_affecting() {
+        // The lane modules must stay NoNondeterminism via their own
+        // rows, not by riding the crate-wide defaults: the explicit
+        // prefix must match before the crate prefix does.
+        for path in ["crates/core/src/lanes.rs", "crates/rtl/src/lanes.rs"] {
+            assert!(rules_for(path).contains(&Rule::NoNondeterminism), "{path}");
+            let row = TABLE
+                .iter()
+                .find(|r| path.starts_with(r.prefix))
+                .expect("a row matches");
+            assert_eq!(row.prefix, path, "first match must be the pinned row");
+        }
     }
 
     #[test]

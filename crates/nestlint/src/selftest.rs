@@ -135,6 +135,25 @@ pub fn run(dir: &Path) -> SelfTest {
         &mut checked,
         &mut failures,
     );
+    run_rust_fixture(
+        dir,
+        "r6.rs",
+        check_no_nondeterminism,
+        &mut checked,
+        &mut failures,
+    );
+
+    // Not a fixture but a classification pin: the lane modules must
+    // stay policy-classified as result-affecting. A policy-table edit
+    // that drops them fails the self-test, not just a unit test.
+    for path in ["crates/core/src/lanes.rs", "crates/rtl/src/lanes.rs"] {
+        if !crate::policy::rules_for(path).contains(&crate::rules::Rule::NoNondeterminism) {
+            failures.push(format!(
+                "{path}: policy no longer classifies the lane module as \
+                 no-nondeterminism (result-affecting)"
+            ));
+        }
+    }
 
     // R3 needs the schema/use pair processed together.
     let names_src = fs::read_to_string(dir.join("r3_names.rs"));
@@ -202,7 +221,7 @@ mod tests {
     fn committed_fixtures_pass() {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let st = run(&dir);
-        assert_eq!(st.checked, 6, "fixture files missing");
+        assert_eq!(st.checked, 7, "fixture files missing");
         assert!(st.failures.is_empty(), "{:#?}", st.failures);
     }
 }

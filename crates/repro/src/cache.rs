@@ -32,9 +32,11 @@ use crate::Opts;
 
 /// The determinism key of one campaign cell: every spec field that can
 /// change records, counts, or telemetry. Worker count, snapshot
-/// interval, and cluster mode are deliberately absent — the engine
-/// guarantees they never affect results (the byte-identity locked by
-/// the equivalence tests and the cluster end-to-end tests).
+/// interval, lane width, and cluster mode are deliberately absent —
+/// the engine guarantees they never affect results (the byte-identity
+/// locked by the equivalence tests and the cluster end-to-end tests).
+/// Lane *cluster* is present: it changes which trajectories get
+/// sampled, so it is part of the result identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CellKey {
     component: ComponentKind,
@@ -44,6 +46,7 @@ struct CellKey {
     scale: u64,
     cosim_cap: u64,
     check_interval: u64,
+    lane_cluster: u64,
     telemetry: bool,
 }
 
@@ -74,6 +77,8 @@ fn campaign_spec(opts: &Opts, component: ComponentKind, workers: usize) -> Campa
         cosim_cap: opts.cosim_cap,
         check_interval: opts.check_interval,
         snapshot_interval: opts.snapshot_interval,
+        lane_cluster: opts.lane_cluster,
+        lane_width: opts.lane_width,
         workers,
         ..CampaignSpec::new(component, opts.samples)
     }
@@ -96,6 +101,7 @@ pub fn cell_cached(
         scale: opts.scale.max(1),
         cosim_cap: opts.cosim_cap,
         check_interval: opts.check_interval,
+        lane_cluster: opts.lane_cluster,
         telemetry: opts.telemetry.is_some(),
     };
     if let Some(hit) = cache().cells.lock().expect("cell cache poisoned").get(&key) {

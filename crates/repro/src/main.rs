@@ -36,6 +36,13 @@
 //!                         snapshot below its entry cycle instead of
 //!                         replaying from cycle 0 — results are identical
 //!                         for every interval)
+//!   --lane-cluster N group every N consecutive samples onto one
+//!                    injection trajectory so lane batching can retire
+//!                    them together (default 1 = independent draws;
+//!                    result-affecting: changes which cycles are hit)
+//!   --lane-width N   max faulty universes advanced per batch, 1-64
+//!                    (default 64; execution-only — results are
+//!                    byte-identical for every width)
 //!   --cluster N      distribute campaigns across N spawned worker
 //!                    processes over loopback TCP (0 = in-process,
 //!                    the default; results are byte-identical either
@@ -81,6 +88,8 @@ pub struct Opts {
     pub cosim_cap: u64,
     pub check_interval: u64,
     pub snapshot_interval: u64,
+    pub lane_cluster: u64,
+    pub lane_width: u64,
     pub cluster: usize,
 }
 
@@ -101,6 +110,8 @@ impl Default for Opts {
             cosim_cap: DEFAULT_COSIM_CAP,
             check_interval: DEFAULT_CHECK_INTERVAL,
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            lane_cluster: 1,
+            lane_width: nestsim_rtl::MAX_LANES as u64,
             cluster: 0,
         }
     }
@@ -178,6 +189,27 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     &take(&mut i)?,
                     "rung spacing of 0 cycles is degenerate",
                 )?;
+            }
+            "--lane-cluster" => {
+                opts.lane_cluster = take_positive(
+                    "--lane-cluster",
+                    &take(&mut i)?,
+                    "a cluster of 0 samples draws nothing; 1 disables clustering",
+                )?;
+            }
+            "--lane-width" => {
+                let v = take_positive(
+                    "--lane-width",
+                    &take(&mut i)?,
+                    "a batch of 0 lanes can make no progress",
+                )?;
+                if v > nestsim_rtl::MAX_LANES as u64 {
+                    return Err(format!(
+                        "--lane-width must be <= {}: one golden-compare word holds one bit per lane",
+                        nestsim_rtl::MAX_LANES
+                    ));
+                }
+                opts.lane_width = v;
             }
             "--cluster" => {
                 opts.cluster = take(&mut i)?.parse().map_err(|e| format!("{e}"))?;
@@ -349,5 +381,28 @@ mod tests {
         assert_eq!(opts.check_interval, DEFAULT_CHECK_INTERVAL);
         let (_, opts) = parse(&args(&["fig3", "--snapshot-interval", "512"])).unwrap();
         assert_eq!(opts.snapshot_interval, 512);
+    }
+
+    #[test]
+    fn lane_flags_override_the_defaults_and_reject_bad_widths() {
+        let (_, opts) = parse(&args(&["fig3"])).unwrap();
+        assert_eq!(opts.lane_cluster, 1);
+        assert_eq!(opts.lane_width, nestsim_rtl::MAX_LANES as u64);
+        let (_, opts) = parse(&args(&[
+            "fig3",
+            "--lane-cluster",
+            "8",
+            "--lane-width",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(opts.lane_cluster, 8);
+        assert_eq!(opts.lane_width, 16);
+        let err = parse(&args(&["fig3", "--lane-cluster", "0"])).unwrap_err();
+        assert!(err.contains("--lane-cluster must be >= 1"), "{err}");
+        let err = parse(&args(&["fig3", "--lane-width", "0"])).unwrap_err();
+        assert!(err.contains("--lane-width must be >= 1"), "{err}");
+        let err = parse(&args(&["fig3", "--lane-width", "65"])).unwrap_err();
+        assert!(err.contains("--lane-width must be <= 64"), "{err}");
     }
 }

@@ -135,18 +135,43 @@ impl BitBuf {
         }
     }
 
+    /// The backing 64-bit words, least-significant bit first.
+    ///
+    /// Trailing bits beyond [`len`](Self::len) in the last word are
+    /// always zero, so word-wise XOR against another buffer of the same
+    /// length is an exact bit-difference test. This is the raw view the
+    /// lane-batched compare kernels ([`crate::lanes`]) operate on.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bit positions at which `self` and `other` differ.
+    ///
+    /// Four-way unrolled so the popcount reduction vectorizes; the flop
+    /// spaces diffed on every co-simulation check are tens of kilobits,
+    /// making this the hottest bitbuf kernel (`diff_count_32k`).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn diff_count(&self, other: &BitBuf) -> usize {
         assert_eq!(self.len, other.len, "diffing buffers of unequal length");
-        self.words
+        let mut acc = [0u64; 4];
+        let a4 = self.words.chunks_exact(4);
+        let b4 = other.words.chunks_exact(4);
+        let tail: usize = a4
+            .remainder()
             .iter()
-            .zip(&other.words)
+            .zip(b4.remainder())
             .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+            .sum();
+        for (a, b) in a4.zip(b4) {
+            acc[0] += u64::from((a[0] ^ b[0]).count_ones());
+            acc[1] += u64::from((a[1] ^ b[1]).count_ones());
+            acc[2] += u64::from((a[2] ^ b[2]).count_ones());
+            acc[3] += u64::from((a[3] ^ b[3]).count_ones());
+        }
+        (acc[0] + acc[1] + acc[2] + acc[3]) as usize + tail
     }
 
     /// Iterates over the bit indices at which `self` and `other` differ.

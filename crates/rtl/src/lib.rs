@@ -47,11 +47,13 @@
 
 pub mod bitbuf;
 pub mod field;
+pub mod lanes;
 pub mod parity;
 pub mod sram;
 
 pub use bitbuf::BitBuf;
 pub use field::{FieldDef, FieldHandle, FlopClass, FlopSpace, FlopSpaceBuilder};
+pub use lanes::{lane_matches_golden, lanes_differing, LaneMask, MAX_LANES};
 pub use parity::{GroupLayout, ParityDetector, ParityPlan};
 pub use sram::SramArray;
 

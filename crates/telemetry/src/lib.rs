@@ -169,6 +169,17 @@ pub mod names {
     /// Histogram: payload bytes per accepted shard submission.
     pub const H_CLUSTER_SUBMIT_BYTES: &str = "cluster.submit.bytes";
 
+    /// Counter: lane batches formed by the lane-batched campaign engine
+    /// (shared carrier universes driven; engine telemetry).
+    pub const LANES_BATCHES: &str = "lanes.batches";
+    /// Counter: lanes retired inside a batch (Vanished or Persist)
+    /// without touching the scalar path.
+    pub const LANES_RETIRED_EARLY: &str = "lanes.retired_early";
+    /// Counter: lanes replayed on the scalar path — batch leavers
+    /// (divergence, arch-mappable exit, abort) plus clustered samples
+    /// that could not batch.
+    pub const LANES_SCALAR_FALLBACKS: &str = "lanes.scalar_fallbacks";
+
     /// Counter: QRR-protected injection runs.
     pub const QRR_RUNS: &str = "qrr.runs";
     /// Counter: runs where logic parity detected the flip.
@@ -236,6 +247,9 @@ pub mod names {
         H_CLUSTER_SHARD_MS,
         H_CLUSTER_SHARD_SAMPLES,
         H_CLUSTER_SUBMIT_BYTES,
+        LANES_BATCHES,
+        LANES_RETIRED_EARLY,
+        LANES_SCALAR_FALLBACKS,
         QRR_RUNS,
         QRR_DETECTED,
         QRR_REPLAY_ATTEMPTS,

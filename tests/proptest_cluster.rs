@@ -114,6 +114,8 @@ fn arbitrary_job(src: &mut Source) -> JobWire {
         cosim_cap: src.range_u64(1, 200_000),
         check_interval: src.range_u64(1, 64),
         snapshot_interval: src.range_u64(1, 10_000),
+        lane_cluster: src.range_u64(1, 64),
+        lane_width: src.range_u64(1, 64),
         telemetry: src.bool(),
         trace_capacity: src.below(10_000),
     }
