@@ -84,6 +84,13 @@ stage "cluster smoke (coordinator + 2 worker processes on loopback, byte-identit
 cargo build --offline --release -p nestsim-cluster --bins
 cargo run --offline --release -p nestsim-cluster --bin cluster_smoke
 
+stage "mck smoke (deterministic protocol simulation: bounded DFS + seeded random + mutation check)"
+# Fixed-seed, fully deterministic: explores schedules of the sans-I/O
+# cluster machines under injected faults, then verifies the checker
+# catches a deliberately planted exactly-once bug and that the failure
+# replays from its printed seed and schedule.
+cargo run --offline --release -p nestsim-mck --bin mck_smoke
+
 stage "bench smoke run (1 iteration per bench)"
 NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
     cargo bench --offline -p nestsim-bench

@@ -1,10 +1,10 @@
-//! The campaign coordinator: serves shard leases over loopback TCP and
-//! merges submissions back into one [`CampaignResult`].
+//! The campaign coordinator's TCP driver: listener, threads, and
+//! frame I/O wrapped around the pure [`CoordMachine`].
 //!
 //! The coordinator never simulates. It plans contiguous shards over
 //! the entry-sorted sample order (knowing only the sample *count*),
-//! leases them to workers through the [`crate::lease`] state machine,
-//! and re-assembles accepted submissions with
+//! leases them to workers through the machine's [`crate::lease`]
+//! table, and re-assembles accepted submissions with
 //! [`nestsim_core::campaign::assemble_result`] — the same epilogue the
 //! in-process engines use, merging per-run recorders **in sample
 //! order**. That shared epilogue plus deterministic workers is the
@@ -12,12 +12,19 @@
 //! crash/re-dispatch interleaving feeds the identical
 //! `(sample, record, recorder)` set into the identical merge.
 //!
-//! Threading: one accept-loop thread, one handler thread per worker
-//! connection, all sharing a mutexed [`LeaseTable`]-plus-results state.
-//! [`ClusterCampaign::wait`] parks on a condvar until the table drains
-//! (or a worker reports a divergent golden reference), then unblocks
-//! the accept loop with a self-connection and joins everything.
+//! All protocol decisions live in [`crate::coord_machine`]; this
+//! module only moves bytes and blocks threads. Threading: one
+//! accept-loop thread, one handler thread per worker connection, all
+//! sharing one mutexed [`CoordMachine`] plus per-connection outboxes.
+//! A handler reads a frame, steps the machine, distributes the
+//! resulting sends into outboxes, then drains its own outbox — parking
+//! on the condvar when the machine parked its connection (the
+//! long-poll), with a timeout at [`CoordMachine::next_wake`] that
+//! feeds timer ticks back in. [`ClusterCampaign::wait`] parks on the
+//! same condvar until the machine settles, then unblocks the accept
+//! loop with a self-connection and joins everything.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
@@ -27,14 +34,14 @@ use nestsim_core::campaign::{
     assemble_result, check_campaign, default_workers, run_campaign_with, CampaignResult,
     CampaignSpec, IndexedRuns,
 };
-use nestsim_core::inject::GoldenRef;
 use nestsim_hlsim::workload::BenchProfile;
-use nestsim_telemetry::{names, Recorder, TelemetryConfig};
+use nestsim_telemetry::{Recorder, TelemetryConfig};
 
+use crate::coord_machine::{CoordAction, CoordEvent, CoordMachine};
 use crate::frame::{read_frame, write_frame};
-use crate::lease::{Completion, Grant, LeaseConfig, LeaseTable};
-use crate::proto::{JobWire, Message, RunWire, PROTOCOL_VERSION};
-use crate::shard::{auto_shard_size, plan_shards, Shard};
+use crate::lease::LeaseConfig;
+use crate::proto::{JobWire, Message};
+use crate::shard::{auto_shard_size, plan_shards};
 use crate::worker::{run_worker, WorkerOptions};
 
 /// Coordinator tuning knobs.
@@ -64,46 +71,65 @@ impl Default for CoordinatorConfig {
     }
 }
 
-/// One accepted shard's payload, waiting for final assembly.
-struct ShardResult {
-    runs: Vec<RunWire>,
+/// One connection's driver-side mailbox: replies the machine queued
+/// for its handler thread to write, plus the machine's close request.
+#[derive(Default)]
+struct ConnIo {
+    outbox: VecDeque<Message>,
+    closing: bool,
 }
 
-struct State {
-    leases: LeaseTable,
-    results: Vec<Option<ShardResult>>,
-    golden: Option<GoldenRef>,
-    /// The cluster/engine recorder: lease + frame counters, shard
-    /// latency histograms, plus the workers' forward/restore tallies.
-    /// Engine-level by design — sharding-dependent, outside the merged
-    /// per-run telemetry.
-    engine: Recorder,
-    error: Option<String>,
-    next_worker: u32,
+struct Inner {
+    machine: CoordMachine,
+    /// Mailboxes for live handler threads, in accept order (a `Vec`
+    /// keyed by linear scan — connection counts are small).
+    conns: Vec<(u64, ConnIo)>,
+    next_conn: u64,
     shutdown: bool,
 }
 
+impl Inner {
+    fn conn_mut(&mut self, conn: u64) -> Option<&mut ConnIo> {
+        self.conns
+            .iter_mut()
+            .find(|(id, _)| *id == conn)
+            .map(|(_, io)| io)
+    }
+
+    /// Distribute machine actions into mailboxes. Sends to connections
+    /// whose handler is already gone are dropped, exactly as a closed
+    /// socket would drop them.
+    fn dispatch(&mut self, acts: Vec<CoordAction>) {
+        for act in acts {
+            match act {
+                CoordAction::Send { conn, msg } => {
+                    if let Some(io) = self.conn_mut(conn) {
+                        io.outbox.push_back(msg);
+                    }
+                }
+                CoordAction::Close { conn } => {
+                    if let Some(io) = self.conn_mut(conn) {
+                        io.closing = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
 struct Shared {
-    state: Mutex<State>,
+    inner: Mutex<Inner>,
     cv: Condvar,
     start: Instant,
-    job: JobWire,
-    shards: Vec<Shard>,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
     }
-
-    fn fail(&self, msg: String) {
-        let mut st = self.state.lock().expect("cluster state poisoned");
-        if st.error.is_none() {
-            st.error = Some(msg);
-        }
-        self.cv.notify_all();
-    }
 }
+
+const POISONED: &str = "cluster state poisoned";
 
 /// A campaign being served to workers; dropped by [`wait`ing]
 /// (`wait`) it into a [`CampaignResult`].
@@ -127,10 +153,11 @@ impl ClusterCampaign {
     /// counters live here) — lets tests poll dispatch progress.
     pub fn engine_stats(&self) -> Recorder {
         self.shared
-            .state
+            .inner
             .lock()
-            .expect("cluster state poisoned")
-            .engine
+            .expect(POISONED)
+            .machine
+            .engine()
             .clone()
     }
 
@@ -144,11 +171,14 @@ impl ClusterCampaign {
     pub fn wait(mut self) -> CampaignResult {
         let shared = Arc::clone(&self.shared);
         {
-            let mut st = shared.state.lock().expect("cluster state poisoned");
-            while !(st.leases.all_done() || st.error.is_some()) {
-                st = shared.cv.wait(st).expect("cluster state poisoned");
+            let mut inner = shared.inner.lock().expect(POISONED);
+            while !inner.machine.is_settled() {
+                inner = shared.cv.wait(inner).expect(POISONED);
             }
-            st.shutdown = true;
+            inner.shutdown = true;
+            let now = shared.now_ms();
+            let acts = inner.machine.begin_shutdown(now);
+            inner.dispatch(acts);
             shared.cv.notify_all();
         }
         // Unblock the accept loop so its thread can observe `shutdown`.
@@ -166,25 +196,35 @@ impl ClusterCampaign {
             h.join().expect("coordinator handler thread panicked");
         }
 
-        let mut st = shared.state.lock().expect("cluster state poisoned");
-        if let Some(e) = st.error.take() {
+        let machine = {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            std::mem::replace(
+                &mut inner.machine,
+                CoordMachine::new(
+                    JobWire::default(),
+                    Vec::new(),
+                    LeaseConfig::default(),
+                    Recorder::null(),
+                ),
+            )
+        };
+        let outcome = machine.into_outcome();
+        if let Some(e) = outcome.error {
             panic!("cluster campaign failed: {e}");
         }
-        let golden = st.golden.expect("completed campaign has a golden ref");
+        let golden = outcome.golden.expect("completed campaign has a golden ref");
         let mut indexed: IndexedRuns = Vec::with_capacity(self.spec.samples as usize);
-        let mut worker_samples = Vec::with_capacity(shared.shards.len());
-        for slot in st.results.iter_mut() {
-            let r = slot.take().expect("completed campaign has every shard");
-            worker_samples.push(r.runs.len());
-            for run in r.runs {
+        let mut worker_samples = Vec::with_capacity(outcome.results.len());
+        for runs in outcome.results {
+            assert!(!runs.is_empty(), "completed campaign has every shard");
+            worker_samples.push(runs.len());
+            for run in runs {
                 indexed.push((run.sample as usize, run.record, run.recorder));
             }
         }
         if self.telemetry.is_none() {
             worker_samples = Vec::new();
         }
-        let engine = std::mem::replace(&mut st.engine, Recorder::null());
-        drop(st);
         assemble_result(
             self.profile,
             &self.spec,
@@ -192,7 +232,7 @@ impl ClusterCampaign {
             golden,
             indexed,
             worker_samples,
-            engine,
+            outcome.engine,
         )
     }
 }
@@ -227,28 +267,28 @@ pub fn serve_campaign(
     };
     let shards = plan_shards(spec.samples, shard_size);
 
-    let mut engine = match telemetry {
+    let engine = match telemetry {
         Some(tcfg) => Recorder::active(tcfg),
         None => Recorder::null(),
     };
-    engine.count(names::CLUSTER_SHARDS, shards.len() as u64);
+    let machine = CoordMachine::new(
+        JobWire::from_spec(profile, spec, telemetry),
+        shards,
+        cfg.lease,
+        engine,
+    );
 
     let listener = TcpListener::bind(&cfg.listen)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        state: Mutex::new(State {
-            leases: LeaseTable::new(shards.len(), cfg.lease),
-            results: shards.iter().map(|_| None).collect(),
-            golden: None,
-            engine,
-            error: None,
-            next_worker: 0,
+        inner: Mutex::new(Inner {
+            machine,
+            conns: Vec::new(),
+            next_conn: 0,
             shutdown: false,
         }),
         cv: Condvar::new(),
         start: Instant::now(),
-        job: JobWire::from_spec(profile, spec, telemetry),
-        shards,
     });
 
     let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -262,12 +302,7 @@ pub fn serve_campaign(
             // Small request/response frames; Nagle + delayed ACK would
             // add ~40ms to every round trip.
             let _ = stream.set_nodelay(true);
-            if shared
-                .state
-                .lock()
-                .expect("cluster state poisoned")
-                .shutdown
-            {
+            if shared.inner.lock().expect(POISONED).shutdown {
                 return;
             }
             let shared = Arc::clone(&shared);
@@ -290,235 +325,116 @@ pub fn serve_campaign(
     })
 }
 
-/// Receives one message, counting frames/bytes into the engine
-/// recorder.
-fn recv(shared: &Shared, stream: &mut TcpStream) -> io::Result<Message> {
-    let payload = read_frame(stream)?;
-    let msg = Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
-    let mut st = shared.state.lock().expect("cluster state poisoned");
-    st.engine.count(names::CLUSTER_FRAMES_RECEIVED, 1);
-    st.engine
-        .count(names::CLUSTER_BYTES_RECEIVED, payload.len() as u64);
-    if matches!(msg, Ok(Message::Submit(_))) {
-        st.engine
-            .record_hist(names::H_CLUSTER_SUBMIT_BYTES, payload.len() as u64);
-    }
-    drop(st);
-    msg
-}
-
-/// Sends one message, counting frames/bytes into the engine recorder.
-fn send(shared: &Shared, stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
-    let payload = msg
-        .encode()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-    {
-        let mut st = shared.state.lock().expect("cluster state poisoned");
-        st.engine.count(names::CLUSTER_FRAMES_SENT, 1);
-        st.engine
-            .count(names::CLUSTER_BYTES_SENT, payload.len() as u64);
-    }
-    write_frame(stream, &payload)
-}
-
-/// One worker connection, handshake to hangup.
+/// One worker connection, handshake to hangup: register it with the
+/// machine, pump frames, report the close.
 fn handle_worker(shared: &Shared, mut stream: TcpStream) {
-    let worker = match handshake(shared, &mut stream) {
-        Ok(w) => w,
-        Err(_) => return,
+    let conn = {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        let conn = inner.next_conn;
+        inner.next_conn += 1;
+        inner.conns.push((conn, ConnIo::default()));
+        let now = shared.now_ms();
+        let acts = inner.machine.step(now, CoordEvent::Connected { conn });
+        inner.dispatch(acts);
+        conn
     };
-    let clean = serve_worker(shared, &mut stream, worker);
+    let clean = serve_conn(shared, &mut stream, conn);
+    let mut inner = shared.inner.lock().expect(POISONED);
+    if let Some(i) = inner.conns.iter().position(|(id, _)| *id == conn) {
+        inner.conns.remove(i);
+    }
     let now = shared.now_ms();
-    let mut st = shared.state.lock().expect("cluster state poisoned");
-    let released = st.leases.release_worker(worker, now);
-    st.engine.count(names::CLUSTER_LEASES_RELEASED, released);
-    // A disconnect is unclean if it broke protocol *or* abandoned
-    // leased work — a killed worker's EOF looks like a goodbye, but a
-    // goodbye while holding a lease is a crash.
-    if clean.is_err() || released > 0 {
-        st.engine.count(names::CLUSTER_WORKERS_DISCONNECTED, 1);
-    }
-    drop(st);
-    if released > 0 {
-        // A live worker may be parked in a Wait; its own retry timer
-        // will re-acquire, but waking the waiter thread keeps shutdown
-        // paths prompt.
-        shared.cv.notify_all();
-    }
+    let acts = inner.machine.step(
+        now,
+        CoordEvent::Closed {
+            conn,
+            clean: clean.is_ok(),
+        },
+    );
+    inner.dispatch(acts);
+    drop(inner);
+    // Released leases may have re-dispatchable shards; wake parked
+    // handlers (and `wait`) to notice.
+    shared.cv.notify_all();
 }
 
-fn handshake(shared: &Shared, stream: &mut TcpStream) -> io::Result<u32> {
-    match recv(shared, stream)? {
-        Message::Hello { version } if version == PROTOCOL_VERSION => {
-            let worker = {
-                let mut st = shared.state.lock().expect("cluster state poisoned");
-                st.engine.count(names::CLUSTER_WORKERS_CONNECTED, 1);
-                let id = st.next_worker;
-                st.next_worker += 1;
-                id
-            };
-            send(shared, stream, &Message::HelloAck { worker })?;
-            Ok(worker)
-        }
-        Message::Hello { version } => {
-            let _ = send(
-                shared,
-                stream,
-                &Message::Error {
-                    message: format!(
-                        "protocol version mismatch: worker speaks {version}, \
-                         coordinator speaks {PROTOCOL_VERSION}"
-                    ),
-                },
-            );
-            Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "version mismatch",
-            ))
-        }
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected Hello, got {other:?}"),
-        )),
-    }
-}
-
-fn serve_worker(shared: &Shared, stream: &mut TcpStream, worker: u32) -> io::Result<()> {
+/// Pumps one connection: read a frame, step the machine, drain this
+/// connection's outbox (parking on the condvar while the machine holds
+/// the long-poll reply, ticking its timers on timeout).
+fn serve_conn(shared: &Shared, stream: &mut TcpStream, conn: u64) -> io::Result<()> {
     loop {
-        let msg = match recv(shared, stream) {
-            Ok(m) => m,
+        let payload = match read_frame(stream) {
+            Ok(p) => p,
             // EOF after the worker was told `done` is the clean exit.
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let reply = match msg {
-            Message::RequestShard { .. } => {
-                // Long-poll: rather than bouncing `Wait` hints to the
-                // client (whose sleeps would stretch campaign tails by
-                // up to a heartbeat period), hold the response on the
-                // condvar until a shard frees up, everything is done,
-                // or a backoff/deadline timer says to re-check.
-                let mut st = shared.state.lock().expect("cluster state poisoned");
-                loop {
-                    if st.shutdown || st.error.is_some() {
-                        break Message::Wait { ms: 0, done: true };
-                    }
-                    let now = shared.now_ms();
-                    let acq = st.leases.acquire(worker, now);
-                    if acq.expired > 0 {
-                        st.engine.count(names::CLUSTER_LEASES_EXPIRED, acq.expired);
-                    }
-                    match acq.grant {
-                        Grant::Shard { id, redispatch } => {
-                            st.engine.count(names::CLUSTER_LEASES_GRANTED, 1);
-                            if redispatch {
-                                st.engine.count(names::CLUSTER_REDISPATCHES, 1);
-                            }
-                            let shard = shared.shards[id as usize];
-                            let lease = *st.leases.config();
-                            break Message::Assign {
-                                shard,
-                                job: shared.job.clone(),
-                                lease_ms: lease.lease_ms,
-                                heartbeat_ms: lease.heartbeat_ms,
-                            };
-                        }
-                        Grant::Wait { ms } => {
-                            st.engine.count(names::CLUSTER_BACKOFF_WAITS, 1);
-                            let (guard, _) = shared
-                                .cv
-                                .wait_timeout(st, Duration::from_millis(ms))
-                                .expect("cluster state poisoned");
-                            st = guard;
-                        }
-                        Grant::Done => break Message::Wait { ms: 0, done: true },
-                    }
+        let msg = Message::decode(&payload);
+        let mut inner = shared.inner.lock().expect(POISONED);
+        inner
+            .machine
+            .note_frame_received(payload.len(), matches!(msg, Ok(Message::Submit(_))));
+        let msg = match msg {
+            Ok(m) => m,
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+        };
+        let now = shared.now_ms();
+        let acts = inner.machine.step(now, CoordEvent::Received { conn, msg });
+        inner.dispatch(acts);
+        shared.cv.notify_all();
+
+        // Write whatever the machine owes this connection. `wrote`
+        // distinguishes "reply sent, go read the next request" from
+        // "parked, keep waiting".
+        let mut wrote = false;
+        loop {
+            let popped = inner.conn_mut(conn).and_then(|io| io.outbox.pop_front());
+            match popped {
+                Some(reply) => {
+                    let payload = reply
+                        .encode()
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+                    inner.machine.note_frame_sent(payload.len());
+                    drop(inner);
+                    write_frame(stream, &payload)?;
+                    wrote = true;
+                    inner = shared.inner.lock().expect(POISONED);
                 }
-            }
-            Message::Heartbeat { shard, .. } => {
-                let now = shared.now_ms();
-                let mut st = shared.state.lock().expect("cluster state poisoned");
-                st.engine.count(names::CLUSTER_HEARTBEATS, 1);
-                let current = st.leases.heartbeat(worker, shard, now);
-                Message::HeartbeatAck { current }
-            }
-            Message::Submit(sub) => {
-                let now = shared.now_ms();
-                let mut st = shared.state.lock().expect("cluster state poisoned");
-                match st.golden {
-                    None => st.golden = Some(sub.golden),
-                    Some(g) if g != sub.golden => {
-                        drop(st);
-                        shared.fail(format!(
-                            "golden reference diverged: coordinator has \
-                             digest {:#x}/{} cycles, worker {worker} submitted \
-                             {:#x}/{} — the processes disagree on the \
-                             simulation itself",
-                            g.digest, g.cycles, sub.golden.digest, sub.golden.cycles,
-                        ));
+                None => {
+                    if inner.conn_mut(conn).is_none_or(|io| io.closing) {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
-                            "golden divergence",
+                            "connection closed by coordinator",
                         ));
                     }
-                    Some(_) => {}
-                }
-                let shard_id = sub.shard;
-                match st.leases.complete(shard_id, now) {
-                    Completion::Accepted { latency_ms } => {
-                        let expected = shared
-                            .shards
-                            .get(shard_id as usize)
-                            .map_or(0, |s| s.len as usize);
-                        if sub.runs.len() != expected {
-                            drop(st);
-                            shared.fail(format!(
-                                "shard {shard_id} submitted {} runs, expected {expected}",
-                                sub.runs.len()
-                            ));
-                            return Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                "short shard submission",
-                            ));
-                        }
-                        st.engine.count(names::CLUSTER_SHARDS_COMPLETED, 1);
-                        st.engine.count(names::FORWARD_CYCLES, sub.forward);
-                        st.engine.count(names::LADDER_RESTORES, sub.restores);
-                        st.engine.record_hist(names::H_CLUSTER_SHARD_MS, latency_ms);
-                        st.engine
-                            .record_hist(names::H_CLUSTER_SHARD_SAMPLES, sub.runs.len() as u64);
-                        st.results[shard_id as usize] = Some(ShardResult { runs: sub.runs });
-                        let all_done = st.leases.all_done();
-                        drop(st);
-                        if all_done {
-                            shared.cv.notify_all();
-                        }
-                        Message::SubmitAck { accepted: true }
+                    if wrote {
+                        break;
                     }
-                    Completion::Duplicate => {
-                        st.engine.count(names::CLUSTER_SHARDS_DUPLICATE, 1);
-                        Message::SubmitAck { accepted: false }
+                    // Parked: wait for an unpark (submission, release,
+                    // shutdown) or the machine's next retry timer.
+                    match inner.machine.next_wake() {
+                        Some(at) => {
+                            let ms = at.saturating_sub(shared.now_ms()).max(1);
+                            let (guard, timeout) = shared
+                                .cv
+                                .wait_timeout(inner, Duration::from_millis(ms))
+                                .expect(POISONED);
+                            inner = guard;
+                            if timeout.timed_out() {
+                                let now = shared.now_ms();
+                                let acts = inner.machine.step(now, CoordEvent::Tick);
+                                inner.dispatch(acts);
+                                shared.cv.notify_all();
+                            }
+                        }
+                        None => {
+                            inner = shared.cv.wait(inner).expect(POISONED);
+                        }
                     }
                 }
             }
-            Message::Error { message } => {
-                return Err(io::Error::other(message));
-            }
-            other => {
-                let _ = send(
-                    shared,
-                    stream,
-                    &Message::Error {
-                        message: format!("unexpected message {other:?}"),
-                    },
-                );
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "unexpected message",
-                ));
-            }
-        };
-        send(shared, stream, &reply)?;
+        }
+        drop(inner);
     }
 }
 

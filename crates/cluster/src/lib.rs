@@ -19,9 +19,15 @@
 //!   lazy expiry, and exponential re-dispatch backoff: a killed, hung,
 //!   or straggling worker's shard moves to another worker, and
 //!   double-completed shards dedupe idempotently by shard id.
-//! * [`coordinator`] / [`worker`] — the two halves;
-//!   [`coordinator::run_campaign_cluster`] wires them together and
-//!   returns a [`nestsim_core::campaign::CampaignResult`]
+//! * [`coord_machine`] / [`worker_machine`] — the protocol itself, as
+//!   pure sans-I/O state machines (`step(now, event) -> actions`) with
+//!   no sockets, threads, or wall clocks: the same types run under the
+//!   TCP drivers below and under the deterministic `crates/mck`
+//!   simulator, which model-checks them across message delays, drops,
+//!   duplicates, and crash/restart schedules.
+//! * [`coordinator`] / [`worker`] — the TCP drivers around those
+//!   machines; [`coordinator::run_campaign_cluster`] wires them
+//!   together and returns a [`nestsim_core::campaign::CampaignResult`]
 //!   **byte-identical** to the in-process engine at any worker count,
 //!   with or without injected worker crashes (locked by the
 //!   workspace-root cluster tests and the chaos tests in this crate).
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coord_machine;
 pub mod coordinator;
 pub mod frame;
 pub mod lease;
@@ -46,7 +53,9 @@ pub mod proto;
 pub mod shard;
 pub mod wire;
 pub mod worker;
+pub mod worker_machine;
 
+pub use coord_machine::{CoordAction, CoordEvent, CoordMachine, CoordOutcome};
 pub use coordinator::{
     run_campaign_cluster, serve_campaign, ClusterCampaign, ClusterConfig, CoordinatorConfig,
     WorkerSpawn,
@@ -55,3 +64,4 @@ pub use lease::{LeaseConfig, LeaseTable};
 pub use proto::{JobWire, Message, PROTOCOL_VERSION};
 pub use shard::{auto_shard_size, plan_shards, Shard};
 pub use worker::{run_worker, WorkerOptions, WorkerStats};
+pub use worker_machine::{WorkerAction, WorkerEnd, WorkerEvent, WorkerMachine};

@@ -1,5 +1,14 @@
-//! The campaign worker: leases shards, re-derives the campaign cell
-//! from its seed, executes, and submits.
+//! The campaign worker's TCP driver: sockets, sleeps, and the real
+//! simulation engine wrapped around the pure [`WorkerMachine`].
+//!
+//! All protocol decisions live in [`crate::worker_machine`]; this
+//! module only performs the actions the machine emits — write a
+//! frame and read the single reply, sleep, run one injection through
+//! [`ShardRunner`], crash — and feeds the outcomes back as events.
+//! The wire behaviour is therefore byte-identical to the historical
+//! hand-rolled loop (locked by the cluster end-to-end and chaos
+//! tests), while the very same machine is driven by the `crates/mck`
+//! simulator under a virtual clock.
 //!
 //! A worker carries **no campaign state of its own** — everything it
 //! needs (golden reference, snapshot ladder, drawn samples, entry
@@ -7,12 +16,8 @@
 //! determinism makes that recomputation bit-identical in every
 //! process. The expensive derivation is cached per job, so a worker
 //! that leases ten shards of one campaign pays for one golden pass.
-//!
-//! Shards execute through the same [`ShardRunner`] the in-process
-//! engine uses; between samples the worker heartbeats (extending its
-//! lease) and checks its chaos options — the hooks the fault-tolerance
-//! tests use to kill or hang a worker mid-shard deterministically.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -26,40 +31,10 @@ use nestsim_hlsim::SnapshotLadder;
 use nestsim_telemetry::TelemetryConfig;
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{JobWire, Message, RunWire, SubmitWire, PROTOCOL_VERSION};
-use crate::shard::Shard;
+use crate::proto::{JobWire, Message, RunWire};
+use crate::worker_machine::{WorkerAction, WorkerEnd, WorkerEvent, WorkerMachine};
 
-/// Worker behaviour knobs, including deterministic chaos injection.
-#[derive(Debug, Clone, Default)]
-pub struct WorkerOptions {
-    /// Crash (drop the connection mid-shard without submitting) after
-    /// this many total samples have been executed. With
-    /// [`WorkerOptions::process_exit_on_crash`] the whole process
-    /// exits, modelling a killed worker.
-    pub crash_after_samples: Option<u64>,
-    /// Hang after this many total samples: stop executing and stop
-    /// heartbeating while holding the lease, until it has certainly
-    /// expired, then disconnect without submitting — modelling a hung
-    /// or straggling worker.
-    pub stall_after_samples: Option<u64>,
-    /// On crash, exit the process (exit code 17) instead of returning
-    /// — the `nestsim-worker` bin sets this so a "crash" is a real
-    /// process death.
-    pub process_exit_on_crash: bool,
-}
-
-/// What a worker did before exiting, for logs and tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// Shards completed and accepted.
-    pub shards_completed: u64,
-    /// Shards completed but deduped by the coordinator.
-    pub shards_duplicate: u64,
-    /// Shards abandoned (lost lease, or chaos).
-    pub shards_abandoned: u64,
-    /// Injection samples executed.
-    pub samples_run: u64,
-}
+pub use crate::worker_machine::{WorkerOptions, WorkerStats};
 
 /// The per-job derivation cache: everything recomputed from the seed.
 struct JobState {
@@ -115,88 +90,76 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerStats> {
     // Strictly request/response small frames: Nagle + delayed ACK
     // would add ~40ms per round trip.
     stream.set_nodelay(true)?;
-    send(
-        &mut stream,
-        &Message::Hello {
-            version: PROTOCOL_VERSION,
-        },
-    )?;
-    let worker = match recv(&mut stream)? {
-        Message::HelloAck { worker } => worker,
-        Message::Error { message } => return Err(proto_err(message)),
-        other => return Err(proto_err(format!("expected HelloAck, got {other:?}"))),
-    };
-
-    let mut stats = WorkerStats::default();
+    let start = Instant::now();
+    let mut machine = WorkerMachine::new(opts.clone());
     let mut job_state: Option<JobState> = None;
+    let mut pending: VecDeque<WorkerAction> = machine
+        .step(now_ms(&start), WorkerEvent::Start)
+        .into_iter()
+        .collect();
     loop {
-        send(&mut stream, &Message::RequestShard { worker })?;
-        match recv(&mut stream)? {
-            Message::Wait { done: true, .. } => return Ok(stats),
-            Message::Wait { ms, .. } => {
-                std::thread::sleep(Duration::from_millis(ms.clamp(1, 5_000)));
+        let Some(act) = pending.pop_front() else {
+            return Err(proto_err("worker machine stalled without finishing".into()));
+        };
+        match act {
+            WorkerAction::Send { msg } => {
+                send(&mut stream, &msg)?;
+                let reply = recv(&mut stream)?;
+                let acts = machine.step(now_ms(&start), WorkerEvent::Received { msg: reply });
+                pending.extend(acts);
             }
-            Message::Assign {
-                shard,
-                job,
-                lease_ms,
-                heartbeat_ms,
-            } => {
+            WorkerAction::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                pending.extend(machine.step(now_ms(&start), WorkerEvent::Woke));
+            }
+            WorkerAction::Crash => {
+                if machine.options().process_exit_on_crash {
+                    std::process::exit(17);
+                }
+                return Ok(machine.stats());
+            }
+            WorkerAction::Finish { end } => {
+                return match end {
+                    WorkerEnd::Done | WorkerEnd::Stalled => Ok(machine.stats()),
+                    WorkerEnd::Failed(message) => Err(proto_err(message)),
+                };
+            }
+            WorkerAction::Execute { pos } => {
+                let job = machine
+                    .current_job()
+                    .expect("Execute implies an active assignment")
+                    .clone();
                 if job_state.as_ref().is_none_or(|s| s.key != job) {
                     job_state = Some(JobState::build(&job).map_err(proto_err)?);
                 }
                 let state = job_state.as_ref().expect("job state was just built");
-                match run_shard(
-                    &mut stream,
-                    worker,
-                    state,
-                    shard,
-                    lease_ms,
-                    heartbeat_ms,
-                    opts,
-                    &mut stats,
-                )? {
-                    ShardEnd::Submitted => {}
-                    ShardEnd::Crashed => {
-                        if opts.process_exit_on_crash {
-                            std::process::exit(17);
-                        }
-                        return Ok(stats);
-                    }
-                    ShardEnd::Stalled => return Ok(stats),
-                    ShardEnd::Abandoned => {}
-                }
+                run_assignment(&mut stream, &mut machine, state, pos, &start, &mut pending)?;
             }
-            Message::Error { message } => return Err(proto_err(message)),
-            other => return Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }
 }
 
-enum ShardEnd {
-    /// Shard submitted (accepted or deduped); keep requesting.
-    Submitted,
-    /// Chaos: the worker "died" mid-shard.
-    Crashed,
-    /// Chaos: the worker hung past its lease, then gave up.
-    Stalled,
-    /// Lost the lease (heartbeat said not current); keep requesting.
-    Abandoned,
+fn now_ms(start: &Instant) -> u64 {
+    start.elapsed().as_millis() as u64
 }
 
-// Everything here is per-shard context the coordinator dictated;
-// bundling it into a struct would just rename the argument list.
-#[allow(clippy::too_many_arguments)]
-fn run_shard(
+/// Drives the machine through one whole assignment with a single
+/// [`ShardRunner`] scoped to it — the runner's ladder cursor is what
+/// keeps per-shard restores minimal, so it must outlive every sample
+/// of the shard but not the shard itself. Returns once the machine
+/// has moved off the shard (submitted, abandoned, stalled, crashed,
+/// or failed), pushing any remaining actions back to the outer loop.
+fn run_assignment(
     stream: &mut TcpStream,
-    worker: u32,
+    machine: &mut WorkerMachine,
     state: &JobState,
-    shard: Shard,
-    lease_ms: u64,
-    heartbeat_ms: u64,
-    opts: &WorkerOptions,
-    stats: &mut WorkerStats,
-) -> io::Result<ShardEnd> {
+    first_pos: u64,
+    start: &Instant,
+    pending: &mut VecDeque<WorkerAction>,
+) -> io::Result<()> {
+    let shard_id = machine
+        .current_shard()
+        .expect("Execute implies an active assignment");
     // The cluster worker runs samples one at a time (run_one, not
     // run_span) so heartbeats stay sample-granular; the wire lane
     // width still configures the runner for forward compatibility.
@@ -207,67 +170,53 @@ fn run_shard(
         state.telemetry.as_ref(),
         state.key.lane_width as usize,
     );
-    let mut runs = Vec::with_capacity(shard.len as usize);
-    let mut last_contact = Instant::now();
-    for pos in shard.range() {
-        // Deterministic chaos hooks, checked between samples.
-        if opts.crash_after_samples == Some(stats.samples_run) {
-            stats.shards_abandoned += 1;
-            return Ok(ShardEnd::Crashed);
+    let mut local: VecDeque<WorkerAction> = VecDeque::new();
+    local.push_back(WorkerAction::Execute { pos: first_pos });
+    loop {
+        if machine.current_shard() != Some(shard_id) {
+            // The machine left the shard; whatever it asked for next
+            // belongs to the outer loop (and a fresh runner, if it is
+            // another shard).
+            pending.extend(local.drain(..));
+            return Ok(());
         }
-        if opts.stall_after_samples == Some(stats.samples_run) {
-            // Hold the lease silently until it must have expired.
-            std::thread::sleep(Duration::from_millis(3 * lease_ms + 50));
-            stats.shards_abandoned += 1;
-            return Ok(ShardEnd::Stalled);
-        }
-        if last_contact.elapsed().as_millis() as u64 >= heartbeat_ms {
-            send(
-                stream,
-                &Message::Heartbeat {
-                    worker,
-                    shard: shard.id,
-                },
-            )?;
-            match recv(stream)? {
-                Message::HeartbeatAck { current: true } => {}
-                Message::HeartbeatAck { current: false } => {
-                    stats.shards_abandoned += 1;
-                    return Ok(ShardEnd::Abandoned);
-                }
-                other => return Err(proto_err(format!("expected HeartbeatAck, got {other:?}"))),
+        let Some(act) = local.pop_front() else {
+            return Err(proto_err("worker machine stalled mid-shard".into()));
+        };
+        match act {
+            WorkerAction::Execute { pos } => {
+                let sample = state.order[pos as usize];
+                let (record, recorder) = runner.run_one(sample);
+                let run = RunWire {
+                    sample: sample as u64,
+                    record,
+                    recorder,
+                };
+                let acts = machine.step(
+                    now_ms(start),
+                    WorkerEvent::Executed {
+                        run,
+                        golden: state.golden,
+                        forward: runner.forward_cycles(),
+                        restores: runner.restores(),
+                    },
+                );
+                local.extend(acts);
             }
-            last_contact = Instant::now();
-        }
-        let sample = state.order[pos as usize];
-        let (record, recorder) = runner.run_one(sample);
-        stats.samples_run += 1;
-        runs.push(RunWire {
-            sample: sample as u64,
-            record,
-            recorder,
-        });
-    }
-    send(
-        stream,
-        &Message::Submit(SubmitWire {
-            worker,
-            shard: shard.id,
-            golden: state.golden,
-            forward: runner.forward_cycles(),
-            restores: runner.restores(),
-            runs,
-        }),
-    )?;
-    match recv(stream)? {
-        Message::SubmitAck { accepted } => {
-            if accepted {
-                stats.shards_completed += 1;
-            } else {
-                stats.shards_duplicate += 1;
+            WorkerAction::Send { msg } => {
+                send(stream, &msg)?;
+                let reply = recv(stream)?;
+                let acts = machine.step(now_ms(start), WorkerEvent::Received { msg: reply });
+                local.extend(acts);
             }
-            Ok(ShardEnd::Submitted)
+            other => {
+                // Sleep/Crash/Finish always follow the machine leaving
+                // the shard, so the scope check above fields them; keep
+                // them for the outer loop regardless.
+                local.push_front(other);
+                pending.extend(local.drain(..));
+                return Ok(());
+            }
         }
-        other => Err(proto_err(format!("expected SubmitAck, got {other:?}"))),
     }
 }

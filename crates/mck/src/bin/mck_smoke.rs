@@ -1,0 +1,184 @@
+//! CI smoke gate for the deterministic protocol simulator.
+//!
+//! Three fixed-seed, fully deterministic phases:
+//!
+//! 1. **DFS** — bounded depth-first enumeration of the schedule tree;
+//!    every explored schedule must satisfy every invariant.
+//! 2. **Random** — a sweep of seeded random schedules; same bar.
+//! 3. **Mutation** — the same sweep with the coordinator's
+//!    first-writer-wins dedupe disabled (a deliberately broken
+//!    protocol): the explorer must *find* a double count, and the
+//!    reported failure must replay both from its seed and from its
+//!    recorded schedule. A checker that cannot catch a planted
+//!    exactly-once bug guards nothing.
+//!
+//! Replay environment (printed by every failure report):
+//!
+//! * `NESTSIM_MCK_SEED=<n|0xhex>` — rerun one random schedule.
+//! * `NESTSIM_MCK_SCHEDULE=3,0,1,...` — rerun one explicit schedule.
+//! * `NESTSIM_MCK_MUTATE=1` — replay against the mutated coordinator.
+
+use nestsim_cluster::LeaseConfig;
+use nestsim_core::campaign::CampaignSpec;
+use nestsim_hlsim::workload::by_name;
+use nestsim_mck::explore::{
+    explore_dfs, explore_random, failure_report, Chooser, RandomChooser, ScheduleChooser,
+};
+use nestsim_mck::sim::{run_sim, world, FaultBudget, SimConfig, SimError};
+use nestsim_mck::CampaignExec;
+use nestsim_models::ComponentKind;
+use nestsim_telemetry::TelemetryConfig;
+use std::process::ExitCode;
+
+/// Every phase derives from this seed; the whole smoke run is a pure
+/// function of the source tree.
+const BASE_SEED: u64 = 0xD0C5_2015;
+const DFS_TRACES: usize = 400;
+const RANDOM_TRACES: usize = 96;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn cell() -> CampaignExec {
+    let profile = by_name("flui").expect("flui profile exists");
+    let spec = CampaignSpec {
+        seed: 7,
+        workers: 1,
+        ..CampaignSpec::quick(ComponentKind::L2c, 6)
+    };
+    CampaignExec::new(profile, &spec, Some(&TelemetryConfig::default()))
+}
+
+fn sim_config(mutate: bool) -> SimConfig {
+    SimConfig {
+        workers: 2,
+        shard_size: 2,
+        lease: LeaseConfig {
+            lease_ms: 10,
+            heartbeat_ms: 4,
+            backoff_ms: 2,
+        },
+        faults: FaultBudget(2),
+        max_steps: 20_000,
+        disable_first_writer_wins: mutate,
+    }
+}
+
+/// Replay one schedule named by the environment; returns the process
+/// outcome, or `None` when no replay was requested.
+fn replay_from_env(exec: &CampaignExec) -> Option<ExitCode> {
+    let seed = std::env::var("NESTSIM_MCK_SEED").ok();
+    let schedule = std::env::var("NESTSIM_MCK_SCHEDULE").ok();
+    if seed.is_none() && schedule.is_none() {
+        return None;
+    }
+    let mutate = std::env::var("NESTSIM_MCK_MUTATE").is_ok_and(|v| v == "1");
+    let cfg = sim_config(mutate);
+    let mut chooser: Box<dyn Chooser> = if let Some(s) = schedule {
+        Box::new(ScheduleChooser::parse(&s).expect("NESTSIM_MCK_SCHEDULE: comma-joined integers"))
+    } else {
+        let seed = parse_u64(&seed.expect("checked above")).expect("NESTSIM_MCK_SEED: integer");
+        Box::new(RandomChooser::new(seed))
+    };
+    println!("mck: replaying one schedule (mutate={mutate})");
+    match run_sim(exec, &cfg, chooser.as_mut()) {
+        Ok(report) => {
+            println!(
+                "mck: schedule passed: {} events, {} fault(s), {} virtual ms",
+                report.steps, report.faults_injected, report.virtual_ms
+            );
+            Some(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("{}", failure_report(&e, None, chooser.trace()));
+            Some(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    println!("mck_smoke: deterministic protocol simulation of the cluster machines");
+    let exec = cell();
+    println!(
+        "mck: cell ready: {} samples, engine cached and in-process reference computed",
+        exec.samples()
+    );
+    if let Some(code) = replay_from_env(&exec) {
+        return code;
+    }
+    let cfg = sim_config(false);
+
+    // Phase 1: bounded DFS over interleaving/fault choice points.
+    let dfs = explore_dfs(DFS_TRACES, world(&exec, &cfg));
+    if let Some((schedule, err)) = dfs.failure {
+        println!("mck: FAIL: DFS found an invariant violation");
+        println!("{}", failure_report(&err, None, &schedule));
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "mck: DFS clean: {} schedules ({})",
+        dfs.traces,
+        if dfs.exhausted {
+            "tree exhausted"
+        } else {
+            "trace budget reached"
+        }
+    );
+
+    // Phase 2: seeded random schedules.
+    let random = explore_random(BASE_SEED, RANDOM_TRACES, world(&exec, &cfg));
+    if let Some((seed, schedule, err)) = random.failure {
+        println!("mck: FAIL: random schedule found an invariant violation");
+        println!("{}", failure_report(&err, Some(seed), &schedule));
+        return ExitCode::FAILURE;
+    }
+    println!("mck: random clean: {} schedules", random.traces);
+
+    // Phase 3: mutation — the planted dedupe bug must be caught, and
+    // the reported failure must replay from seed and from schedule.
+    let mutated = sim_config(true);
+    let hunt = explore_random(BASE_SEED, RANDOM_TRACES, world(&exec, &mutated));
+    let Some((seed, schedule, err)) = hunt.failure else {
+        println!(
+            "mck: FAIL: mutation check: first-writer-wins disabled, but {} schedules found no \
+             double count — the checker is blind",
+            hunt.traces
+        );
+        return ExitCode::FAILURE;
+    };
+    if !matches!(err, SimError::SampleDoubleCounted { .. }) {
+        println!("mck: FAIL: mutation check tripped the wrong invariant: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "mck: mutation caught after {} schedules: {err}",
+        hunt.traces
+    );
+    println!(
+        "  (replay: NESTSIM_MCK_MUTATE=1 NESTSIM_MCK_SEED={seed:#x} cargo run -p nestsim-mck \
+         --bin mck_smoke)"
+    );
+
+    let mut by_seed = RandomChooser::new(seed);
+    let seed_err = run_sim(&exec, &mutated, &mut by_seed).expect_err("seed replay must fail");
+    if seed_err != err || by_seed.trace() != schedule {
+        println!("mck: FAIL: seed replay diverged: {seed_err}");
+        return ExitCode::FAILURE;
+    }
+    let mut by_schedule = ScheduleChooser::new(schedule);
+    let sched_err =
+        run_sim(&exec, &mutated, &mut by_schedule).expect_err("schedule replay must fail");
+    if sched_err != err {
+        println!("mck: FAIL: schedule replay diverged: {sched_err}");
+        return ExitCode::FAILURE;
+    }
+    println!("mck: mutation failure replays from seed and from schedule");
+    println!("mck_smoke: OK");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,777 @@
+//! The deterministic simulated world: virtual clock, simulated
+//! network, crash/restart — wrapped around the *real*
+//! [`CoordMachine`] and [`WorkerMachine`].
+//!
+//! ## The world
+//!
+//! One coordinator machine, `workers` worker slots. Each live worker
+//! incarnation holds a connection to the coordinator; a crashed or
+//! reset worker restarts as a fresh incarnation (with a fresh
+//! connection) as long as the campaign has not settled — the real
+//! deployment's "operator restarts dead workers" loop. Time is a
+//! virtual millisecond counter that only advances when the event
+//! queue says so, which makes lease expiry, heartbeat cadence, and
+//! re-dispatch backoff *real* protocol behaviour at simulation speed.
+//!
+//! ## Nondeterminism
+//!
+//! Everything the physical world decides is a [`Chooser`] pick:
+//!
+//! * **Event order** — when several events are due at the same
+//!   virtual instant, the chooser picks which fires first.
+//! * **Request faults** — each worker→coordinator message may be
+//!   delivered, dropped (a connection reset: both ends find out, like
+//!   TCP), delayed past lease expiry, or — for `Submit` only —
+//!   duplicated, modelling an at-least-once retry layer whose
+//!   retransmission the coordinator must dedupe. Per-link order is
+//!   FIFO (the protocol is strict request/response, so there is never
+//!   more than one message in flight per direction per connection);
+//!   *cross*-link reordering emerges from delay and event-order picks.
+//! * **Reply faults** — each coordinator→worker reply may be
+//!   delivered, dropped (reset), or delayed. A lost `SubmitAck` after
+//!   an accepted submission is the classic exactly-once trap: the
+//!   worker dies unacknowledged, restarts, and the shard must still
+//!   count exactly once.
+//! * **Execution faults** — each injection run may complete promptly,
+//!   crash the worker mid-shard, or *stall* longer than the lease, so
+//!   the coordinator expires and re-dispatches while the original
+//!   worker eventually submits a late completion.
+//!
+//! Faulty picks draw from a finite [`FaultBudget`]; once it is spent,
+//! every subsequent fault point has exactly one (benign) alternative
+//! and stops contributing to the choice tree. That is both what keeps
+//! bounded DFS bounded and what makes the liveness invariant honest:
+//! *under finitely many faults, the campaign completes*.
+//!
+//! ## Invariants checked on every schedule
+//!
+//! 1. The coordinator never records a fatal error (nothing in the
+//!    fault model justifies one).
+//! 2. The campaign settles within [`SimConfig::max_steps`] events and
+//!    the world drains (liveness).
+//! 3. Exact cover: every sample appears in the merged results exactly
+//!    once — none lost, none double-counted, across duplicate and
+//!    late completions.
+//! 4. Every merged run is byte-identical to the cached engine run,
+//!    and the assembled [`CampaignResult`] (records, outcome counts,
+//!    golden reference, merged telemetry export) is byte-identical to
+//!    the in-process engine's.
+
+use std::collections::BTreeMap;
+
+use nestsim_cluster::proto::Message;
+use nestsim_cluster::shard::plan_shards;
+use nestsim_cluster::{
+    CoordAction, CoordEvent, CoordMachine, LeaseConfig, WorkerAction, WorkerEnd, WorkerEvent,
+    WorkerMachine, WorkerOptions,
+};
+use nestsim_telemetry::Recorder;
+
+use crate::exec::CampaignExec;
+use crate::explore::Chooser;
+
+/// How many faulty picks a schedule may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBudget(pub u32);
+
+/// Simulated-world parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Worker slots (each restarts on death until the campaign
+    /// settles).
+    pub workers: usize,
+    /// Shard size in samples (the coordinator plans
+    /// `ceil(samples / shard_size)` shards).
+    pub shard_size: u64,
+    /// Lease timing, in *virtual* milliseconds — small values keep
+    /// expiry/backoff reachable within short schedules.
+    pub lease: LeaseConfig,
+    /// Maximum faulty picks per schedule.
+    pub faults: FaultBudget,
+    /// Event-count bound; exceeding it is a liveness violation.
+    pub max_steps: usize,
+    /// Mutation hook for the checker's self-test: disable the
+    /// coordinator's first-writer-wins dedupe, which must make the
+    /// explorer report a double count.
+    pub disable_first_writer_wins: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workers: 2,
+            shard_size: 2,
+            lease: LeaseConfig {
+                lease_ms: 10,
+                heartbeat_ms: 4,
+                backoff_ms: 2,
+            },
+            faults: FaultBudget(1),
+            max_steps: 20_000,
+            disable_first_writer_wins: false,
+        }
+    }
+}
+
+/// An invariant violation found on one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The coordinator recorded a fatal campaign error.
+    Coordinator {
+        /// The coordinator's error message.
+        message: String,
+    },
+    /// The merged golden reference differs from the engine's.
+    GoldenMismatch,
+    /// A sample is missing from the merged results.
+    SampleLost {
+        /// The missing sample id.
+        sample: u64,
+    },
+    /// A sample appears more than once in the merged results.
+    SampleDoubleCounted {
+        /// The double-counted sample id.
+        sample: u64,
+    },
+    /// A merged run's bytes differ from the engine's cached run.
+    ResultDiverged {
+        /// The diverging sample id.
+        sample: u64,
+    },
+    /// The assembled campaign diverged from the in-process engine.
+    MergeDiverged {
+        /// Which assembled field diverged.
+        what: &'static str,
+    },
+    /// The world did not settle and drain within the step bound.
+    Liveness {
+        /// Events fired before giving up.
+        steps: usize,
+        /// Events still queued.
+        pending: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Coordinator { message } => write!(f, "coordinator error: {message}"),
+            SimError::GoldenMismatch => write!(f, "merged golden reference diverged"),
+            SimError::SampleLost { sample } => write!(f, "sample {sample} lost from merge"),
+            SimError::SampleDoubleCounted { sample } => {
+                write!(f, "sample {sample} double-counted in merge")
+            }
+            SimError::ResultDiverged { sample } => {
+                write!(f, "sample {sample} bytes diverged from engine run")
+            }
+            SimError::MergeDiverged { what } => {
+                write!(
+                    f,
+                    "assembled campaign diverged from in-process engine: {what}"
+                )
+            }
+            SimError::Liveness { steps, pending } => {
+                write!(
+                    f,
+                    "campaign did not settle within {steps} events ({pending} still queued)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What a passing schedule did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimReport {
+    /// Events fired.
+    pub steps: usize,
+    /// Faulty picks actually taken.
+    pub faults_injected: u32,
+    /// Final virtual time in milliseconds.
+    pub virtual_ms: u64,
+}
+
+/// One hop of simulated network latency, in virtual ms.
+const HOP_MS: u64 = 1;
+/// Random-driver odds of the benign alternative at each fault point,
+/// relative to 1 per fault flavour (see [`Sim::pick_fault`]).
+const BENIGN_WEIGHT: u32 = 20;
+/// Prompt injection-run duration, in virtual ms.
+const EXEC_MS: u64 = 1;
+/// Dead-worker restart delay, in virtual ms.
+const RESTART_MS: u64 = 1;
+
+/// A queued world event. Worker-directed events carry the incarnation
+/// they were addressed to; a restarted slot ignores its predecessor's
+/// mail.
+#[derive(Debug)]
+enum Ev {
+    /// Bring up incarnation `inc` of worker slot `w`.
+    WorkerStart { w: usize, inc: u64 },
+    /// A worker message reaches the coordinator on `conn`.
+    DeliverToCoord { conn: u64, msg: Message },
+    /// A coordinator reply reaches worker `w`.
+    DeliverToWorker { w: usize, inc: u64, msg: Message },
+    /// A worker's `Sleep` elapsed.
+    WorkerWake { w: usize, inc: u64 },
+    /// A worker finished executing entry-order position `pos`.
+    ExecDone { w: usize, inc: u64, pos: u64 },
+    /// The coordinator's `next_wake` timer.
+    CoordTick,
+    /// A connection reset (or coordinator-side close) becomes visible:
+    /// the coordinator drops `conn` (if still known) and worker `w`
+    /// observes the close.
+    ConnReset { w: usize, inc: u64, conn: u64 },
+}
+
+/// A live coordinator-side connection and its request/response debt:
+/// `awaiting` counts replies the worker is owed. Replies routed to a
+/// connection with no debt (the echo of a duplicated request) are
+/// absorbed by the retry layer, never delivered.
+struct ConnEntry {
+    conn: u64,
+    w: usize,
+    inc: u64,
+    awaiting: u32,
+}
+
+struct Slot {
+    machine: Option<WorkerMachine>,
+    inc: u64,
+    /// Terminal: told `done`, or retired after settling. No restart.
+    retired: bool,
+}
+
+struct Sim<'a, 'c> {
+    exec: &'a CampaignExec,
+    cfg: &'a SimConfig,
+    chooser: &'c mut dyn Chooser,
+    coord: CoordMachine,
+    conns: Vec<ConnEntry>,
+    next_conn: u64,
+    slots: Vec<Slot>,
+    queue: BTreeMap<(u64, u64), Ev>,
+    seq: u64,
+    now: u64,
+    steps: usize,
+    faults_left: u32,
+    faults_injected: u32,
+    tick_key: Option<(u64, u64)>,
+    shutdown_sent: bool,
+}
+
+/// Runs one schedule to completion and checks every invariant.
+pub fn run_sim(
+    exec: &CampaignExec,
+    cfg: &SimConfig,
+    chooser: &mut dyn Chooser,
+) -> Result<SimReport, SimError> {
+    assert!(cfg.workers >= 1, "a cluster needs at least one worker");
+    let shards = plan_shards(exec.samples(), cfg.shard_size.max(1));
+    let mut coord = CoordMachine::new(exec.job().clone(), shards, cfg.lease, Recorder::null());
+    if cfg.disable_first_writer_wins {
+        coord.disable_first_writer_wins();
+    }
+    let mut sim = Sim {
+        exec,
+        cfg,
+        chooser,
+        coord,
+        conns: Vec::new(),
+        next_conn: 0,
+        slots: (0..cfg.workers)
+            .map(|_| Slot {
+                machine: None,
+                inc: 0,
+                retired: false,
+            })
+            .collect(),
+        queue: BTreeMap::new(),
+        seq: 0,
+        now: 0,
+        steps: 0,
+        faults_left: cfg.faults.0,
+        faults_injected: 0,
+        tick_key: None,
+        shutdown_sent: false,
+    };
+    // Stagger worker start-up so the initial handshakes are ordered
+    // by default; the chooser can still interleave everything later.
+    for w in 0..cfg.workers {
+        sim.schedule(w as u64, Ev::WorkerStart { w, inc: 0 });
+    }
+    sim.run()
+}
+
+/// Adapts [`run_sim`] to the shape the explorers drive: a world that
+/// is a pure function of its chooser.
+pub fn world<'a>(
+    exec: &'a CampaignExec,
+    cfg: &'a SimConfig,
+) -> impl FnMut(&mut dyn Chooser) -> Result<(), SimError> + 'a {
+    move |chooser| run_sim(exec, cfg, chooser).map(|_| ())
+}
+
+impl Sim<'_, '_> {
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, ev);
+    }
+
+    /// A fault choice point: pick 0 is benign; any other pick spends
+    /// budget. With the budget exhausted there is exactly one
+    /// alternative and the point vanishes from the choice tree.
+    /// Random drivers see "no fault" weighted [`BENIGN_WEIGHT`]:1 per
+    /// flavour, so a schedule's few budgeted faults scatter across the
+    /// whole execution instead of all landing on the first points.
+    fn pick_fault(&mut self, alternatives: usize) -> usize {
+        if self.faults_left == 0 {
+            return 0;
+        }
+        let mut weights = vec![1u32; alternatives];
+        weights[0] = BENIGN_WEIGHT;
+        let pick = self.chooser.choose_weighted(&weights);
+        if pick > 0 {
+            self.faults_left -= 1;
+            self.faults_injected += 1;
+        }
+        pick
+    }
+
+    /// A delay long enough to outlive a lease (plus re-dispatch
+    /// backoff), so delayed messages and stalled executions land in
+    /// genuinely expired worlds.
+    fn past_lease_ms(&self) -> u64 {
+        2 * self.cfg.lease.lease_ms + 5
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        loop {
+            if self.coord.is_settled() && !self.shutdown_sent {
+                self.shutdown_sent = true;
+                let now = self.now;
+                let acts = self.coord.begin_shutdown(now);
+                self.dispatch_coord(acts);
+            }
+            self.schedule_tick_if_needed();
+            if self.queue.is_empty() {
+                let all_dead = self.slots.iter().all(|s| s.machine.is_none());
+                if self.coord.is_settled() && all_dead {
+                    return self.finish();
+                }
+                return Err(SimError::Liveness {
+                    steps: self.steps,
+                    pending: 0,
+                });
+            }
+            if self.steps >= self.cfg.max_steps {
+                return Err(SimError::Liveness {
+                    steps: self.steps,
+                    pending: self.queue.len(),
+                });
+            }
+            // All events due at the earliest instant are concurrent;
+            // the schedule decides which one the world sees first.
+            let t0 = self.queue.keys().next().expect("queue non-empty").0;
+            let due: Vec<(u64, u64)> = self
+                .queue
+                .keys()
+                .take_while(|(t, _)| *t == t0)
+                .copied()
+                .collect();
+            let pick = self.chooser.choose(due.len());
+            let key = due[pick];
+            let ev = self.queue.remove(&key).expect("picked key exists");
+            if Some(key) == self.tick_key {
+                self.tick_key = None;
+            }
+            self.now = t0;
+            self.steps += 1;
+            self.fire(ev);
+        }
+    }
+
+    /// Mirror of the TCP driver's parked-connection timeout: make sure
+    /// a `Tick` is queued no later than the machine's `next_wake`.
+    fn schedule_tick_if_needed(&mut self) {
+        let Some(at) = self.coord.next_wake() else {
+            return;
+        };
+        let at = at.max(self.now);
+        if let Some(key) = self.tick_key {
+            if key.0 <= at {
+                return;
+            }
+            self.queue.remove(&key);
+        }
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, Ev::CoordTick);
+        self.tick_key = Some(key);
+    }
+
+    fn fire(&mut self, ev: Ev) {
+        match ev {
+            Ev::WorkerStart { w, inc } => self.on_worker_start(w, inc),
+            Ev::DeliverToCoord { conn, msg } => self.on_deliver_to_coord(conn, msg),
+            Ev::DeliverToWorker { w, inc, msg } => {
+                if self.slots[w].inc == inc && self.slots[w].machine.is_some() {
+                    self.step_worker(w, WorkerEvent::Received { msg });
+                }
+            }
+            Ev::WorkerWake { w, inc } => {
+                if self.slots[w].inc == inc && self.slots[w].machine.is_some() {
+                    self.step_worker(w, WorkerEvent::Woke);
+                }
+            }
+            Ev::ExecDone { w, inc, pos } => {
+                if self.slots[w].inc == inc && self.slots[w].machine.is_some() {
+                    let run = self.exec.run(pos);
+                    let golden = self.exec.golden();
+                    let forward = self.exec.forward(pos);
+                    let restores = self.exec.restores(pos);
+                    self.step_worker(
+                        w,
+                        WorkerEvent::Executed {
+                            run,
+                            golden,
+                            forward,
+                            restores,
+                        },
+                    );
+                }
+            }
+            Ev::CoordTick => {
+                let now = self.now;
+                let acts = self.coord.step(now, CoordEvent::Tick);
+                self.dispatch_coord(acts);
+            }
+            Ev::ConnReset { w, inc, conn } => {
+                if let Some(i) = self.conns.iter().position(|c| c.conn == conn) {
+                    self.conns.remove(i);
+                    let now = self.now;
+                    let acts = self
+                        .coord
+                        .step(now, CoordEvent::Closed { conn, clean: false });
+                    self.dispatch_coord(acts);
+                }
+                if self.slots[w].inc == inc && self.slots[w].machine.is_some() {
+                    self.step_worker(w, WorkerEvent::ConnClosed);
+                }
+            }
+        }
+    }
+
+    fn on_worker_start(&mut self, w: usize, inc: u64) {
+        if self.slots[w].inc != inc || self.slots[w].machine.is_some() || self.slots[w].retired {
+            return;
+        }
+        if self.coord.is_settled() {
+            self.slots[w].retired = true;
+            return;
+        }
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        self.conns.push(ConnEntry {
+            conn,
+            w,
+            inc,
+            awaiting: 0,
+        });
+        let now = self.now;
+        let acts = self.coord.step(now, CoordEvent::Connected { conn });
+        self.dispatch_coord(acts);
+        self.slots[w].machine = Some(WorkerMachine::new(WorkerOptions::default()));
+        self.step_worker(w, WorkerEvent::Start);
+    }
+
+    fn on_deliver_to_coord(&mut self, conn: u64, msg: Message) {
+        if !self.conns.iter().any(|c| c.conn == conn) {
+            return; // the connection reset while this was in flight
+        }
+        let bytes = msg.encode().expect("simulated message encodes").len();
+        self.coord
+            .note_frame_received(bytes, matches!(msg, Message::Submit(_)));
+        let now = self.now;
+        let acts = self.coord.step(now, CoordEvent::Received { conn, msg });
+        self.dispatch_coord(acts);
+    }
+
+    /// Perform the coordinator's actions: route replies through the
+    /// simulated network (with reply-fault picks), realise close
+    /// requests as resets the worker observes after any final reply.
+    fn dispatch_coord(&mut self, acts: Vec<CoordAction>) {
+        for act in acts {
+            match act {
+                CoordAction::Send { conn, msg } => {
+                    let Some(i) = self.conns.iter().position(|c| c.conn == conn) else {
+                        continue; // send to an already-gone connection
+                    };
+                    let bytes = msg.encode().expect("simulated message encodes").len();
+                    self.coord.note_frame_sent(bytes);
+                    if self.conns[i].awaiting == 0 {
+                        // The reply to a retransmitted request: the
+                        // at-least-once layer absorbs it.
+                        continue;
+                    }
+                    self.conns[i].awaiting -= 1;
+                    let (w, inc) = (self.conns[i].w, self.conns[i].inc);
+                    // Reply faults: deliver | drop (reset) | delay.
+                    match self.pick_fault(3) {
+                        1 => {
+                            let at = self.now + HOP_MS;
+                            self.schedule(at, Ev::ConnReset { w, inc, conn });
+                        }
+                        pick => {
+                            let delay = if pick == 2 { self.past_lease_ms() } else { 0 };
+                            let at = self.now + HOP_MS + delay;
+                            self.schedule(at, Ev::DeliverToWorker { w, inc, msg });
+                        }
+                    }
+                }
+                CoordAction::Close { conn } => {
+                    let Some(i) = self.conns.iter().position(|c| c.conn == conn) else {
+                        continue;
+                    };
+                    let entry = self.conns.remove(i);
+                    // Any final reply was already scheduled above; the
+                    // close lands one hop later, like a FIN behind the
+                    // last write.
+                    let at = self.now + 2 * HOP_MS;
+                    self.schedule(
+                        at,
+                        Ev::ConnReset {
+                            w: entry.w,
+                            inc: entry.inc,
+                            conn,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn step_worker(&mut self, w: usize, event: WorkerEvent) {
+        let now = self.now;
+        let machine = self.slots[w].machine.as_mut().expect("live worker machine");
+        let acts = machine.step(now, event);
+        self.perform_worker_actions(w, acts);
+    }
+
+    fn perform_worker_actions(&mut self, w: usize, acts: Vec<WorkerAction>) {
+        for act in acts {
+            match act {
+                WorkerAction::Send { msg } => self.worker_send(w, msg),
+                WorkerAction::Sleep { ms } => {
+                    let inc = self.slots[w].inc;
+                    let at = self.now + ms.max(1);
+                    self.schedule(at, Ev::WorkerWake { w, inc });
+                }
+                WorkerAction::Execute { pos } => {
+                    let inc = self.slots[w].inc;
+                    // Execution faults: prompt | crash here | stall
+                    // past the lease.
+                    match self.pick_fault(3) {
+                        1 => self.worker_died(w, false),
+                        pick => {
+                            let ms = if pick == 2 {
+                                self.past_lease_ms()
+                            } else {
+                                EXEC_MS
+                            };
+                            let at = self.now + ms;
+                            self.schedule(at, Ev::ExecDone { w, inc, pos });
+                        }
+                    }
+                }
+                WorkerAction::Crash => {
+                    // Only reachable through chaos options, which the
+                    // simulator leaves off — crashes are schedule
+                    // picks at Execute points instead.
+                    self.worker_died(w, false);
+                }
+                WorkerAction::Finish { end } => match end {
+                    WorkerEnd::Done => {
+                        self.slots[w].retired = true;
+                        self.worker_died(w, true);
+                    }
+                    WorkerEnd::Stalled => self.worker_died(w, true),
+                    WorkerEnd::Failed(_) => {
+                        // Lost connection or coordinator error: the
+                        // process exits; the operator loop restarts
+                        // the slot (below) while work remains.
+                        self.worker_died(w, true);
+                    }
+                },
+            }
+        }
+    }
+
+    /// A worker machine handed the simulated driver a message to
+    /// write: the request-fault choice point.
+    fn worker_send(&mut self, w: usize, msg: Message) {
+        let inc = self.slots[w].inc;
+        let Some(entry) = self.conns.iter_mut().find(|c| c.w == w && c.inc == inc) else {
+            return; // connection already reset; the worker will hear
+        };
+        entry.awaiting += 1;
+        let conn = entry.conn;
+        let is_submit = matches!(msg, Message::Submit(_));
+        // Request faults: deliver | drop (reset) | delay past the
+        // lease | duplicate (Submit only).
+        let pick = self.pick_fault(if is_submit { 4 } else { 3 });
+        match pick {
+            1 => {
+                let at = self.now + HOP_MS;
+                self.schedule(at, Ev::ConnReset { w, inc, conn });
+            }
+            3 => {
+                let at = self.now + HOP_MS;
+                self.schedule(
+                    at,
+                    Ev::DeliverToCoord {
+                        conn,
+                        msg: msg.clone(),
+                    },
+                );
+                self.schedule(at + HOP_MS, Ev::DeliverToCoord { conn, msg });
+            }
+            pick => {
+                let delay = if pick == 2 { self.past_lease_ms() } else { 0 };
+                let at = self.now + HOP_MS + delay;
+                self.schedule(at, Ev::DeliverToCoord { conn, msg });
+            }
+        }
+    }
+
+    /// Tear down worker `w`'s current incarnation. `clean` closes the
+    /// coordinator side as an orderly EOF; otherwise the coordinator
+    /// sees an abortive reset. Restarts the slot (fresh incarnation)
+    /// unless it is retired or the campaign settled.
+    fn worker_died(&mut self, w: usize, clean: bool) {
+        self.slots[w].machine = None;
+        let inc = self.slots[w].inc;
+        self.slots[w].inc += 1;
+        if let Some(i) = self.conns.iter().position(|c| c.w == w && c.inc == inc) {
+            if clean {
+                // An orderly EOF: every in-flight message of a cleanly
+                // exiting worker is already scheduled, so the
+                // coordinator can account the close right away.
+                let conn = self.conns.remove(i).conn;
+                let now = self.now;
+                let acts = self
+                    .coord
+                    .step(now, CoordEvent::Closed { conn, clean: true });
+                self.dispatch_coord(acts);
+            } else {
+                // An abortive reset travels like any packet: the
+                // coordinator notices one hop later, so submissions
+                // racing the crash stay explorable. The entry stays
+                // registered until then (in-flight replies route to a
+                // dead incarnation and die of staleness). The stale
+                // incarnation tag makes the queued event
+                // coordinator-only.
+                let conn = self.conns[i].conn;
+                let at = self.now + HOP_MS;
+                self.schedule(at, Ev::ConnReset { w, inc, conn });
+            }
+        }
+        if !self.coord.is_settled() && !self.slots[w].retired {
+            let at = self.now + RESTART_MS;
+            let inc = self.slots[w].inc;
+            self.schedule(at, Ev::WorkerStart { w, inc });
+        }
+    }
+
+    /// End of the world: consume the coordinator and check every
+    /// result invariant against the cached engine.
+    fn finish(self) -> Result<SimReport, SimError> {
+        let Sim {
+            exec,
+            coord,
+            steps,
+            faults_injected,
+            now,
+            ..
+        } = self;
+        let outcome = coord.into_outcome();
+        if let Some(message) = outcome.error {
+            return Err(SimError::Coordinator { message });
+        }
+        if outcome.golden != Some(exec.golden()) {
+            return Err(SimError::GoldenMismatch);
+        }
+
+        let n = exec.samples() as usize;
+        // Exact cover: every sample exactly once across all shards.
+        let mut seen_at = vec![false; n];
+        for runs in &outcome.results {
+            for run in runs {
+                let s = run.sample as usize;
+                if s >= n || seen_at[s] {
+                    return Err(SimError::SampleDoubleCounted { sample: run.sample });
+                }
+                seen_at[s] = true;
+            }
+        }
+        if let Some(sample) = seen_at.iter().position(|&seen| !seen) {
+            return Err(SimError::SampleLost {
+                sample: sample as u64,
+            });
+        }
+
+        // Byte-identity of each run against the cached engine run.
+        let mut expected = vec![None; n];
+        for pos in 0..exec.samples() {
+            let run = exec.run(pos);
+            let sample = run.sample as usize;
+            expected[sample] = Some(run);
+        }
+        for runs in &outcome.results {
+            for run in runs {
+                let want = expected[run.sample as usize]
+                    .as_ref()
+                    .expect("expected runs cover every sample");
+                if run != want {
+                    return Err(SimError::ResultDiverged { sample: run.sample });
+                }
+            }
+        }
+
+        // The coordinator epilogue, checked against the in-process
+        // engine byte for byte (cover holds, so this cannot panic).
+        let golden = outcome.golden.expect("checked above");
+        let assembled = exec.assemble(golden, outcome.results, outcome.engine);
+        let reference = exec.reference();
+        if assembled.records != reference.records {
+            return Err(SimError::MergeDiverged { what: "records" });
+        }
+        if assembled.counts != reference.counts {
+            return Err(SimError::MergeDiverged { what: "counts" });
+        }
+        if assembled.golden != reference.golden {
+            return Err(SimError::MergeDiverged { what: "golden" });
+        }
+        if assembled.telemetry.merged.to_jsonl() != reference.telemetry.merged.to_jsonl() {
+            return Err(SimError::MergeDiverged {
+                what: "merged telemetry",
+            });
+        }
+        let attributed: usize = assembled.telemetry.worker_samples.iter().sum();
+        let expected_attrib: usize = reference.telemetry.worker_samples.iter().sum();
+        if attributed != expected_attrib {
+            return Err(SimError::MergeDiverged {
+                what: "attributed samples",
+            });
+        }
+
+        Ok(SimReport {
+            steps,
+            faults_injected,
+            virtual_ms: now,
+        })
+    }
+}

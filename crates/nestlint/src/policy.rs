@@ -56,9 +56,26 @@ pub const TABLE: &[PolicyRow] = &[
         why: "shard planning must be identical in every process",
     },
     PolicyRow {
+        prefix: "crates/cluster/src/coord_machine.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "sans-I/O coordinator: a pure event→actions function the model checker \
+              replays under every schedule; time arrives only as an event payload",
+    },
+    PolicyRow {
+        prefix: "crates/cluster/src/worker_machine.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "sans-I/O worker: same pure-function contract as the coordinator machine",
+    },
+    PolicyRow {
         prefix: "crates/cluster/",
         rules: &[],
         why: "lease deadlines, sockets, and backoff run on real clocks by design",
+    },
+    PolicyRow {
+        prefix: "crates/mck/src/",
+        rules: &[Rule::NoNondeterminism],
+        why: "the model checker's value is exact replay from a printed seed or schedule; \
+              a wall clock or hash-ordered container anywhere in it voids that",
     },
     PolicyRow {
         prefix: "crates/arch/src/",
@@ -163,6 +180,23 @@ mod tests {
         }
         assert!(rules_for("crates/cluster/src/lease.rs").is_empty());
         assert!(rules_for("crates/cluster/src/coordinator.rs").is_empty());
+    }
+
+    #[test]
+    fn sans_io_machines_and_model_checker_are_deterministic() {
+        // The protocol machines are pinned above the cluster catch-all:
+        // the drivers may run real clocks and sockets, the machines
+        // themselves may not.
+        for path in [
+            "crates/cluster/src/coord_machine.rs",
+            "crates/cluster/src/worker_machine.rs",
+            "crates/mck/src/sim.rs",
+            "crates/mck/src/explore.rs",
+            "crates/mck/src/exec.rs",
+            "crates/mck/src/bin/mck_smoke.rs",
+        ] {
+            assert!(rules_for(path).contains(&Rule::NoNondeterminism), "{path}");
+        }
     }
 
     #[test]

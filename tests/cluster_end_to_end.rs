@@ -82,6 +82,66 @@ fn cluster_without_telemetry_matches_in_process() {
     assert_eq!(got.golden, reference.golden);
 }
 
+/// A worker speaking an old protocol version is rejected with a clean
+/// `Error` frame and a closed connection — no panic, no hung lease, no
+/// phantom worker in the accounting — and the coordinator keeps
+/// serving healthy workers to a byte-identical result.
+#[test]
+fn version_mismatch_worker_is_rejected_cleanly() {
+    use nestsim::cluster::frame::{read_frame, write_frame};
+    use nestsim::cluster::Message;
+
+    let (profile, spec) = cell();
+    let telemetry = TelemetryConfig::default();
+    let reference = run_campaign_with(profile, &spec, Some(&telemetry));
+    let campaign = serve_campaign(
+        profile,
+        &spec,
+        Some(&telemetry),
+        &CoordinatorConfig::default(),
+    )
+    .unwrap();
+    let addr = campaign.addr().to_string();
+
+    // A "v1 worker": a raw socket speaking the framed wire protocol
+    // with an outdated version claim.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let hello = Message::Hello { version: 1 }.encode().unwrap();
+    write_frame(&mut stream, &hello).unwrap();
+    let reply = Message::decode(&read_frame(&mut stream).unwrap()).unwrap();
+    let Message::Error { message } = reply else {
+        panic!("expected an Error reply, got {reply:?}");
+    };
+    assert!(
+        message.contains("protocol version mismatch"),
+        "unhelpful rejection: {message}"
+    );
+    // ... and then the coordinator hangs up on us.
+    assert!(
+        read_frame(&mut stream).is_err(),
+        "connection must be closed after the rejection"
+    );
+    drop(stream);
+
+    // The rejected worker never handshook: nothing was leased to it,
+    // nothing needs releasing, and it never counted as connected.
+    let engine = campaign.engine_stats();
+    assert_eq!(engine.counter(names::CLUSTER_LEASES_GRANTED), 0);
+    assert_eq!(engine.counter(names::CLUSTER_LEASES_RELEASED), 0);
+    assert_eq!(engine.counter(names::CLUSTER_WORKERS_CONNECTED), 0);
+
+    // A healthy worker drains the whole campaign afterwards.
+    let stats = std::thread::scope(|scope| {
+        let worker_addr = addr.clone();
+        let healthy = scope
+            .spawn(move || nestsim::cluster::run_worker(&worker_addr, &WorkerOptions::default()));
+        let got = campaign.wait();
+        assert_identical("after version mismatch", &reference, &got);
+        healthy.join().unwrap().unwrap()
+    });
+    assert!(stats.shards_completed >= 1);
+}
+
 /// A worker that dies mid-shard (drops its connection without
 /// submitting) loses its lease; the shard is re-dispatched to a healthy
 /// worker and the merged result is still byte-identical.

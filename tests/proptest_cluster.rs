@@ -19,8 +19,9 @@
 use nestsim_harness::{properties, Source};
 
 use nestsim::cluster::frame::{read_frame, write_frame};
+use nestsim::cluster::lease::{Completion, Grant, LeaseTable};
 use nestsim::cluster::proto::{JobWire, Message, SubmitWire, PROTOCOL_VERSION};
-use nestsim::cluster::{auto_shard_size, plan_shards, Shard};
+use nestsim::cluster::{auto_shard_size, plan_shards, LeaseConfig, Shard};
 use nestsim::models::ComponentKind;
 
 /// Fisher–Yates driven by the property source.
@@ -269,5 +270,143 @@ properties! {
             mutate(src, &mut framed);
         }
         let _ = read_frame(&mut &framed[..]);
+    }
+
+    /// First-writer-wins is exactly-once under *any* interleaving of
+    /// acquire, heartbeat, expiry, disconnect-release, and duplicate
+    /// completion on a deterministic clock: every shard is accepted
+    /// exactly once, never double-counted, never dropped.
+    fn lease_table_is_exactly_once_under_chaos(src) {
+        let shards = src.range_usize_inclusive(1, 12);
+        let cfg = LeaseConfig {
+            lease_ms: src.range_u64(5, 60),
+            heartbeat_ms: src.range_u64(1, 10),
+            backoff_ms: src.range_u64(1, 12),
+        };
+        let mut table = LeaseTable::new(shards, cfg);
+        let workers = src.range_u64(1, 5) as u32;
+        let mut now = 0u64;
+        let mut accepted = vec![0u32; shards];
+        let record_accept = |accepted: &mut [u32], shard: u32| {
+            let shard = shard as usize;
+            accepted[shard] += 1;
+            assert_eq!(
+                accepted[shard], 1,
+                "shard {shard} accepted twice — double count"
+            );
+        };
+        for _ in 0..src.range_usize_inclusive(20, 200) {
+            if table.all_done() {
+                break;
+            }
+            // Sometimes jump past the lease (forcing expiry), mostly
+            // crawl within it.
+            now += src.below(2 * cfg.lease_ms);
+            match src.index(5) {
+                0 | 1 => {
+                    let got = table.acquire(src.below(workers as u64) as u32, now);
+                    if let Grant::Shard { id, .. } = got.grant {
+                        assert_eq!(
+                            accepted[id as usize], 0,
+                            "granted a shard that already completed"
+                        );
+                    }
+                }
+                2 => {
+                    // Heartbeat an arbitrary (worker, shard) pair —
+                    // stale holders and unknown shards must be refused,
+                    // never corrupted.
+                    let _ = table.heartbeat(
+                        src.below(workers as u64) as u32,
+                        src.below(shards as u64 + 2) as u32,
+                        now,
+                    );
+                }
+                3 => {
+                    // Complete an arbitrary shard — including ones the
+                    // "wrong" worker holds (an expired lease's late
+                    // submission) and already-done ones (a duplicate).
+                    let shard = src.below(shards as u64) as u32;
+                    match table.complete(shard, now) {
+                        Completion::Accepted { .. } => record_accept(&mut accepted, shard),
+                        Completion::Duplicate => assert_eq!(
+                            accepted[shard as usize], 1,
+                            "duplicate verdict on a never-accepted shard"
+                        ),
+                    }
+                }
+                _ => {
+                    let _ = table.release_worker(src.below(workers as u64) as u32, now);
+                }
+            }
+        }
+        // Drain: whatever chaos happened, every remaining shard must
+        // still be dispatchable and complete exactly once — nothing
+        // lost.
+        let mut stalls = 0;
+        while !table.all_done() {
+            stalls += 1;
+            assert!(stalls < 10_000, "campaign cannot drain: a shard was lost");
+            match table.acquire(0, now).grant {
+                Grant::Shard { id, .. } => {
+                    assert_eq!(accepted[id as usize], 0, "re-granted a completed shard");
+                    match table.complete(id, now) {
+                        Completion::Accepted { .. } => record_accept(&mut accepted, id),
+                        Completion::Duplicate => panic!("fresh grant completed as duplicate"),
+                    }
+                }
+                Grant::Wait { ms } => now += ms.max(1),
+                Grant::Done => break,
+            }
+        }
+        assert!(table.all_done());
+        assert_eq!(table.completed(), shards);
+        assert!(
+            accepted.iter().all(|&c| c == 1),
+            "exactly-once violated: {accepted:?}"
+        );
+    }
+
+    /// The targeted exactly-once race: a lease expires mid-flight, the
+    /// shard is re-dispatched, and *both* holders submit — in either
+    /// order. Exactly one submission is accepted, whatever the
+    /// timings.
+    fn late_completion_after_redispatch_is_deduped(src) {
+        let cfg = LeaseConfig {
+            lease_ms: src.range_u64(5, 60),
+            heartbeat_ms: src.range_u64(1, 10),
+            backoff_ms: src.range_u64(1, 12),
+        };
+        let mut table = LeaseTable::new(1, cfg);
+        assert!(matches!(
+            table.acquire(1, 0).grant,
+            Grant::Shard { id: 0, redispatch: false }
+        ));
+        // Jump past worker 1's deadline, then past the re-dispatch
+        // backoff, until worker 2 holds the shard.
+        let mut now = cfg.lease_ms + src.below(cfg.lease_ms);
+        let mut stalls = 0;
+        loop {
+            match table.acquire(2, now).grant {
+                Grant::Shard { id: 0, redispatch } => {
+                    assert!(redispatch, "second grant must be a re-dispatch");
+                    break;
+                }
+                Grant::Wait { ms } => now += ms.max(1),
+                other => panic!("unexpected grant: {other:?}"),
+            }
+            stalls += 1;
+            assert!(stalls < 1_000, "re-dispatch never happened");
+        }
+        // Both holders submit at random times; shard-id dedupe makes
+        // the order irrelevant — whichever lands first wins.
+        now += src.below(cfg.lease_ms);
+        let first = table.complete(0, now);
+        now += src.below(cfg.lease_ms);
+        let second = table.complete(0, now);
+        assert!(matches!(first, Completion::Accepted { .. }));
+        assert_eq!(second, Completion::Duplicate);
+        assert!(table.all_done());
+        assert_eq!(table.completed(), 1);
     }
 }
