@@ -99,6 +99,7 @@ bench_gate kernel
 bench_gate campaign_grid
 bench_gate campaign_cluster
 bench_gate campaign_lanes
+bench_gate campaign_adaptive
 
 stage_summary
 echo "==> ci.sh: all gates green"

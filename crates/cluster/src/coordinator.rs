@@ -30,17 +30,20 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use nestsim_core::adaptive::{record_adaptive_engine_stats, AdaptiveState};
 use nestsim_core::campaign::{
     assemble_result, check_campaign, default_workers, run_campaign_with, CampaignResult,
     CampaignSpec, IndexedRuns,
 };
 use nestsim_hlsim::workload::BenchProfile;
-use nestsim_telemetry::{Recorder, TelemetryConfig};
+use nestsim_models::fields::Stratum;
+use nestsim_stats::stop::{StopDecision, StopPolicy};
+use nestsim_telemetry::{CampaignTelemetry, Recorder, TelemetryConfig};
 
 use crate::coord_machine::{CoordAction, CoordEvent, CoordMachine};
 use crate::frame::{read_frame, write_frame};
 use crate::lease::LeaseConfig;
-use crate::proto::{JobWire, Message};
+use crate::proto::{AdaptiveRoundWire, JobWire, Message};
 use crate::shard::{auto_shard_size, plan_shards};
 use crate::worker::{run_worker, WorkerOptions};
 
@@ -250,6 +253,26 @@ pub fn serve_campaign(
     telemetry: Option<&TelemetryConfig>,
     cfg: &CoordinatorConfig,
 ) -> io::Result<ClusterCampaign> {
+    serve_job(
+        profile,
+        spec,
+        telemetry,
+        cfg,
+        JobWire::from_spec(profile, spec, telemetry),
+    )
+}
+
+/// [`serve_campaign`] generalized over the wire job: the adaptive
+/// runner serves each round as its own job (`spec.samples` pinned to
+/// the round total so shard planning and the assembly cover check
+/// address round indices).
+fn serve_job(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    cfg: &CoordinatorConfig,
+    job: JobWire,
+) -> io::Result<ClusterCampaign> {
     check_campaign(profile, spec);
     assert!(
         spec.samples > 0,
@@ -271,12 +294,7 @@ pub fn serve_campaign(
         Some(tcfg) => Recorder::active(tcfg),
         None => Recorder::null(),
     };
-    let machine = CoordMachine::new(
-        JobWire::from_spec(profile, spec, telemetry),
-        shards,
-        cfg.lease,
-        engine,
-    );
+    let machine = CoordMachine::new(job, shards, cfg.lease, engine);
 
     let listener = TcpListener::bind(&cfg.listen)?;
     let addr = listener.local_addr()?;
@@ -512,9 +530,16 @@ pub fn run_campaign_cluster(
     }
     let campaign =
         serve_campaign(profile, spec, telemetry, &coord_cfg).expect("failed to bind coordinator");
+    drive_workers(campaign, &cfg.spawn)
+}
+
+/// Spawns the configured workers against a served campaign and waits
+/// it out — the shared tail of the fixed-count and adaptive cluster
+/// runners.
+fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResult {
     let addr = campaign.addr().to_string();
 
-    match &cfg.spawn {
+    match spawn {
         WorkerSpawn::Threads(opts) => std::thread::scope(|scope| {
             let handles: Vec<_> = opts
                 .iter()
@@ -551,5 +576,117 @@ pub fn run_campaign_cluster(
             }
             result
         }
+    }
+}
+
+/// Runs one campaign cell adaptively through the cluster: the
+/// coordinator owns the pure decision state
+/// ([`nestsim_core::adaptive::AdaptiveState`]), serves each round as
+/// its own distributed job, and evaluates the stop rule **only on the
+/// merged round results** — workers never see the policy, so no
+/// execution-layer detail can leak into the stopping decision.
+///
+/// Byte-identical to
+/// [`nestsim_core::adaptive::run_campaign_adaptive`] on the same spec
+/// and policy in records, counts, merged telemetry, and the
+/// [`nestsim_core::adaptive::AdaptiveSummary`] (engine counters and
+/// `worker_samples` are execution telemetry and differ, as for the
+/// fixed-count engines): both drive the same `AdaptiveState` with the
+/// same merged tallies, and round records merge in the same canonical
+/// order.
+///
+/// Workers are respawned for every round (threads are cheap; process
+/// spawns pay one exec per round) — an adaptive campaign's rounds are
+/// few by design, so simplicity wins over a persistent-worker
+/// round protocol.
+///
+/// # Panics
+///
+/// Panics on invalid specs/policies and on round-accounting
+/// violations, like the in-process adaptive engine.
+pub fn run_campaign_adaptive_cluster(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    policy: &StopPolicy,
+    telemetry: Option<&TelemetryConfig>,
+    cfg: &ClusterConfig,
+) -> CampaignResult {
+    check_campaign(profile, spec);
+    let mut coord_cfg = cfg.coordinator.clone();
+    if coord_cfg.workers_hint == 0 {
+        coord_cfg.workers_hint = match &cfg.spawn {
+            WorkerSpawn::Threads(opts) => opts.len(),
+            WorkerSpawn::Processes { count, .. } => *count,
+        };
+    }
+
+    let mut state = AdaptiveState::new(spec.component, *policy);
+    let mut engine = match telemetry {
+        Some(tcfg) => Recorder::active(tcfg),
+        None => Recorder::null(),
+    };
+    let mut merged = match telemetry {
+        Some(tcfg) => Recorder::active(tcfg),
+        None => Recorder::null(),
+    };
+    let mut records = Vec::new();
+    let mut worker_samples = Vec::new();
+    let mut golden = None;
+    let mut alloc = state.initial_alloc();
+    loop {
+        let round = AdaptiveRoundWire {
+            start: state.done(),
+            alloc,
+        };
+        let round_total: u64 = alloc.iter().sum();
+        let round_spec = CampaignSpec {
+            samples: round_total,
+            ..*spec
+        };
+        let job = JobWire::adaptive_round(profile, spec, telemetry, round);
+        let campaign = serve_job(profile, &round_spec, telemetry, &coord_cfg, job)
+            .expect("failed to bind coordinator");
+        let r = drive_workers(campaign, &cfg.spawn);
+        assert!(
+            golden.replace(r.golden).is_none_or(|g| g == r.golden),
+            "adaptive rounds disagree on the golden reference"
+        );
+        // The round's canonical order is stratum-major, so the strata
+        // sequence is the expansion of the allocation.
+        let strata: Vec<Stratum> = Stratum::ALL
+            .iter()
+            .flat_map(|&s| std::iter::repeat_n(s, alloc[s.index()] as usize))
+            .collect();
+        let outcomes: Vec<(Stratum, nestsim_core::Outcome)> = strata
+            .iter()
+            .zip(&r.records)
+            .map(|(&s, rec)| (s, rec.outcome))
+            .collect();
+        state.absorb_round(&alloc, &outcomes);
+        records.extend(r.records);
+        merged.merge(&r.telemetry.merged);
+        engine.merge(&r.telemetry.engine);
+        worker_samples.extend(r.telemetry.worker_samples);
+        match state.decide() {
+            StopDecision::Stop { .. } => break,
+            StopDecision::Continue { next_round } => alloc = state.alloc_for(next_round),
+        }
+    }
+
+    record_adaptive_engine_stats(&mut engine, &state);
+    let counts = *state.counts();
+    let summary = state.into_summary();
+    CampaignResult {
+        benchmark: profile.name,
+        component: spec.component,
+        counts,
+        records,
+        golden: golden.expect("at least one round ran"),
+        telemetry: CampaignTelemetry {
+            merged,
+            worker_samples,
+            engine,
+        },
+        adaptive: Some(summary),
     }
 }

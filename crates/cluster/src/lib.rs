@@ -57,11 +57,11 @@ pub mod worker_machine;
 
 pub use coord_machine::{CoordAction, CoordEvent, CoordMachine, CoordOutcome};
 pub use coordinator::{
-    run_campaign_cluster, serve_campaign, ClusterCampaign, ClusterConfig, CoordinatorConfig,
-    WorkerSpawn,
+    run_campaign_adaptive_cluster, run_campaign_cluster, serve_campaign, ClusterCampaign,
+    ClusterConfig, CoordinatorConfig, WorkerSpawn,
 };
 pub use lease::{LeaseConfig, LeaseTable};
-pub use proto::{JobWire, Message, PROTOCOL_VERSION};
+pub use proto::{AdaptiveRoundWire, JobWire, Message, PROTOCOL_VERSION};
 pub use shard::{auto_shard_size, plan_shards, Shard};
 pub use worker::{run_worker, WorkerOptions, WorkerStats};
 pub use worker_machine::{WorkerAction, WorkerEnd, WorkerEvent, WorkerMachine};

@@ -40,8 +40,26 @@ use crate::wire::{
 
 /// Protocol version spoken by this build; `Hello` with any other
 /// version is refused with an `Error` reply. Version 2 added the
-/// lane-batching fields (`lane_cluster`, `lane_width`) to [`JobWire`].
-pub const PROTOCOL_VERSION: u16 = 2;
+/// lane-batching fields (`lane_cluster`, `lane_width`) to [`JobWire`];
+/// version 3 added the optional adaptive round descriptor
+/// ([`JobWire::adaptive`]).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// One adaptive round, described for the wire: where each stratum's
+/// deterministic sample stream resumes and how many samples it
+/// contributes. Workers re-derive the round's injection specs from
+/// `(seed, benchmark, stratum, j)` exactly like the in-process
+/// adaptive engine (`nestsim_core::adaptive::draw_round`), so the
+/// round's `samples` count equals `alloc` summed and shard planning is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveRoundWire {
+    /// Per-stratum stream offsets (cumulative samples already drawn),
+    /// in `Stratum::ALL` order.
+    pub start: [u64; 3],
+    /// Per-stratum sample counts for this round.
+    pub alloc: [u64; 3],
+}
 
 /// Everything a worker needs to reconstruct one campaign cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +90,10 @@ pub struct JobWire {
     pub telemetry: bool,
     /// Trace ring capacity for per-run recorders.
     pub trace_capacity: u64,
+    /// When present, this job is one round of an adaptive campaign:
+    /// workers draw the round's stratified samples instead of the
+    /// fixed-count stream (and `samples` is the round total).
+    pub adaptive: Option<AdaptiveRoundWire>,
 }
 
 impl JobWire {
@@ -94,6 +116,23 @@ impl JobWire {
             lane_width: spec.lane_width,
             telemetry: telemetry.is_some(),
             trace_capacity: telemetry.map_or(0, |c| c.trace_capacity as u64),
+            adaptive: None,
+        }
+    }
+
+    /// Describes one adaptive round of `spec`: the same cell with
+    /// `samples` pinned to the round total and the round descriptor
+    /// attached.
+    pub fn adaptive_round(
+        profile: &BenchProfile,
+        spec: &CampaignSpec,
+        telemetry: Option<&TelemetryConfig>,
+        round: AdaptiveRoundWire,
+    ) -> Self {
+        JobWire {
+            samples: round.alloc.iter().sum(),
+            adaptive: Some(round),
+            ..JobWire::from_spec(profile, spec, telemetry)
         }
     }
 
@@ -143,6 +182,7 @@ impl Default for JobWire {
             lane_width: 64,
             telemetry: false,
             trace_capacity: 0,
+            adaptive: None,
         }
     }
 }
@@ -284,6 +324,15 @@ fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
     w.u64(j.lane_width);
     w.bool(j.telemetry);
     w.u64(j.trace_capacity);
+    match &j.adaptive {
+        None => w.bool(false),
+        Some(a) => {
+            w.bool(true);
+            for v in a.start.iter().chain(a.alloc.iter()) {
+                w.u64(*v);
+            }
+        }
+    }
     Ok(())
 }
 
@@ -301,6 +350,14 @@ fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
         lane_width: r.u64()?,
         telemetry: r.bool()?,
         trace_capacity: r.u64()?,
+        adaptive: if r.bool()? {
+            Some(AdaptiveRoundWire {
+                start: [r.u64()?, r.u64()?, r.u64()?],
+                alloc: [r.u64()?, r.u64()?, r.u64()?],
+            })
+        } else {
+            None
+        },
     })
 }
 
@@ -473,6 +530,15 @@ mod tests {
             lane_width: 64,
             telemetry: true,
             trace_capacity: 4096,
+            adaptive: None,
+        };
+        let adaptive_job = JobWire {
+            samples: 11,
+            adaptive: Some(AdaptiveRoundWire {
+                start: [128, 40, 7],
+                alloc: [5, 4, 2],
+            }),
+            ..job.clone()
         };
         let msgs = vec![
             Message::Hello {
@@ -487,6 +553,16 @@ mod tests {
                     len: 10,
                 },
                 job: job.clone(),
+                lease_ms: 30_000,
+                heartbeat_ms: 2_000,
+            },
+            Message::Assign {
+                shard: Shard {
+                    id: 9,
+                    start: 0,
+                    len: 11,
+                },
+                job: adaptive_job,
                 lease_ms: 30_000,
                 heartbeat_ms: 2_000,
             },

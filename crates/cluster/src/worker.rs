@@ -22,6 +22,7 @@ use std::io;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use nestsim_core::adaptive::draw_round;
 use nestsim_core::campaign::{
     check_campaign, draw_samples, entry_cycle, entry_order, laddered_golden_reference,
     CampaignSpec, ShardRunner,
@@ -52,7 +53,26 @@ impl JobState {
         let spec: CampaignSpec = job.spec();
         check_campaign(profile, &spec);
         let (mut ladder, golden) = laddered_golden_reference(profile, &spec);
-        let samples = draw_samples(profile, &spec, &golden);
+        // An adaptive job is one round of a stratified campaign: the
+        // samples come from the per-stratum streams at the round's
+        // offsets, re-derived bit-identically to the coordinator's
+        // planner. Shard indices address the round's canonical order,
+        // so everything downstream is unchanged.
+        let samples = match &job.adaptive {
+            Some(round) => {
+                let (specs, _strata) =
+                    draw_round(profile, &spec, &golden, &round.start, &round.alloc);
+                if specs.len() as u64 != job.samples {
+                    return Err(format!(
+                        "adaptive round allocates {} samples but the job says {}",
+                        specs.len(),
+                        job.samples
+                    ));
+                }
+                specs
+            }
+            None => draw_samples(profile, &spec, &golden),
+        };
         let order = entry_order(&samples);
         let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
         ladder.truncate_above(max_entry);

@@ -165,18 +165,27 @@ pub struct CampaignResult {
     /// Merged campaign telemetry (disabled unless the campaign was run
     /// through [`run_campaign_with`] with a telemetry configuration).
     pub telemetry: CampaignTelemetry,
+    /// Sequential-stopping trace, when the cell ran through the
+    /// adaptive engine ([`crate::adaptive::run_campaign_adaptive`]);
+    /// `None` for fixed-count campaigns.
+    pub adaptive: Option<crate::adaptive::AdaptiveSummary>,
+}
+
+/// The flop space of one instance of a component model (every instance
+/// of a component shares one layout).
+pub fn component_flops(component: ComponentKind) -> nestsim_rtl::FlopSpace {
+    match component {
+        ComponentKind::L2c => L2cBank::new(BankId::new(0)).flops().clone(),
+        ComponentKind::Mcu => Mcu::new(McuId::new(0)).flops().clone(),
+        ComponentKind::Ccx => Ccx::new().flops().clone(),
+        ComponentKind::Pcie => Pcie::new().flops().clone(),
+    }
 }
 
 /// Global bit indices eligible for injection in a component model
 /// (Table 4's target partition, via the field classes).
 pub fn injection_target_bits(component: ComponentKind) -> Vec<usize> {
-    let flops = match component {
-        ComponentKind::L2c => L2cBank::new(BankId::new(0)).flops().clone(),
-        ComponentKind::Mcu => Mcu::new(McuId::new(0)).flops().clone(),
-        ComponentKind::Ccx => Ccx::new().flops().clone(),
-        ComponentKind::Pcie => Pcie::new().flops().clone(),
-    };
-    flops.bits_where(|c| c.is_injection_target())
+    component_flops(component).bits_where(|c| c.is_injection_target())
 }
 
 /// Number of instances of a component in the SoC (Table 3).
@@ -605,6 +614,7 @@ pub fn run_campaign_with(
                 },
                 None => CampaignTelemetry::disabled(),
             },
+            adaptive: None,
         };
     }
 
@@ -690,6 +700,7 @@ pub fn run_campaign_replay(
                 },
                 None => CampaignTelemetry::disabled(),
             },
+            adaptive: None,
         };
     }
 
@@ -890,6 +901,7 @@ pub fn assemble_result(
             worker_samples,
             engine,
         },
+        adaptive: None,
     }
 }
 

@@ -29,6 +29,8 @@
 //! * [`campaign`] — seeded, shardable campaign execution over
 //!   (component × benchmark) cells with confidence intervals
 //!   (Fig. 3 / Fig. 4 data);
+//! * [`adaptive`] — round-based campaigns with CI-driven sequential
+//!   stopping and stratified (address/control/datapath) allocation;
 //! * [`warmup`] — the Fig. 5 warm-up-accuracy experiment;
 //! * [`persistence`] — the Fig. 6 persistence sweep;
 //! * [`rtl_only`] — RTL-only (full co-simulation) runs for the Fig. 7
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod campaign;
 pub mod core_inject;
 pub mod cosim;
@@ -51,6 +54,7 @@ pub mod persistence;
 pub mod rtl_only;
 pub mod warmup;
 
+pub use adaptive::{run_campaign_adaptive, AdaptiveState, AdaptiveSummary, RoundTrace};
 pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignSpec};
 pub use inject::{run_injection, run_injection_with, InjectionRecord, InjectionSpec};
 pub use outcome::{Outcome, OutcomeCounts};

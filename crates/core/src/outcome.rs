@@ -102,20 +102,33 @@ impl OutcomeCounts {
     }
 
     /// Rate of `o` among reported runs, as a [`Proportion`] carrying
-    /// confidence-interval machinery.
+    /// confidence-interval machinery. An empty tally is the true 0/0 —
+    /// not a fabricated 0/1, which would let a stop rule mistake "no
+    /// data" for an infinitely tight estimate.
+    ///
+    /// [`Outcome::Persist`] is excluded from `reported_total`, so its
+    /// own rate is normalised by [`OutcomeCounts::total`] instead (the
+    /// paper tracks the bucket separately; Sec. 4.2) — otherwise a
+    /// persist-heavy tally would claim more successes than trials.
     pub fn rate(&self, o: Outcome) -> Proportion {
-        Proportion::new(self.count(o), self.reported_total().max(1))
+        let denom = if o == Outcome::Persist {
+            self.total()
+        } else {
+            self.reported_total()
+        };
+        Proportion::new(self.count(o), denom)
     }
 
     /// Probability of an erroneous (non-Vanished) outcome — the paper's
-    /// headline per-component number (Sec. 3.3: 1.4–2.2%).
+    /// headline per-component number (Sec. 3.3: 1.4–2.2%). 0/0 when no
+    /// runs have been reported, like [`OutcomeCounts::rate`].
     pub fn erroneous_rate(&self) -> Proportion {
         let err: u64 = Outcome::ALL
             .iter()
             .filter(|o| o.is_erroneous())
             .map(|&o| self.count(o))
             .sum();
-        Proportion::new(err, self.reported_total().max(1))
+        Proportion::new(err, self.reported_total())
     }
 
     /// Merges another tally into this one.
@@ -166,6 +179,25 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(Outcome::Ona), 2);
         assert_eq!(a.count(Outcome::Hang), 1);
+    }
+
+    #[test]
+    fn empty_tally_reports_true_zero_over_zero() {
+        // Regression: these used to fabricate a phantom trial (0/1),
+        // which renders as a confident "0.000%" and reads to a stop
+        // rule as a zero-width interval.
+        let c = OutcomeCounts::new();
+        assert_eq!(c.rate(Outcome::Omm), Proportion::new(0, 0));
+        assert_eq!(c.erroneous_rate(), Proportion::new(0, 0));
+        assert_eq!(c.erroneous_rate().to_string(), "0/0 (n/a)");
+        // Persist-only tallies have zero reported runs too.
+        let mut p = OutcomeCounts::new();
+        p.record(Outcome::Persist);
+        assert_eq!(p.rate(Outcome::Omm).trials, 0);
+        assert_eq!(p.erroneous_rate(), Proportion::new(0, 0));
+        // Persist normalises by the full total, never claiming more
+        // successes than trials.
+        assert_eq!(p.rate(Outcome::Persist), Proportion::new(1, 1));
     }
 
     #[test]

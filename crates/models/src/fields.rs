@@ -21,6 +21,74 @@ pub const ADDR_BITS: usize = 34;
 /// Width of thread-id fields (64 hardware threads).
 pub const THREAD_BITS: usize = 6;
 
+/// Sampling stratum of a flop field: the address / control / datapath
+/// partition the paper's Sec. 3 discussion groups uncore flops into,
+/// used by the adaptive campaign engine for stratified allocation
+/// (high-variance strata get more of each round's samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stratum {
+    /// Address-carrying fields (`addr`, `line`): a flip redirects a
+    /// request or a writeback to the wrong location.
+    Address,
+    /// Control and bookkeeping fields (`valid`, `kind`, `thread`,
+    /// `reqid`, and anything unrecognized): a flip changes what the
+    /// machine *does*.
+    Control,
+    /// Datapath fields (`data`, line words `w0..w7`): a flip changes
+    /// the payload but not the protocol.
+    Data,
+}
+
+impl Stratum {
+    /// All strata, in the canonical (allocation/wire) order.
+    pub const ALL: [Stratum; 3] = [Stratum::Address, Stratum::Control, Stratum::Data];
+
+    /// Short label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stratum::Address => "address",
+            Stratum::Control => "control",
+            Stratum::Data => "data",
+        }
+    }
+
+    /// Index in [`Stratum::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Stratum::Address => 0,
+            Stratum::Control => 1,
+            Stratum::Data => 2,
+        }
+    }
+
+    /// Classifies a flop field by its declared name (the bundles above
+    /// name every field `<prefix>.<leaf>`): `addr`/`line` → Address,
+    /// `data`/`w<i>` → Data, everything else (valid, kind, thread,
+    /// reqid, component-specific control) → Control. Purely syntactic
+    /// on the leaf segment, so every component's [`FlopSpace`] gets a
+    /// total, deterministic partition without new per-field metadata.
+    pub fn of_field(name: &str) -> Stratum {
+        let leaf = name.rsplit('.').next().unwrap_or(name);
+        match leaf {
+            "addr" | "line" => Stratum::Address,
+            "data" => Stratum::Data,
+            _ if leaf.len() >= 2
+                && leaf.starts_with('w')
+                && leaf[1..].bytes().all(|b| b.is_ascii_digit()) =>
+            {
+                Stratum::Data
+            }
+            _ => Stratum::Control,
+        }
+    }
+}
+
+impl core::fmt::Display for Stratum {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A guarded group: a valid bit plus the bit-range of the fields it
 /// guards. Differences inside the range are benign while the valid bit
 /// is clear in both the target and the golden copy.
@@ -449,6 +517,30 @@ mod tests {
         let q = s.load(&f);
         assert_ne!(q.addr, p.addr);
         assert_eq!(q.id, p.id);
+    }
+
+    #[test]
+    fn strata_classify_bundle_fields() {
+        assert_eq!(Stratum::of_field("iq[0].addr"), Stratum::Address);
+        assert_eq!(Stratum::of_field("wbb[3].line"), Stratum::Address);
+        assert_eq!(Stratum::of_field("iq[0].data"), Stratum::Data);
+        assert_eq!(Stratum::of_field("wbb[3].w0"), Stratum::Data);
+        assert_eq!(Stratum::of_field("wbb[3].w7"), Stratum::Data);
+        for leaf in ["valid", "kind", "thread", "reqid", "state", "w", "wx1"] {
+            assert_eq!(
+                Stratum::of_field(&format!("iq[0].{leaf}")),
+                Stratum::Control,
+                "{leaf}"
+            );
+        }
+        // Total over every field a real bundle declares.
+        let mut b = FlopSpaceBuilder::new("t");
+        let _ = PcxSlot::declare_guarded(&mut b, "iq[0]", FlopClass::Target);
+        let _ = LineSlot::declare_guarded(&mut b, "wbb[0]", FlopClass::Target);
+        let f = b.build();
+        for fd in f.fields() {
+            let _ = Stratum::of_field(&fd.name);
+        }
     }
 
     #[test]

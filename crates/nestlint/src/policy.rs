@@ -88,6 +88,13 @@ pub const TABLE: &[PolicyRow] = &[
         why: "rollback/propagation analysis is part of every record",
     },
     PolicyRow {
+        prefix: "crates/core/src/adaptive.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "the round scheduler: stop decisions and stratum allocations must be a pure \
+              function of merged counts, identical on every node; pinned explicitly so a \
+              future core-wide exemption cannot silently drop it",
+    },
+    PolicyRow {
         prefix: "crates/core/src/lanes.rs",
         rules: &[Rule::NoNondeterminism],
         why: "lane batching must retire byte-identical results at every lane width; \
@@ -130,6 +137,13 @@ pub const TABLE: &[PolicyRow] = &[
         why: "RTL state and parity feed outcome classification",
     },
     PolicyRow {
+        prefix: "crates/stats/src/stop.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "the sequential stop rule: cluster coordinator and in-process engine must \
+              reach identical decisions from identical counts; pinned explicitly so a \
+              future stats-wide exemption cannot silently drop it",
+    },
+    PolicyRow {
         prefix: "crates/stats/src/",
         rules: &[Rule::NoNondeterminism],
         why: "estimators and seeds must replay bit-identically",
@@ -161,7 +175,12 @@ mod tests {
         // The lane modules must stay NoNondeterminism via their own
         // rows, not by riding the crate-wide defaults: the explicit
         // prefix must match before the crate prefix does.
-        for path in ["crates/core/src/lanes.rs", "crates/rtl/src/lanes.rs"] {
+        for path in [
+            "crates/core/src/lanes.rs",
+            "crates/rtl/src/lanes.rs",
+            "crates/core/src/adaptive.rs",
+            "crates/stats/src/stop.rs",
+        ] {
             assert!(rules_for(path).contains(&Rule::NoNondeterminism), "{path}");
             let row = TABLE
                 .iter()

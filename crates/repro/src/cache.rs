@@ -21,11 +21,13 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use nestsim_cluster::{run_campaign_cluster, ClusterConfig};
+use nestsim_cluster::{run_campaign_adaptive_cluster, run_campaign_cluster, ClusterConfig};
+use nestsim_core::adaptive::run_campaign_adaptive;
 use nestsim_core::campaign::{default_workers, run_campaign_with, CampaignSpec};
 use nestsim_core::CampaignResult;
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_models::ComponentKind;
+use nestsim_stats::stop::StopPolicy;
 use nestsim_telemetry::{names, Recorder, TelemetryConfig};
 
 use crate::Opts;
@@ -48,6 +50,12 @@ struct CellKey {
     check_interval: u64,
     lane_cluster: u64,
     telemetry: bool,
+    adaptive: bool,
+    /// Adaptive stopping parameters, keyed by exact bit pattern (the
+    /// policy is part of the result identity; `to_bits` keeps the key
+    /// hashable). Zero when `adaptive` is false.
+    ci_target_bits: u64,
+    ci_confidence_bits: u64,
 }
 
 struct CellCache {
@@ -103,6 +111,17 @@ pub fn cell_cached(
         check_interval: opts.check_interval,
         lane_cluster: opts.lane_cluster,
         telemetry: opts.telemetry.is_some(),
+        adaptive: opts.adaptive,
+        ci_target_bits: if opts.adaptive {
+            opts.ci_target.to_bits()
+        } else {
+            0
+        },
+        ci_confidence_bits: if opts.adaptive {
+            opts.ci_confidence.to_bits()
+        } else {
+            0
+        },
     };
     if let Some(hit) = cache().cells.lock().expect("cell cache poisoned").get(&key) {
         let result = hit.clone();
@@ -116,22 +135,37 @@ pub fn cell_cached(
     let spec = campaign_spec(opts, component, workers);
     let tcfg = TelemetryConfig::default();
     let telemetry = opts.telemetry.as_ref().map(|_| &tcfg);
-    let result = if opts.cluster > 0 {
-        // Distribute across `--cluster N` spawned worker processes
-        // (`repro worker`, the hidden subcommand). Byte-identical to
-        // the in-process path, so the cache key is unchanged.
-        let argv = vec![
+    // Distributed cells go across `--cluster N` spawned worker
+    // processes (`repro worker`, the hidden subcommand). Byte-identical
+    // to the in-process path, so the cache key is unchanged.
+    let worker_argv = || {
+        vec![
             std::env::current_exe()
                 .expect("current_exe")
                 .to_string_lossy()
                 .into_owned(),
             "worker".to_string(),
-        ];
+        ]
+    };
+    let result = if opts.adaptive {
+        let policy = StopPolicy::new(opts.ci_target, opts.ci_confidence);
+        if opts.cluster > 0 {
+            run_campaign_adaptive_cluster(
+                profile,
+                &spec,
+                &policy,
+                telemetry,
+                &ClusterConfig::processes(worker_argv(), opts.cluster),
+            )
+        } else {
+            run_campaign_adaptive(profile, &spec, &policy, telemetry)
+        }
+    } else if opts.cluster > 0 {
         run_campaign_cluster(
             profile,
             &spec,
             telemetry,
-            &ClusterConfig::processes(argv, opts.cluster),
+            &ClusterConfig::processes(worker_argv(), opts.cluster),
         )
     } else {
         run_campaign_with(profile, &spec, telemetry)

@@ -130,6 +130,7 @@ fn min_max_cells(rates: &[f64]) -> (String, String) {
 /// rungs, restores, forward-sim cycles, cell-cache hits) is not, and
 /// stays out of the export.
 fn export_telemetry(opts: &Opts, results: &[CampaignResult]) {
+    print_adaptive_footer(results);
     let Some(path) = &opts.telemetry else {
         return;
     };
@@ -146,6 +147,45 @@ fn export_telemetry(opts: &Opts, results: &[CampaignResult]) {
     }
     print!("\n{}", render_provenance(&merged));
     print!("{}", render_engine_stats(&engine));
+}
+
+/// Prints the sequential-stopping footer under a figure whose cells
+/// ran adaptively (`--adaptive`): rounds run, samples spent vs the
+/// fixed-count budget the stop policy replaced, and the per-stratum
+/// allocation trace.
+fn print_adaptive_footer(results: &[CampaignResult]) {
+    let adaptive: Vec<&CampaignResult> = results.iter().filter(|r| r.adaptive.is_some()).collect();
+    if adaptive.is_empty() {
+        return;
+    }
+    println!("\nadaptive sampling (CI-driven sequential stopping):");
+    for r in adaptive {
+        let a = r.adaptive.as_ref().expect("filtered on adaptive");
+        let saved = a.fixed_budget.saturating_sub(a.samples_run);
+        println!(
+            "  {}: {} rounds, {} samples ({} saved of the {}-sample fixed budget{}), \
+             strata addr/ctl/data = {}/{}/{}",
+            r.benchmark,
+            a.rounds.len(),
+            a.samples_run,
+            saved,
+            a.fixed_budget,
+            if a.budget_exhausted {
+                "; budget exhausted before target"
+            } else {
+                ""
+            },
+            a.per_stratum[0],
+            a.per_stratum[1],
+            a.per_stratum[2],
+        );
+        for t in &a.rounds {
+            println!(
+                "    round {}: +{}/{}/{} -> {} run, worst half-width {:.4}",
+                t.round, t.alloc[0], t.alloc[1], t.alloc[2], t.samples_run, t.worst_half_width,
+            );
+        }
+    }
 }
 
 /// Fig. 3: application-level outcome rates per benchmark.

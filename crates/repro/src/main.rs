@@ -47,6 +47,15 @@
 //!                    processes over loopback TCP (0 = in-process,
 //!                    the default; results are byte-identical either
 //!                    way — see DESIGN.md "Distributed campaigns")
+//!   --adaptive       run campaigns in rounds with CI-driven sequential
+//!                    stopping and stratified allocation instead of the
+//!                    fixed --samples count (see DESIGN.md "Adaptive
+//!                    sampling"; composes with --cluster)
+//!   --ci-target W    adaptive stopping target: Wilson half-width every
+//!                    outcome category must reach, in (0,1)
+//!                    (default 0.005 = ±0.5%)
+//!   --ci-confidence C confidence level of the stopping intervals,
+//!                    in (0,1) (default 0.95)
 //!   --csv DIR        also write raw per-run records as CSV into DIR
 //!   --telemetry FILE record campaign telemetry, write the merged
 //!                    JSON-lines export to FILE, and print provenance +
@@ -91,6 +100,9 @@ pub struct Opts {
     pub lane_cluster: u64,
     pub lane_width: u64,
     pub cluster: usize,
+    pub adaptive: bool,
+    pub ci_target: f64,
+    pub ci_confidence: f64,
 }
 
 impl Default for Opts {
@@ -113,8 +125,23 @@ impl Default for Opts {
             lane_cluster: 1,
             lane_width: nestsim_rtl::MAX_LANES as u64,
             cluster: 0,
+            adaptive: false,
+            ci_target: 0.005,
+            ci_confidence: 0.95,
         }
     }
+}
+
+/// Parses a flag value that must be a probability-like fraction in the
+/// open interval (0, 1) — confidence levels and interval half-widths.
+fn take_fraction(flag: &str, value: &str) -> Result<f64, String> {
+    let v: f64 = value
+        .parse()
+        .map_err(|e| format!("invalid value for {flag}: {e}"))?;
+    if !(v > 0.0 && v < 1.0) {
+        return Err(format!("{flag} must be a fraction in (0, 1), got {value}"));
+    }
+    Ok(v)
 }
 
 /// Parses a flag value that must be a positive integer, with an error
@@ -213,6 +240,13 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             }
             "--cluster" => {
                 opts.cluster = take(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--adaptive" => opts.adaptive = true,
+            "--ci-target" => {
+                opts.ci_target = take_fraction("--ci-target", &take(&mut i)?)?;
+            }
+            "--ci-confidence" => {
+                opts.ci_confidence = take_fraction("--ci-confidence", &take(&mut i)?)?;
             }
             "--csv" => opts.csv = Some(take(&mut i)?),
             "--telemetry" => opts.telemetry = Some(take(&mut i)?),
@@ -404,5 +438,31 @@ mod tests {
         assert!(err.contains("--lane-width must be >= 1"), "{err}");
         let err = parse(&args(&["fig3", "--lane-width", "65"])).unwrap_err();
         assert!(err.contains("--lane-width must be <= 64"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_flags_parse_and_reject_out_of_range_fractions() {
+        let (_, opts) = parse(&args(&["fig3"])).unwrap();
+        assert!(!opts.adaptive);
+        assert_eq!(opts.ci_target, 0.005);
+        assert_eq!(opts.ci_confidence, 0.95);
+        let (_, opts) = parse(&args(&[
+            "fig3",
+            "--adaptive",
+            "--ci-target",
+            "0.01",
+            "--ci-confidence",
+            "0.9",
+        ]))
+        .unwrap();
+        assert!(opts.adaptive);
+        assert_eq!(opts.ci_target, 0.01);
+        assert_eq!(opts.ci_confidence, 0.9);
+        for bad in ["0", "1", "1.5", "-0.1"] {
+            let err = parse(&args(&["fig3", "--ci-target", bad])).unwrap_err();
+            assert!(err.contains("must be a fraction in (0, 1)"), "{err}");
+            let err = parse(&args(&["fig3", "--ci-confidence", bad])).unwrap_err();
+            assert!(err.contains("must be a fraction in (0, 1)"), "{err}");
+        }
     }
 }

@@ -58,15 +58,48 @@ impl Proportion {
         (hi - lo) / 2.0
     }
 
+    /// Half-width of the Wilson score interval.
+    ///
+    /// Unlike [`Proportion::normal_half_width`], this never collapses to
+    /// zero at `successes ∈ {0, trials}`: at 0/n the Wilson interval is
+    /// `[0, z²/(n+z²)]`, so its half-width shrinks like `1/n` instead of
+    /// lying. Sequential stop rules must use this one — a Wald-based
+    /// rule would stop instantly on any still-empty outcome category.
+    /// Returns 1.0 (maximally uninformative) when `trials == 0`.
+    pub fn wilson_half_width(&self, confidence: f64) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        let (lo, hi) = self.wilson_interval(confidence);
+        (hi - lo) / 2.0
+    }
+
     /// Merges another proportion (same Bernoulli process) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on counter overflow: a silent wraparound here would corrupt
+    /// every distributed stop decision downstream, so the merge refuses
+    /// loudly instead.
     pub fn merge(&mut self, other: Proportion) {
-        self.successes += other.successes;
-        self.trials += other.trials;
+        self.successes = self
+            .successes
+            .checked_add(other.successes)
+            .expect("Proportion::merge: successes counter overflowed u64");
+        self.trials = self
+            .trials
+            .checked_add(other.trials)
+            .expect("Proportion::merge: trials counter overflowed u64");
     }
 }
 
 impl core::fmt::Display for Proportion {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.trials == 0 {
+            // 0/0 has no defensible point estimate; printing "0.000%"
+            // would dress up "no data" as "observed zero".
+            return write!(f, "{}/{} (n/a)", self.successes, self.trials);
+        }
         write!(
             f,
             "{}/{} ({:.3}%)",
@@ -200,6 +233,39 @@ mod tests {
     #[test]
     fn zero_trials_rate_is_zero() {
         assert_eq!(Proportion::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn display_distinguishes_no_data_from_observed_zero() {
+        // 0/0 is "no data", not "0%": the two must not render alike.
+        assert_eq!(Proportion::default().to_string(), "0/0 (n/a)");
+        assert_eq!(Proportion::new(0, 100).to_string(), "0/100 (0.000%)");
+        assert_eq!(Proportion::new(1, 8).to_string(), "1/8 (12.500%)");
+    }
+
+    #[test]
+    fn wilson_half_width_nonzero_where_wald_collapses() {
+        // Wald width is exactly zero at successes ∈ {0, n}; Wilson is not.
+        for p in [Proportion::new(0, 50), Proportion::new(50, 50)] {
+            assert_eq!(p.normal_half_width(0.95), 0.0, "{p}");
+            assert!(p.wilson_half_width(0.95) > 0.0, "{p}");
+        }
+        // And it shrinks with n, roughly like z²/(2(n+z²)).
+        let w1 = Proportion::new(0, 100).wilson_half_width(0.95);
+        let w2 = Proportion::new(0, 10_000).wilson_half_width(0.95);
+        assert!(w2 < w1 / 10.0, "w1={w1} w2={w2}");
+    }
+
+    #[test]
+    fn wilson_half_width_uninformative_at_zero_trials() {
+        assert_eq!(Proportion::default().wilson_half_width(0.95), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials counter overflowed")]
+    fn merge_overflow_panics_instead_of_wrapping() {
+        let mut a = Proportion::new(0, u64::MAX);
+        a.merge(Proportion::new(0, 1));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Sequential stopping for injection campaigns.
+//!
+//! The paper sizes every campaign a priori from the normal-approximation
+//! formula (footnote 2: ~38k injections for ±0.1% at 95% confidence at a
+//! 1% rate) and then burns the whole budget. A sequential rule instead
+//! runs the campaign in rounds and stops as soon as the *observed*
+//! intervals are tight enough — usually far earlier, because the a-priori
+//! plan must assume the worst-variance rate.
+//!
+//! The rule here is deliberately boring, because it has to be a **pure
+//! function of the merged counts**: the cluster coordinator and the
+//! in-process engine both call [`StopDecision::evaluate`] on identical
+//! merged [`Proportion`]s and must reach the identical decision, or
+//! byte-identity across execution modes dies. No clocks, no RNG, no
+//! iteration over unordered containers — just arithmetic on counts.
+//!
+//! Two statistical details matter:
+//!
+//! * **Wilson, not Wald.** The Wald interval has exactly zero width at
+//!   `successes ∈ {0, n}`, so a Wald-based rule would declare victory on
+//!   any outcome category that simply hasn't fired yet. The rule uses
+//!   [`Proportion::wilson_half_width`], which shrinks like `1/n` at the
+//!   boundaries instead of collapsing.
+//! * **Rule-of-three guard.** Even Wilson can be tight at 0/n for modest
+//!   n. For zero-count categories the rule additionally requires the
+//!   one-sided upper bound `-ln(1-confidence)/n` (≈ `3/n` at 95%, the
+//!   classic "rule of three") to fall below the target half-width, so
+//!   "we have seen nothing" is only accepted once enough trials make
+//!   nothing meaningful.
+
+use crate::ci::{z_for_confidence, Proportion};
+
+/// Target precision and budget for a sequential-stopping campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopPolicy {
+    /// Target half-width for every outcome-category interval (absolute,
+    /// e.g. `0.005` for ±0.5 percentage points).
+    pub half_width: f64,
+    /// Confidence level for the intervals, e.g. `0.95`.
+    pub confidence: f64,
+    /// Never stop (except on budget exhaustion) before this many trials.
+    pub min_samples: u64,
+    /// Hard budget: stop unconditionally once this many trials have run.
+    pub max_samples: u64,
+    /// Size of the first round (and the smallest any round may be).
+    pub initial_round: u64,
+    /// Largest any single round may be.
+    pub max_round: u64,
+}
+
+impl StopPolicy {
+    /// A policy with the given target and confidence and default
+    /// round/budget shape: first round 256, rounds capped at 8192,
+    /// minimum 64 trials, budget `required_samples(0.5, …)` — the
+    /// worst-case fixed-count plan, so adaptive never runs *more*
+    /// samples than the a-priori sizing it replaces.
+    pub fn new(half_width: f64, confidence: f64) -> Self {
+        let budget = crate::ci::required_samples(0.5, half_width, confidence);
+        StopPolicy {
+            half_width,
+            confidence,
+            min_samples: 64,
+            max_samples: budget.max(64),
+            initial_round: 256,
+            max_round: 8192,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target or confidence is out of range, a round bound
+    /// is zero or inverted, or the budget is below the minimum.
+    pub fn validate(&self) {
+        assert!(
+            self.half_width > 0.0 && self.half_width < 1.0,
+            "half_width must be in (0,1)"
+        );
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence must be in (0,1)"
+        );
+        assert!(self.initial_round >= 1, "initial_round must be >= 1");
+        assert!(
+            self.max_round >= self.initial_round,
+            "max_round below initial_round"
+        );
+        assert!(
+            self.max_samples >= self.min_samples,
+            "max_samples below min_samples"
+        );
+    }
+}
+
+/// One-sided upper confidence bound on a rate after `n` trials with zero
+/// events: the generalized "rule of three", `-ln(1-confidence)/n`
+/// (≈ `3/n` at 95%). Returns 1.0 for `n == 0`.
+pub fn rule_of_three_bound(n: u64, confidence: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    (-(1.0 - confidence).ln() / n as f64).min(1.0)
+}
+
+/// The verdict of one stop-rule evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDecision {
+    /// Keep sampling; run `next_round` more trials before re-evaluating.
+    Continue {
+        /// Number of additional trials to draw in the next round.
+        next_round: u64,
+    },
+    /// Every category met the target (or the budget ran out).
+    Stop {
+        /// True if the rule stopped only because `max_samples` was hit,
+        /// i.e. the precision target was *not* reached.
+        budget_exhausted: bool,
+    },
+}
+
+impl StopDecision {
+    /// Evaluates the stop rule on merged per-category counts.
+    ///
+    /// `categories` holds one [`Proportion`] per outcome category, all
+    /// over the same trial stream (their `trials` normally agree; the
+    /// rule conservatively uses the smallest). Pure: same counts + same
+    /// policy → same decision, on every node of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`StopPolicy::validate`].
+    pub fn evaluate(categories: &[Proportion], policy: &StopPolicy) -> StopDecision {
+        policy.validate();
+        let trials = categories.iter().map(|c| c.trials).min().unwrap_or(0);
+        if trials >= policy.max_samples {
+            return StopDecision::Stop {
+                budget_exhausted: !target_met(categories, policy, trials),
+            };
+        }
+        if target_met(categories, policy, trials) {
+            return StopDecision::Stop {
+                budget_exhausted: false,
+            };
+        }
+        // Size the next round from the worst category's remaining need:
+        // how many total trials would the normal-approximation plan want
+        // at a Laplace-smoothed estimate of its rate (smoothing keeps
+        // 0-count categories from planning n=0), plus the rule-of-three
+        // requirement for still-empty categories.
+        let z = z_for_confidence(policy.confidence);
+        let hw = policy.half_width;
+        let mut want_total = policy.min_samples.max(trials.saturating_add(1));
+        for c in categories {
+            let p = (c.successes as f64 + 1.0) / (c.trials as f64 + 2.0);
+            let n_ci = (z * z * p * (1.0 - p) / (hw * hw)).ceil();
+            let need = if n_ci.is_finite() && n_ci >= 0.0 {
+                n_ci as u64
+            } else {
+                policy.max_samples
+            };
+            want_total = want_total.max(need);
+            if c.successes == 0 {
+                let n_three = (-(1.0 - policy.confidence).ln() / hw).ceil();
+                want_total = want_total.max(n_three as u64);
+            }
+        }
+        // Geometric ramp: no round more than doubles the trials run so
+        // far (floored at initial_round, capped at max_round), so the
+        // rate estimates steering later rounds are refreshed before the
+        // budget is committed.
+        let ramp_cap = policy.initial_round.max(trials).min(policy.max_round);
+        let remaining_budget = policy.max_samples - trials;
+        let next_round = want_total
+            .saturating_sub(trials)
+            .clamp(policy.initial_round, ramp_cap)
+            .min(remaining_budget);
+        StopDecision::Continue { next_round }
+    }
+}
+
+/// True when every category interval meets the target at this trial
+/// count: `trials >= min_samples`, every Wilson half-width at or below
+/// the target, and every zero-count category past the rule-of-three
+/// guard.
+fn target_met(categories: &[Proportion], policy: &StopPolicy, trials: u64) -> bool {
+    if trials < policy.min_samples || categories.is_empty() {
+        return false;
+    }
+    categories.iter().all(|c| {
+        let wilson_ok = c.wilson_half_width(policy.confidence) <= policy.half_width;
+        let guard_ok = c.successes > 0
+            || rule_of_three_bound(c.trials, policy.confidence) <= policy.half_width;
+        wilson_ok && guard_ok
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(hw: f64) -> StopPolicy {
+        StopPolicy::new(hw, 0.95)
+    }
+
+    #[test]
+    fn continues_on_no_data() {
+        let p = policy(0.01);
+        let d = StopDecision::evaluate(&[Proportion::default()], &p);
+        assert_eq!(
+            d,
+            StopDecision::Continue {
+                next_round: p.initial_round
+            }
+        );
+    }
+
+    #[test]
+    fn zero_width_wald_does_not_stop() {
+        // Regression for the Wald collapse: 0/200 has a Wald half-width
+        // of exactly zero — "tighter" than any target — but the rule
+        // must keep sampling because neither Wilson nor rule-of-three
+        // is satisfied at n=200 for a ±0.5% target.
+        let cat = Proportion::new(0, 200);
+        assert_eq!(cat.normal_half_width(0.95), 0.0);
+        let d = StopDecision::evaluate(&[cat], &policy(0.005));
+        assert!(
+            matches!(d, StopDecision::Continue { .. }),
+            "stopped on a zero-width Wald interval: {d:?}"
+        );
+    }
+
+    #[test]
+    fn stops_when_every_category_tight() {
+        // 1% observed over 50k trials: Wilson half-width ~0.00087.
+        let cats = [
+            Proportion::new(500, 50_000),
+            Proportion::new(49_500, 50_000),
+        ];
+        let d = StopDecision::evaluate(&cats, &policy(0.005));
+        assert_eq!(
+            d,
+            StopDecision::Stop {
+                budget_exhausted: false
+            }
+        );
+    }
+
+    #[test]
+    fn zero_count_needs_rule_of_three() {
+        // At 0/400, Wilson half-width for 95% is ~0.0047 < 0.005, but
+        // the rule-of-three bound is 3.0/400 = 0.0075 > 0.005: the
+        // guard must hold the rule open.
+        let cat = Proportion::new(0, 400);
+        assert!(cat.wilson_half_width(0.95) <= 0.005);
+        let d = StopDecision::evaluate(&[cat], &policy(0.005));
+        assert!(matches!(d, StopDecision::Continue { .. }), "{d:?}");
+        // By 0/700 the bound is ~0.00428 and the rule may stop.
+        let d = StopDecision::evaluate(&[Proportion::new(0, 700)], &policy(0.005));
+        assert_eq!(
+            d,
+            StopDecision::Stop {
+                budget_exhausted: false
+            }
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_unconditionally() {
+        let mut p = policy(0.0001);
+        p.max_samples = 1_000;
+        let d = StopDecision::evaluate(&[Proportion::new(500, 1_000)], &p);
+        assert_eq!(
+            d,
+            StopDecision::Stop {
+                budget_exhausted: true
+            }
+        );
+    }
+
+    #[test]
+    fn min_samples_floor_holds() {
+        let mut p = policy(0.2);
+        p.min_samples = 1_000;
+        p.max_samples = 100_000;
+        // 1/100 would satisfy a loose ±20% target, but the floor wins.
+        let d = StopDecision::evaluate(&[Proportion::new(1, 100)], &p);
+        assert!(matches!(d, StopDecision::Continue { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn next_round_respects_bounds_and_budget() {
+        let mut p = policy(0.001);
+        // Early on, rounds ramp geometrically: never more than the
+        // trials run so far.
+        let d = StopDecision::evaluate(&[Proportion::new(50, 1_000)], &p);
+        assert_eq!(d, StopDecision::Continue { next_round: 1_000 });
+        // Once past max_round trials, the per-round cap wins.
+        let d = StopDecision::evaluate(&[Proportion::new(800, 16_000)], &p);
+        assert_eq!(
+            d,
+            StopDecision::Continue {
+                next_round: p.max_round
+            }
+        );
+        // Near the budget → round capped at what is left.
+        p.max_samples = 10_000;
+        let d = StopDecision::evaluate(&[Proportion::new(495, 9_900)], &p);
+        assert_eq!(d, StopDecision::Continue { next_round: 100 });
+    }
+
+    #[test]
+    fn rule_of_three_matches_folklore() {
+        // 95% → -ln(0.05) ≈ 2.996: the classic 3/n.
+        let b = rule_of_three_bound(1_000, 0.95);
+        assert!((b - 0.002996).abs() < 1e-5, "{b}");
+        assert_eq!(rule_of_three_bound(0, 0.95), 1.0);
+    }
+
+    #[test]
+    fn decision_is_pure() {
+        // Same inputs → same decision, across repeated evaluation.
+        let cats = [Proportion::new(7, 3_000), Proportion::new(0, 3_000)];
+        let p = policy(0.004);
+        let first = StopDecision::evaluate(&cats, &p);
+        for _ in 0..10 {
+            assert_eq!(StopDecision::evaluate(&cats, &p), first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "half_width must be in (0,1)")]
+    fn policy_validates() {
+        let p = StopPolicy {
+            half_width: 0.0,
+            ..StopPolicy::new(0.01, 0.95)
+        };
+        let _ = StopDecision::evaluate(&[], &p);
+    }
+}

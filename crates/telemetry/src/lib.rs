@@ -180,6 +180,22 @@ pub mod names {
     /// that could not batch.
     pub const LANES_SCALAR_FALLBACKS: &str = "lanes.scalar_fallbacks";
 
+    /// Counter: rounds executed by the adaptive sampling engine
+    /// (engine telemetry; sequential-stopping trace).
+    pub const ADAPTIVE_ROUNDS: &str = "adaptive.rounds";
+    /// Counter: samples run by the adaptive engine before the stop
+    /// rule fired (engine telemetry).
+    pub const ADAPTIVE_SAMPLES: &str = "adaptive.samples";
+    /// Counter: samples saved versus the fixed-count budget the stop
+    /// policy replaced (engine telemetry; the adaptive engine's win).
+    pub const ADAPTIVE_SAMPLES_SAVED: &str = "adaptive.samples_saved";
+    /// Counter: cumulative samples allocated to the address stratum.
+    pub const ADAPTIVE_ALLOC_ADDRESS: &str = "adaptive.alloc.address";
+    /// Counter: cumulative samples allocated to the control stratum.
+    pub const ADAPTIVE_ALLOC_CONTROL: &str = "adaptive.alloc.control";
+    /// Counter: cumulative samples allocated to the datapath stratum.
+    pub const ADAPTIVE_ALLOC_DATA: &str = "adaptive.alloc.data";
+
     /// Counter: QRR-protected injection runs.
     pub const QRR_RUNS: &str = "qrr.runs";
     /// Counter: runs where logic parity detected the flip.
@@ -256,6 +272,12 @@ pub mod names {
         QRR_RECOVERED,
         QRR_FAILED,
         H_QRR_RECOVERY,
+        ADAPTIVE_ROUNDS,
+        ADAPTIVE_SAMPLES,
+        ADAPTIVE_SAMPLES_SAVED,
+        ADAPTIVE_ALLOC_ADDRESS,
+        ADAPTIVE_ALLOC_CONTROL,
+        ADAPTIVE_ALLOC_DATA,
     ];
 
     /// Trace-event component labels that cross process boundaries.

@@ -20,7 +20,7 @@ use nestsim_harness::{properties, Source};
 
 use nestsim::cluster::frame::{read_frame, write_frame};
 use nestsim::cluster::lease::{Completion, Grant, LeaseTable};
-use nestsim::cluster::proto::{JobWire, Message, SubmitWire, PROTOCOL_VERSION};
+use nestsim::cluster::proto::{AdaptiveRoundWire, JobWire, Message, SubmitWire, PROTOCOL_VERSION};
 use nestsim::cluster::{auto_shard_size, plan_shards, LeaseConfig, Shard};
 use nestsim::models::ComponentKind;
 
@@ -119,6 +119,14 @@ fn arbitrary_job(src: &mut Source) -> JobWire {
         lane_width: src.range_u64(1, 64),
         telemetry: src.bool(),
         trace_capacity: src.below(10_000),
+        adaptive: if src.bool() {
+            Some(AdaptiveRoundWire {
+                start: [src.u64(), src.u64(), src.u64()],
+                alloc: [src.u64(), src.u64(), src.u64()],
+            })
+        } else {
+            None
+        },
     }
 }
 

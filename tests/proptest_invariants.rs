@@ -10,7 +10,7 @@ use nestsim_harness::{check_with, properties, Config, Source};
 use nestsim::arch::{DramContents, L2BankArch, L2Geometry};
 use nestsim::proto::addr::{l2_bank_of, PAddr};
 use nestsim::rtl::{BitBuf, FlopClass, FlopSpaceBuilder};
-use nestsim::stats::{Cdf, SeedSeq};
+use nestsim::stats::{Cdf, Proportion, SeedSeq};
 
 // ── BitBuf ─────────────────────────────────────────────────────────
 
@@ -266,5 +266,43 @@ properties! {
         let root = SeedSeq::new(seed);
         let child = root.derive(&label);
         assert_eq!(child.seed(), root.derive(&label).seed());
+    }
+}
+
+// ── Proportion merging ─────────────────────────────────────────────
+
+properties! {
+    fn proportion_merge_is_commutative(src) {
+        let mk = |s: &mut Source| {
+            let trials = s.below(1_000_000);
+            Proportion::new(s.below(trials + 1), trials)
+        };
+        let (a, b) = (mk(src), mk(src));
+        let mut ab = a;
+        ab.merge(b);
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+    }
+
+    fn proportion_merge_is_associative(src) {
+        let mk = |s: &mut Source| {
+            let trials = s.below(1_000_000);
+            Proportion::new(s.below(trials + 1), trials)
+        };
+        let (a, b, c) = (mk(src), mk(src), mk(src));
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(b);
+        left.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+        assert_eq!(left, right);
+        // The merge is the tally concatenation: counts are exact sums.
+        assert_eq!(left.successes, a.successes + b.successes + c.successes);
+        assert_eq!(left.trials, a.trials + b.trials + c.trials);
     }
 }
