@@ -91,6 +91,14 @@ stage "mck smoke (deterministic protocol simulation: bounded DFS + seeded random
 # replays from its printed seed and schedule.
 cargo run --offline --release -p nestsim-mck --bin mck_smoke
 
+stage "svc smoke (campaign service: two concurrent tenants, overlapping grids, dedup + byte-identity + crash retry)"
+# Starts the multi-tenant campaign service on loopback, submits
+# overlapping campaign grids from two concurrent clients, and asserts
+# results are byte-identical to in-process execution with the shared
+# cell executed exactly once (svc.* dedup counters) — including under
+# an injected execution crash. Loopback TCP only; fully offline.
+cargo run --offline --release -p nestsim-svc --bin svc_smoke
+
 stage "bench smoke run (1 iteration per bench)"
 NESTSIM_BENCH_SMOKE=1 NESTSIM_BENCH_OUT="$(mktemp -d)" \
     cargo bench --offline -p nestsim-bench

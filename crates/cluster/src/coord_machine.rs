@@ -134,6 +134,11 @@ pub struct CoordMachine {
     /// checker.
     conns: Vec<ConnState>,
     shutdown: bool,
+    /// Multi-round mode: park workers when the current round drains
+    /// instead of dismissing them, so [`CoordMachine::begin_round`] can
+    /// re-serve the same connections. See
+    /// [`CoordMachine::hold_workers_between_rounds`].
+    hold_workers: bool,
     /// Mutation hook: when set, `Duplicate` completions are merged
     /// anyway (first-writer-wins disabled). Test-only; see
     /// [`CoordMachine::disable_first_writer_wins`].
@@ -160,8 +165,61 @@ impl CoordMachine {
             next_worker: 0,
             conns: Vec::new(),
             shutdown: false,
+            hold_workers: false,
             accept_duplicates: false,
         }
+    }
+
+    /// Switch the machine into multi-round mode: once every shard of
+    /// the current round completes, idle workers are *parked* (their
+    /// long-poll reply withheld) instead of dismissed with `done`, so
+    /// a later [`CoordMachine::begin_round`] re-serves the very same
+    /// connections. The adaptive cluster runner uses this to keep its
+    /// workers — and their per-job golden/ladder caches — attached for
+    /// the whole campaign. [`CoordMachine::begin_shutdown`] still
+    /// releases everyone with `done`.
+    pub fn hold_workers_between_rounds(&mut self) {
+        self.hold_workers = true;
+    }
+
+    /// Start the next round on an existing worker pool: swap in the
+    /// round's job and shard plan, reset the lease table, and re-serve
+    /// every parked connection. The golden reference and engine
+    /// recorder carry over — cross-round golden divergence is still a
+    /// campaign failure, and lease/frame counters accumulate for the
+    /// whole campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous round has not settled cleanly (callers
+    /// harvest via [`CoordMachine::take_round_results`] only after
+    /// [`CoordMachine::is_settled`]).
+    pub fn begin_round(&mut self, now: u64, job: JobWire, shards: Vec<Shard>) -> Vec<CoordAction> {
+        assert!(
+            self.leases.all_done() && self.error.is_none(),
+            "begin_round before the previous round settled"
+        );
+        self.engine
+            .count(names::CLUSTER_SHARDS, shards.len() as u64);
+        self.results = shards.iter().map(|_| Vec::new()).collect();
+        self.leases = LeaseTable::new(shards.len(), *self.leases.config());
+        self.shards = shards;
+        self.job = job;
+        let mut acts = Vec::new();
+        self.serve_parked(now, &mut acts);
+        acts
+    }
+
+    /// Drain the settled round's accepted runs (indexed by shard id),
+    /// leaving the machine ready for [`CoordMachine::begin_round`].
+    pub fn take_round_results(&mut self) -> Vec<Vec<RunWire>> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// The cross-checked golden reference, once any shard was
+    /// accepted.
+    pub fn golden(&self) -> Option<GoldenRef> {
+        self.golden
     }
 
     /// Advance the machine by one event at time `now` (milliseconds on
@@ -430,6 +488,18 @@ impl CoordMachine {
                 self.conns[i].phase = ConnPhase::Parked {
                     worker,
                     retry_at: now + ms,
+                };
+            }
+            Grant::Done if self.hold_workers => {
+                // Multi-round mode: the round drained but the campaign
+                // continues. Keep the worker parked (its long-poll
+                // reply withheld) until `begin_round` re-serves it or
+                // `begin_shutdown` sends the real `done`. The retry
+                // timer only bounds how long a missed wakeup could
+                // stall the connection.
+                self.conns[i].phase = ConnPhase::Parked {
+                    worker,
+                    retry_at: now + self.leases.config().heartbeat_ms,
                 };
             }
             Grant::Done => {
@@ -819,6 +889,111 @@ mod tests {
                 "{acts:?}"
             );
         }
+    }
+
+    #[test]
+    fn held_worker_is_reserved_across_rounds_on_one_connection() {
+        let mut m = CoordMachine::new(
+            JobWire::default(),
+            plan_shards(2, 2),
+            LeaseConfig {
+                lease_ms: 100,
+                heartbeat_ms: 20,
+                backoff_ms: 10,
+            },
+            nestsim_telemetry::Recorder::active(&nestsim_telemetry::TelemetryConfig::default()),
+        );
+        m.hold_workers_between_rounds();
+        let w = handshake(&mut m, 1);
+        let submit = |w| {
+            Message::Submit(SubmitWire {
+                worker: w,
+                shard: 0,
+                golden: golden(),
+                forward: 0,
+                restores: 0,
+                runs: vec![run(0), run(1)],
+            })
+        };
+        for round in 0..2u64 {
+            if round > 0 {
+                let acts = m.begin_round(10 * round, JobWire::default(), plan_shards(2, 2));
+                assert!(
+                    acts.iter().any(|a| matches!(
+                        a,
+                        CoordAction::Send {
+                            conn: 1,
+                            msg: Message::Assign { .. },
+                        }
+                    )),
+                    "round {round}: parked worker re-served: {acts:?}"
+                );
+            } else {
+                let acts = m.step(
+                    0,
+                    CoordEvent::Received {
+                        conn: 1,
+                        msg: Message::RequestShard { worker: w },
+                    },
+                );
+                assert!(
+                    matches!(
+                        &acts[..],
+                        [CoordAction::Send {
+                            msg: Message::Assign { .. },
+                            ..
+                        }]
+                    ),
+                    "{acts:?}"
+                );
+            }
+            let acts = m.step(
+                10 * round + 1,
+                CoordEvent::Received {
+                    conn: 1,
+                    msg: submit(w),
+                },
+            );
+            assert!(
+                acts.iter().any(|a| matches!(
+                    a,
+                    CoordAction::Send {
+                        msg: Message::SubmitAck { accepted: true },
+                        ..
+                    }
+                )),
+                "round {round}: {acts:?}"
+            );
+            assert!(m.is_settled(), "round {round} settled");
+            // The idle worker's next request parks (no `done`) so the
+            // next round can re-serve the same connection.
+            let acts = m.step(
+                10 * round + 2,
+                CoordEvent::Received {
+                    conn: 1,
+                    msg: Message::RequestShard { worker: w },
+                },
+            );
+            assert!(
+                acts.is_empty(),
+                "round {round}: held, not dismissed: {acts:?}"
+            );
+            assert_eq!(m.take_round_results()[0].len(), 2, "round {round} harvest");
+        }
+        // Shutdown finally dismisses the parked worker with `done`.
+        let acts = m.begin_shutdown(30);
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                CoordAction::Send {
+                    conn: 1,
+                    msg: Message::Wait { done: true, .. },
+                }
+            )),
+            "{acts:?}"
+        );
+        // One handshake served the whole multi-round campaign.
+        assert_eq!(m.engine().counter(names::CLUSTER_WORKERS_CONNECTED), 1);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use nestsim_telemetry::{CampaignTelemetry, Recorder, TelemetryConfig};
 use crate::coord_machine::{CoordAction, CoordEvent, CoordMachine};
 use crate::frame::{read_frame, write_frame};
 use crate::lease::LeaseConfig;
-use crate::proto::{AdaptiveRoundWire, JobWire, Message};
+use crate::proto::{AdaptiveRoundWire, JobWire, Message, RunWire};
 use crate::shard::{auto_shard_size, plan_shards};
 use crate::worker::{run_worker, WorkerOptions};
 
@@ -164,20 +164,47 @@ impl ClusterCampaign {
             .clone()
     }
 
-    /// Blocks until every shard completed, then assembles the result.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker submitted a divergent golden reference (the
-    /// processes disagree on the simulation itself — never a matter of
-    /// retrying) or if the merged runs do not cover the sample space.
-    pub fn wait(mut self) -> CampaignResult {
+    /// Blocks until the currently served round settles, harvesting its
+    /// accepted runs **without** dismissing the workers — they stay
+    /// parked for a [`ClusterCampaign::begin_round`]. Returns the
+    /// cross-checked golden reference and the per-shard runs, or the
+    /// campaign's fatal error.
+    fn wait_round(&self) -> Result<(nestsim_core::inject::GoldenRef, Vec<Vec<RunWire>>), String> {
+        let mut inner = self.shared.inner.lock().expect(POISONED);
+        while !inner.machine.is_settled() {
+            inner = self.shared.cv.wait(inner).expect(POISONED);
+        }
+        if let Some(e) = inner.machine.error() {
+            return Err(e.to_string());
+        }
+        let results = inner.machine.take_round_results();
+        let golden = inner
+            .machine
+            .golden()
+            .expect("a settled round has a golden reference");
+        Ok((golden, results))
+    }
+
+    /// Starts the next round on the already-attached worker pool: the
+    /// machine swaps in the round's job and shard plan and re-serves
+    /// every parked worker.
+    fn begin_round(&self, job: JobWire, shards: Vec<crate::shard::Shard>) {
+        let mut inner = self.shared.inner.lock().expect(POISONED);
+        let now = self.shared.now_ms();
+        let acts = inner.machine.begin_round(now, job, shards);
+        inner.dispatch(acts);
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+
+    /// Shuts the coordinator down — dismisses every parked worker with
+    /// `done`, joins the accept and handler threads — and extracts the
+    /// drained machine. The shared tail of [`ClusterCampaign::wait`]
+    /// and the adaptive runner.
+    fn finish(&mut self) -> CoordMachine {
         let shared = Arc::clone(&self.shared);
         {
             let mut inner = shared.inner.lock().expect(POISONED);
-            while !inner.machine.is_settled() {
-                inner = shared.cv.wait(inner).expect(POISONED);
-            }
             inner.shutdown = true;
             let now = shared.now_ms();
             let acts = inner.machine.begin_shutdown(now);
@@ -199,18 +226,34 @@ impl ClusterCampaign {
             h.join().expect("coordinator handler thread panicked");
         }
 
-        let machine = {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        std::mem::replace(
+            &mut inner.machine,
+            CoordMachine::new(
+                JobWire::default(),
+                Vec::new(),
+                LeaseConfig::default(),
+                Recorder::null(),
+            ),
+        )
+    }
+
+    /// Blocks until every shard completed, then assembles the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker submitted a divergent golden reference (the
+    /// processes disagree on the simulation itself — never a matter of
+    /// retrying) or if the merged runs do not cover the sample space.
+    pub fn wait(mut self) -> CampaignResult {
+        {
+            let shared = &self.shared;
             let mut inner = shared.inner.lock().expect(POISONED);
-            std::mem::replace(
-                &mut inner.machine,
-                CoordMachine::new(
-                    JobWire::default(),
-                    Vec::new(),
-                    LeaseConfig::default(),
-                    Recorder::null(),
-                ),
-            )
-        };
+            while !inner.machine.is_settled() {
+                inner = shared.cv.wait(inner).expect(POISONED);
+            }
+        }
+        let machine = self.finish();
         let outcome = machine.into_outcome();
         if let Some(e) = outcome.error {
             panic!("cluster campaign failed: {e}");
@@ -259,42 +302,56 @@ pub fn serve_campaign(
         telemetry,
         cfg,
         JobWire::from_spec(profile, spec, telemetry),
+        false,
     )
 }
 
-/// [`serve_campaign`] generalized over the wire job: the adaptive
-/// runner serves each round as its own job (`spec.samples` pinned to
-/// the round total so shard planning and the assembly cover check
-/// address round indices).
-fn serve_job(
-    profile: &'static BenchProfile,
-    spec: &CampaignSpec,
-    telemetry: Option<&TelemetryConfig>,
-    cfg: &CoordinatorConfig,
-    job: JobWire,
-) -> io::Result<ClusterCampaign> {
-    check_campaign(profile, spec);
-    assert!(
-        spec.samples > 0,
-        "an empty campaign has nothing to distribute"
-    );
+/// Plans one round's shards from its sample count and the coordinator
+/// tuning — shared by [`serve_job`] (first round) and the adaptive
+/// runner (every later round), so all rounds shard identically.
+fn plan_job_shards(samples: u64, cfg: &CoordinatorConfig) -> Vec<crate::shard::Shard> {
     let workers_hint = if cfg.workers_hint == 0 {
         default_workers()
     } else {
         cfg.workers_hint
     };
     let shard_size = if cfg.shard_size == 0 {
-        auto_shard_size(spec.samples, workers_hint)
+        auto_shard_size(samples, workers_hint)
     } else {
         cfg.shard_size
     };
-    let shards = plan_shards(spec.samples, shard_size);
+    plan_shards(samples, shard_size)
+}
+
+/// [`serve_campaign`] generalized over the wire job: the adaptive
+/// runner serves each round as its own job (`spec.samples` pinned to
+/// the round total so shard planning and the assembly cover check
+/// address round indices). With `hold_workers` the machine parks idle
+/// workers between rounds instead of dismissing them
+/// ([`CoordMachine::hold_workers_between_rounds`]).
+fn serve_job(
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+    cfg: &CoordinatorConfig,
+    job: JobWire,
+    hold_workers: bool,
+) -> io::Result<ClusterCampaign> {
+    check_campaign(profile, spec);
+    assert!(
+        spec.samples > 0,
+        "an empty campaign has nothing to distribute"
+    );
+    let shards = plan_job_shards(spec.samples, cfg);
 
     let engine = match telemetry {
         Some(tcfg) => Recorder::active(tcfg),
         None => Recorder::null(),
     };
-    let machine = CoordMachine::new(job, shards, cfg.lease, engine);
+    let mut machine = CoordMachine::new(job, shards, cfg.lease, engine);
+    if hold_workers {
+        machine.hold_workers_between_rounds();
+    }
 
     let listener = TcpListener::bind(&cfg.listen)?;
     let addr = listener.local_addr()?;
@@ -533,22 +590,19 @@ pub fn run_campaign_cluster(
     drive_workers(campaign, &cfg.spawn)
 }
 
-/// Spawns the configured workers against a served campaign and waits
-/// it out — the shared tail of the fixed-count and adaptive cluster
-/// runners.
-fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResult {
-    let addr = campaign.addr().to_string();
-
+/// Runs `body` with the configured workers attached to `addr`, then
+/// joins them — the shared worker-lifecycle envelope of the
+/// fixed-count and adaptive cluster runners. `body` must leave the
+/// coordinator shut down (workers dismissed) before returning, or the
+/// joins would block forever.
+fn with_workers<R>(addr: &str, spawn: &WorkerSpawn, body: impl FnOnce() -> R) -> R {
     match spawn {
         WorkerSpawn::Threads(opts) => std::thread::scope(|scope| {
             let handles: Vec<_> = opts
                 .iter()
-                .map(|wopts| {
-                    let addr = addr.clone();
-                    scope.spawn(move || run_worker(&addr, wopts))
-                })
+                .map(|wopts| scope.spawn(move || run_worker(addr, wopts)))
                 .collect();
-            let result = campaign.wait();
+            let result = body();
             for h in handles {
                 // Chaos workers return early or error by design; the
                 // coordinator's lease table already re-dispatched their
@@ -563,13 +617,13 @@ fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResu
                     std::process::Command::new(&argv[0])
                         .args(&argv[1..])
                         .arg("--connect")
-                        .arg(&addr)
+                        .arg(addr)
                         .stdout(std::process::Stdio::null())
                         .spawn()
                         .unwrap_or_else(|e| panic!("failed to spawn worker {:?}: {e}", argv[0]))
                 })
                 .collect();
-            let result = campaign.wait();
+            let result = body();
             for child in &mut children {
                 // Crash-injected workers exit nonzero by design.
                 let _ = child.wait();
@@ -577,6 +631,13 @@ fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResu
             result
         }
     }
+}
+
+/// Spawns the configured workers against a served campaign and waits
+/// it out — the fixed-count runner's tail.
+fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResult {
+    let addr = campaign.addr().to_string();
+    with_workers(&addr, spawn, || campaign.wait())
 }
 
 /// Runs one campaign cell adaptively through the cluster: the
@@ -595,10 +656,14 @@ fn drive_workers(campaign: ClusterCampaign, spawn: &WorkerSpawn) -> CampaignResu
 /// same merged tallies, and round records merge in the same canonical
 /// order.
 ///
-/// Workers are respawned for every round (threads are cheap; process
-/// spawns pay one exec per round) — an adaptive campaign's rounds are
-/// few by design, so simplicity wins over a persistent-worker
-/// round protocol.
+/// Workers are spawned **once** and stay attached for the whole
+/// campaign: between rounds the coordinator machine parks idle workers
+/// on their long-poll ([`CoordMachine::hold_workers_between_rounds`])
+/// and [`CoordMachine::begin_round`] re-serves the same connections
+/// with the next round's job. Persistent workers keep their per-job
+/// derivation caches warm — one golden pass and one snapshot ladder
+/// per worker per campaign, not per round — and processes pay one exec
+/// total.
 ///
 /// # Panics
 ///
@@ -621,10 +686,6 @@ pub fn run_campaign_adaptive_cluster(
     }
 
     let mut state = AdaptiveState::new(spec.component, *policy);
-    let mut engine = match telemetry {
-        Some(tcfg) => Recorder::active(tcfg),
-        None => Recorder::null(),
-    };
     let mut merged = match telemetry {
         Some(tcfg) => Recorder::active(tcfg),
         None => Recorder::null(),
@@ -633,45 +694,110 @@ pub fn run_campaign_adaptive_cluster(
     let mut worker_samples = Vec::new();
     let mut golden = None;
     let mut alloc = state.initial_alloc();
-    loop {
-        let round = AdaptiveRoundWire {
+
+    // Serve the first round with held workers; later rounds reuse the
+    // same listener, connections, and worker caches via `begin_round`.
+    let mut round_total: u64 = alloc.iter().sum();
+    let first_job = JobWire::adaptive_round(
+        profile,
+        spec,
+        telemetry,
+        AdaptiveRoundWire {
             start: state.done(),
             alloc,
-        };
-        let round_total: u64 = alloc.iter().sum();
-        let round_spec = CampaignSpec {
-            samples: round_total,
-            ..*spec
-        };
-        let job = JobWire::adaptive_round(profile, spec, telemetry, round);
-        let campaign = serve_job(profile, &round_spec, telemetry, &coord_cfg, job)
-            .expect("failed to bind coordinator");
-        let r = drive_workers(campaign, &cfg.spawn);
-        assert!(
-            golden.replace(r.golden).is_none_or(|g| g == r.golden),
-            "adaptive rounds disagree on the golden reference"
-        );
-        // The round's canonical order is stratum-major, so the strata
-        // sequence is the expansion of the allocation.
-        let strata: Vec<Stratum> = Stratum::ALL
-            .iter()
-            .flat_map(|&s| std::iter::repeat_n(s, alloc[s.index()] as usize))
-            .collect();
-        let outcomes: Vec<(Stratum, nestsim_core::Outcome)> = strata
-            .iter()
-            .zip(&r.records)
-            .map(|(&s, rec)| (s, rec.outcome))
-            .collect();
-        state.absorb_round(&alloc, &outcomes);
-        records.extend(r.records);
-        merged.merge(&r.telemetry.merged);
-        engine.merge(&r.telemetry.engine);
-        worker_samples.extend(r.telemetry.worker_samples);
-        match state.decide() {
-            StopDecision::Stop { .. } => break,
-            StopDecision::Continue { next_round } => alloc = state.alloc_for(next_round),
+        },
+    );
+    let first_spec = CampaignSpec {
+        samples: round_total,
+        ..*spec
+    };
+    let mut campaign = serve_job(profile, &first_spec, telemetry, &coord_cfg, first_job, true)
+        .expect("failed to bind coordinator");
+    let addr = campaign.addr().to_string();
+
+    let machine = with_workers(&addr, &cfg.spawn, || {
+        loop {
+            let (round_golden, shard_runs) = match campaign.wait_round() {
+                Ok(harvest) => harvest,
+                Err(e) => {
+                    // Dismiss the workers before unwinding, or the
+                    // worker joins above us would block forever.
+                    campaign.finish();
+                    panic!("cluster campaign failed: {e}");
+                }
+            };
+            let round_spec = CampaignSpec {
+                samples: round_total,
+                ..*spec
+            };
+            let mut indexed: IndexedRuns = Vec::with_capacity(round_total as usize);
+            let mut round_workers = Vec::with_capacity(shard_runs.len());
+            for runs in shard_runs {
+                assert!(!runs.is_empty(), "completed round has every shard");
+                round_workers.push(runs.len());
+                for run in runs {
+                    indexed.push((run.sample as usize, run.record, run.recorder));
+                }
+            }
+            if telemetry.is_none() {
+                round_workers = Vec::new();
+            }
+            // Per-round engine counters live in the coordinator
+            // machine for the campaign's lifetime; the round assembly
+            // gets a null engine so nothing is double-merged.
+            let r = assemble_result(
+                profile,
+                &round_spec,
+                telemetry,
+                round_golden,
+                indexed,
+                round_workers,
+                Recorder::null(),
+            );
+            assert!(
+                golden.replace(r.golden).is_none_or(|g| g == r.golden),
+                "adaptive rounds disagree on the golden reference"
+            );
+            // The round's canonical order is stratum-major, so the
+            // strata sequence is the expansion of the allocation.
+            let strata: Vec<Stratum> = Stratum::ALL
+                .iter()
+                .flat_map(|&s| std::iter::repeat_n(s, alloc[s.index()] as usize))
+                .collect();
+            let outcomes: Vec<(Stratum, nestsim_core::Outcome)> = strata
+                .iter()
+                .zip(&r.records)
+                .map(|(&s, rec)| (s, rec.outcome))
+                .collect();
+            state.absorb_round(&alloc, &outcomes);
+            records.extend(r.records);
+            merged.merge(&r.telemetry.merged);
+            worker_samples.extend(r.telemetry.worker_samples);
+            match state.decide() {
+                StopDecision::Stop { .. } => break,
+                StopDecision::Continue { next_round } => {
+                    alloc = state.alloc_for(next_round);
+                    round_total = alloc.iter().sum();
+                    let job = JobWire::adaptive_round(
+                        profile,
+                        spec,
+                        telemetry,
+                        AdaptiveRoundWire {
+                            start: state.done(),
+                            alloc,
+                        },
+                    );
+                    campaign.begin_round(job, plan_job_shards(round_total, &coord_cfg));
+                }
+            }
         }
+        campaign.finish()
+    });
+    let outcome = machine.into_outcome();
+    if let Some(e) = outcome.error {
+        panic!("cluster campaign failed: {e}");
     }
+    let mut engine = outcome.engine;
 
     record_adaptive_engine_stats(&mut engine, &state);
     let counts = *state.counts();

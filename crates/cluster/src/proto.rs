@@ -42,8 +42,10 @@ use crate::wire::{
 /// version is refused with an `Error` reply. Version 2 added the
 /// lane-batching fields (`lane_cluster`, `lane_width`) to [`JobWire`];
 /// version 3 added the optional adaptive round descriptor
-/// ([`JobWire::adaptive`]).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// ([`JobWire::adaptive`]); version 4 added the campaign-service
+/// message set (`nestsim-svc`, which reuses this version constant and
+/// the [`put_job`]/[`get_job`] codecs for its own frame payloads).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// One adaptive round, described for the wire: where each stratum's
 /// deterministic sample stream resumes and how many samples it
@@ -293,7 +295,9 @@ const TAG_SUBMIT: u8 = 7;
 const TAG_SUBMIT_ACK: u8 = 8;
 const TAG_ERROR: u8 = 9;
 
-fn put_component(w: &mut Writer, c: ComponentKind) -> Result<(), WireError> {
+/// Encodes a [`ComponentKind`] as its index in `ComponentKind::ALL`.
+/// Shared with the campaign-service protocol (`nestsim-svc`).
+pub fn put_component(w: &mut Writer, c: ComponentKind) -> Result<(), WireError> {
     let i = ComponentKind::ALL
         .iter()
         .position(|&x| x == c)
@@ -303,7 +307,8 @@ fn put_component(w: &mut Writer, c: ComponentKind) -> Result<(), WireError> {
     Ok(())
 }
 
-fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
+/// Decodes a [`ComponentKind`] written by [`put_component`].
+pub fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
     let i = r.u8()? as usize;
     ComponentKind::ALL
         .get(i)
@@ -311,7 +316,10 @@ fn get_component(r: &mut Reader<'_>) -> Result<ComponentKind, WireError> {
         .ok_or_else(|| format!("unknown component tag {i}"))
 }
 
-fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
+/// Encodes a [`JobWire`] field-by-field. Shared with the
+/// campaign-service protocol (`nestsim-svc`), whose `Submit` payloads
+/// carry the identical job description.
+pub fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
     w.str(&j.benchmark);
     put_component(w, j.component)?;
     w.u64(j.samples);
@@ -336,7 +344,8 @@ fn put_job(w: &mut Writer, j: &JobWire) -> Result<(), WireError> {
     Ok(())
 }
 
-fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
+/// Decodes a [`JobWire`] written by [`put_job`].
+pub fn get_job(r: &mut Reader<'_>) -> Result<JobWire, WireError> {
     Ok(JobWire {
         benchmark: r.str()?,
         component: get_component(r)?,

@@ -14,8 +14,10 @@
 //! needs (golden reference, snapshot ladder, drawn samples, entry
 //! order) is recomputed from the [`crate::proto::JobWire`] seed, and
 //! determinism makes that recomputation bit-identical in every
-//! process. The expensive derivation is cached per job, so a worker
-//! that leases ten shards of one campaign pays for one golden pass.
+//! process. The expensive derivation is cached per job — and the
+//! golden/ladder half of it per *campaign* — so a worker that leases
+//! ten shards of one campaign pays for one golden pass, including
+//! across the rounds of a persistent-worker adaptive campaign.
 
 use std::collections::VecDeque;
 use std::io;
@@ -37,22 +39,57 @@ use crate::worker_machine::{WorkerAction, WorkerEnd, WorkerEvent, WorkerMachine}
 
 pub use crate::worker_machine::{WorkerOptions, WorkerStats};
 
+/// The expensive seed-derived state every round of one campaign
+/// shares: the golden pass and the snapshot ladder. Keyed on the job
+/// with the round-varying fields (`samples`, `adaptive`) normalized
+/// out, so consecutive adaptive rounds on a persistent worker reuse
+/// one golden pass instead of repeating it per round.
+struct BaseState {
+    key: JobWire,
+    golden: GoldenRef,
+    ladder: SnapshotLadder,
+}
+
+/// The round-varying fields zeroed out of a [`BaseState`] cache key.
+/// Golden reference and ladder depend on neither (the in-process
+/// adaptive engine shares one ladder across all rounds the same way).
+fn base_key(job: &JobWire) -> JobWire {
+    JobWire {
+        samples: 0,
+        adaptive: None,
+        ..job.clone()
+    }
+}
+
 /// The per-job derivation cache: everything recomputed from the seed.
 struct JobState {
     key: JobWire,
     telemetry: Option<TelemetryConfig>,
-    golden: GoldenRef,
-    ladder: SnapshotLadder,
+    base: BaseState,
     samples: Vec<InjectionSpec>,
     order: Vec<usize>,
 }
 
 impl JobState {
-    fn build(job: &JobWire) -> Result<JobState, String> {
+    /// Builds the derivation for `job`, recycling `prev`'s golden and
+    /// ladder when the jobs differ only in their round (the persistent
+    /// adaptive worker's hot path).
+    fn build(job: &JobWire, prev: Option<JobState>) -> Result<JobState, String> {
         let profile = job.profile()?;
         let spec: CampaignSpec = job.spec();
         check_campaign(profile, &spec);
-        let (mut ladder, golden) = laddered_golden_reference(profile, &spec);
+        let bkey = base_key(job);
+        let mut base = match prev {
+            Some(prev) if prev.base.key == bkey => prev.base,
+            _ => {
+                let (ladder, golden) = laddered_golden_reference(profile, &spec);
+                BaseState {
+                    key: bkey,
+                    golden,
+                    ladder,
+                }
+            }
+        };
         // An adaptive job is one round of a stratified campaign: the
         // samples come from the per-stratum streams at the round's
         // offsets, re-derived bit-identically to the coordinator's
@@ -61,7 +98,7 @@ impl JobState {
         let samples = match &job.adaptive {
             Some(round) => {
                 let (specs, _strata) =
-                    draw_round(profile, &spec, &golden, &round.start, &round.alloc);
+                    draw_round(profile, &spec, &base.golden, &round.start, &round.alloc);
                 if specs.len() as u64 != job.samples {
                     return Err(format!(
                         "adaptive round allocates {} samples but the job says {}",
@@ -71,16 +108,21 @@ impl JobState {
                 }
                 specs
             }
-            None => draw_samples(profile, &spec, &golden),
+            None => draw_samples(profile, &spec, &base.golden),
         };
         let order = entry_order(&samples);
-        let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
-        ladder.truncate_above(max_entry);
+        if job.adaptive.is_none() {
+            // Rungs above the last entry point can never be restored
+            // from; drop them for memory. Adaptive rounds keep the full
+            // ladder — a later round may enter later than this one, and
+            // unused rungs change no result either way.
+            let max_entry = order.last().map_or(0, |&i| entry_cycle(&samples[i]));
+            base.ladder.truncate_above(max_entry);
+        }
         Ok(JobState {
             key: job.clone(),
             telemetry: job.telemetry_config(),
-            golden,
-            ladder,
+            base,
             samples,
             order,
         })
@@ -150,7 +192,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerStats> {
                     .expect("Execute implies an active assignment")
                     .clone();
                 if job_state.as_ref().is_none_or(|s| s.key != job) {
-                    job_state = Some(JobState::build(&job).map_err(proto_err)?);
+                    job_state = Some(JobState::build(&job, job_state.take()).map_err(proto_err)?);
                 }
                 let state = job_state.as_ref().expect("job state was just built");
                 run_assignment(&mut stream, &mut machine, state, pos, &start, &mut pending)?;
@@ -184,9 +226,9 @@ fn run_assignment(
     // run_span) so heartbeats stay sample-granular; the wire lane
     // width still configures the runner for forward compatibility.
     let mut runner = ShardRunner::new(
-        &state.ladder,
+        &state.base.ladder,
         &state.samples,
-        &state.golden,
+        &state.base.golden,
         state.telemetry.as_ref(),
         state.key.lane_width as usize,
     );
@@ -216,7 +258,7 @@ fn run_assignment(
                     now_ms(start),
                     WorkerEvent::Executed {
                         run,
-                        golden: state.golden,
+                        golden: state.base.golden,
                         forward: runner.forward_cycles(),
                         restores: runner.restores(),
                     },

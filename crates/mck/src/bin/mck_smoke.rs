@@ -1,22 +1,32 @@
 //! CI smoke gate for the deterministic protocol simulator.
 //!
-//! Three fixed-seed, fully deterministic phases:
+//! Six fixed-seed, fully deterministic phases:
 //!
-//! 1. **DFS** — bounded depth-first enumeration of the schedule tree;
-//!    every explored schedule must satisfy every invariant.
-//! 2. **Random** — a sweep of seeded random schedules; same bar.
+//! 1. **DFS** — bounded depth-first enumeration of the cluster
+//!    schedule tree; every explored schedule must satisfy every
+//!    invariant.
+//! 2. **Random** — a sweep of seeded random cluster schedules; same
+//!    bar.
 //! 3. **Mutation** — the same sweep with the coordinator's
 //!    first-writer-wins dedupe disabled (a deliberately broken
 //!    protocol): the explorer must *find* a double count, and the
 //!    reported failure must replay both from its seed and from its
 //!    recorded schedule. A checker that cannot catch a planted
 //!    exactly-once bug guards nothing.
+//! 4. **Service DFS** — the same depth-first treatment for the
+//!    campaign-service machine (multi-tenant submits, dedup fan-out,
+//!    cancels, disconnects, crashes).
+//! 5. **Service random** — seeded random service schedules.
+//! 6. **Service mutation** — dedup fan-out disabled: the explorer must
+//!    find the lost subscriber, and the failure must replay.
 //!
 //! Replay environment (printed by every failure report):
 //!
 //! * `NESTSIM_MCK_SEED=<n|0xhex>` — rerun one random schedule.
 //! * `NESTSIM_MCK_SCHEDULE=3,0,1,...` — rerun one explicit schedule.
-//! * `NESTSIM_MCK_MUTATE=1` — replay against the mutated coordinator.
+//! * `NESTSIM_MCK_MUTATE=1` — replay against the mutated machine.
+//! * `NESTSIM_MCK_SVC=1` — replay against the service world instead of
+//!   the cluster world.
 
 use nestsim_cluster::LeaseConfig;
 use nestsim_core::campaign::CampaignSpec;
@@ -25,6 +35,7 @@ use nestsim_mck::explore::{
     explore_dfs, explore_random, failure_report, Chooser, RandomChooser, ScheduleChooser,
 };
 use nestsim_mck::sim::{run_sim, world, FaultBudget, SimConfig, SimError};
+use nestsim_mck::svcsim::{run_svc_sim, svc_world, SvcScenario, SvcSimConfig};
 use nestsim_mck::CampaignExec;
 use nestsim_models::ComponentKind;
 use nestsim_telemetry::TelemetryConfig;
@@ -35,6 +46,7 @@ use std::process::ExitCode;
 const BASE_SEED: u64 = 0xD0C5_2015;
 const DFS_TRACES: usize = 400;
 const RANDOM_TRACES: usize = 96;
+const SVC_DFS_TRACES: usize = 400;
 
 fn parse_u64(s: &str) -> Option<u64> {
     let s = s.trim();
@@ -70,6 +82,14 @@ fn sim_config(mutate: bool) -> SimConfig {
     }
 }
 
+fn svc_sim_config(mutate: bool) -> SvcSimConfig {
+    SvcSimConfig {
+        faults: FaultBudget(2),
+        disable_dedup_fanout: mutate,
+        ..SvcSimConfig::default()
+    }
+}
+
 /// Replay one schedule named by the environment; returns the process
 /// outcome, or `None` when no replay was requested.
 fn replay_from_env(exec: &CampaignExec) -> Option<ExitCode> {
@@ -79,14 +99,32 @@ fn replay_from_env(exec: &CampaignExec) -> Option<ExitCode> {
         return None;
     }
     let mutate = std::env::var("NESTSIM_MCK_MUTATE").is_ok_and(|v| v == "1");
-    let cfg = sim_config(mutate);
+    let svc = std::env::var("NESTSIM_MCK_SVC").is_ok_and(|v| v == "1");
     let mut chooser: Box<dyn Chooser> = if let Some(s) = schedule {
         Box::new(ScheduleChooser::parse(&s).expect("NESTSIM_MCK_SCHEDULE: comma-joined integers"))
     } else {
         let seed = parse_u64(&seed.expect("checked above")).expect("NESTSIM_MCK_SEED: integer");
         Box::new(RandomChooser::new(seed))
     };
-    println!("mck: replaying one schedule (mutate={mutate})");
+    println!("mck: replaying one schedule (mutate={mutate}, svc={svc})");
+    if svc {
+        let scenario = SvcScenario::standard();
+        let cfg = svc_sim_config(mutate);
+        return Some(match run_svc_sim(&scenario, &cfg, chooser.as_mut()) {
+            Ok(report) => {
+                println!(
+                    "mck: service schedule passed: {} events, {} fault(s)",
+                    report.steps, report.faults_injected
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("{}", failure_report(&e, None, chooser.trace()));
+                ExitCode::FAILURE
+            }
+        });
+    }
+    let cfg = sim_config(mutate);
     match run_sim(exec, &cfg, chooser.as_mut()) {
         Ok(report) => {
             println!(
@@ -179,6 +217,68 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("mck: mutation failure replays from seed and from schedule");
+
+    // Phase 4: DFS over the campaign-service machine's world.
+    let scenario = SvcScenario::standard();
+    let svc_cfg = svc_sim_config(false);
+    let dfs = explore_dfs(SVC_DFS_TRACES, svc_world(&scenario, &svc_cfg));
+    if let Some((schedule, err)) = dfs.failure {
+        println!("mck: FAIL: service DFS found an invariant violation");
+        println!("{}", failure_report(&err, None, &schedule));
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "mck: service DFS clean: {} schedules ({})",
+        dfs.traces,
+        if dfs.exhausted {
+            "tree exhausted"
+        } else {
+            "trace budget reached"
+        }
+    );
+
+    // Phase 5: seeded random service schedules.
+    let random = explore_random(BASE_SEED, RANDOM_TRACES, svc_world(&scenario, &svc_cfg));
+    if let Some((seed, schedule, err)) = random.failure {
+        println!("mck: FAIL: random service schedule found an invariant violation");
+        println!("{}", failure_report(&err, Some(seed), &schedule));
+        return ExitCode::FAILURE;
+    }
+    println!("mck: service random clean: {} schedules", random.traces);
+
+    // Phase 6: service mutation — disabling dedup fan-out must lose a
+    // subscriber, and the failure must replay from its schedule.
+    let mutated = svc_sim_config(true);
+    let hunt = explore_dfs(SVC_DFS_TRACES, svc_world(&scenario, &mutated));
+    let Some((schedule, err)) = hunt.failure else {
+        println!(
+            "mck: FAIL: service mutation check: dedup fan-out disabled, but {} schedules found \
+             no lost subscriber — the checker is blind",
+            hunt.traces
+        );
+        return ExitCode::FAILURE;
+    };
+    if !matches!(err, SimError::Service { .. }) {
+        println!("mck: FAIL: service mutation check tripped the wrong invariant: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "mck: service mutation caught after {} schedules: {err}",
+        hunt.traces
+    );
+    println!(
+        "  (replay: NESTSIM_MCK_SVC=1 NESTSIM_MCK_MUTATE=1 NESTSIM_MCK_SCHEDULE={} cargo run -p \
+         nestsim-mck --bin mck_smoke)",
+        nestsim_mck::schedule_to_string(&schedule)
+    );
+    let mut by_schedule = ScheduleChooser::new(schedule);
+    let sched_err = run_svc_sim(&scenario, &mutated, &mut by_schedule)
+        .expect_err("service schedule replay must fail");
+    if sched_err != err {
+        println!("mck: FAIL: service schedule replay diverged: {sched_err}");
+        return ExitCode::FAILURE;
+    }
+    println!("mck: service mutation failure replays from its schedule");
     println!("mck_smoke: OK");
     ExitCode::SUCCESS
 }

@@ -26,6 +26,11 @@
 //!   executed once and replayed per schedule, so "merged results are
 //!   byte-identical to the in-process engine" is checked against real
 //!   records, not synthetic stand-ins.
+//! * [`svcsim`] — the same treatment for the campaign service's
+//!   [`nestsim_svc::SvcMachine`]: scripted multi-tenant clients with
+//!   overlapping submissions, cancels, disconnects, message loss, and
+//!   execution crashes, checked for exactly-once execution, lossless
+//!   dedup fan-out, and byte-identical result streams.
 //!
 //! Every explored trace is checked for the protocol's real
 //! invariants: exact-cover of shards (no sample lost or double-counted
@@ -43,9 +48,11 @@
 pub mod exec;
 pub mod explore;
 pub mod sim;
+pub mod svcsim;
 
 pub use exec::CampaignExec;
 pub use explore::{
     explore_random, schedule_to_string, Chooser, DfsReport, RandomChooser, ScheduleChooser,
 };
 pub use sim::{FaultBudget, SimConfig, SimError, SimReport};
+pub use svcsim::{run_svc_sim, svc_world, SvcScenario, SvcSimConfig, SvcSimReport};

@@ -150,6 +150,13 @@ pub enum SimError {
         /// Events still queued.
         pending: usize,
     },
+    /// The campaign-service machine (see [`crate::svcsim`]) violated
+    /// its contract: a lost subscriber, a double execution, a cancelled
+    /// job that ran anyway, or a diverging fan-out stream.
+    Service {
+        /// What the service got wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -175,6 +182,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "campaign did not settle within {steps} events ({pending} still queued)"
                 )
+            }
+            SimError::Service { message } => {
+                write!(f, "service contract violated: {message}")
             }
         }
     }

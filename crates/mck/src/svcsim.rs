@@ -1,0 +1,730 @@
+//! Deterministic simulation of the campaign-service machine.
+//!
+//! The service machine ([`SvcMachine`]) is *time-free*: no clock, no
+//! leases, no timers. That makes its simulated world much smaller than
+//! the cluster's — the whole state space is event ordering plus faults
+//! — and a bounded DFS covers real depth.
+//!
+//! ## The world
+//!
+//! One service machine, a fixed cast of scripted clients. Each client
+//! performs its script one action at a time — hello, submit (several
+//! clients submit the *same* cell, exercising dedup), cancel,
+//! disconnect — and the machine's replies are delivered back
+//! synchronously, the way the single-threaded event loop delivers
+//! them. Executions started by the machine become pending events that
+//! finish whenever the schedule says so.
+//!
+//! ## Nondeterminism
+//!
+//! Every decision is a [`Chooser`] pick:
+//!
+//! * **Event order** — which ready client action or pending execution
+//!   fires next.
+//! * **Request faults** — each client→service message may be delivered
+//!   or lost to a connection reset (both ends find out, like TCP).
+//!   Replies are never dropped: the event loop writes them on the same
+//!   connection the request arrived on, so a lost reply *is* a lost
+//!   connection, which the request fault already models.
+//! * **Execution faults** — each execution may complete or crash,
+//!   exercising the crash-retry and terminal-failure paths.
+//!
+//! Faulty picks draw from the same finite [`FaultBudget`] discipline as
+//! the cluster world.
+//!
+//! ## Invariants checked on every schedule
+//!
+//! 1. The machine never sends a protocol `Error` and never rejects a
+//!    valid job (nothing in the scenario justifies either).
+//! 2. **Exactly-once execution**: a cell completes execution at most
+//!    once, no matter how many clients subscribe to it.
+//! 3. **No lost subscriber**: every accepted, uncancelled ticket of a
+//!    still-connected client ends in exactly one terminal reply
+//!    (`Done` or `Failed`).
+//! 4. **Byte-identical fan-out**: every `Done` stream reassembles —
+//!    from contiguous chunks — to the reference records, golden
+//!    reference, and merged telemetry of its cell.
+//! 5. **Cancel works**: a queued cell whose sole subscriber cancelled
+//!    never starts executing.
+//! 6. The world drains and the machine ends idle (liveness).
+//!
+//! The mutation hook [`SvcMachine::disable_dedup_fanout`] plants a
+//! lost-subscriber bug; the `mck_smoke` bin proves the explorer
+//! catches it (invariant 3) and that the failure replays.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use nestsim_cluster::proto::{JobWire, PROTOCOL_VERSION};
+use nestsim_core::campaign::CampaignSpec;
+use nestsim_core::inject::GoldenRef;
+use nestsim_core::{InjectionRecord, Outcome};
+use nestsim_hlsim::workload::by_name;
+use nestsim_models::ComponentKind;
+use nestsim_svc::{ExecOutput, SvcAction, SvcConfig, SvcEvent, SvcMachine, SvcMessage};
+use nestsim_telemetry::Recorder;
+
+use crate::explore::Chooser;
+use crate::sim::{FaultBudget, SimError};
+
+/// Random-driver odds of the benign alternative at each fault point
+/// (see [`crate::sim`] for the rationale).
+const BENIGN_WEIGHT: u32 = 20;
+
+/// Simulated-service parameters.
+#[derive(Debug, Clone)]
+pub struct SvcSimConfig {
+    /// Machine tunables. One execution slot keeps queueing and DRR
+    /// reachable; one crash retry keeps terminal failure reachable
+    /// within a small fault budget.
+    pub svc: SvcConfig,
+    /// Maximum faulty picks per schedule.
+    pub faults: FaultBudget,
+    /// Event-count bound; exceeding it is a liveness violation.
+    pub max_steps: usize,
+    /// Mutation hook: disable result fan-out beyond the first
+    /// subscriber, which must make the explorer report a lost
+    /// subscriber.
+    pub disable_dedup_fanout: bool,
+}
+
+impl Default for SvcSimConfig {
+    fn default() -> Self {
+        SvcSimConfig {
+            svc: SvcConfig {
+                exec_slots: 1,
+                max_crash_retries: 1,
+                ..SvcConfig::default()
+            },
+            faults: FaultBudget(1),
+            max_steps: 2_000,
+            disable_dedup_fanout: false,
+        }
+    }
+}
+
+/// One scripted client action.
+#[derive(Debug, Clone)]
+enum ClientAct {
+    /// Handshake.
+    Hello,
+    /// Submit the scenario cell with this seed.
+    Submit { seed: u64 },
+    /// Cancel the most recent still-open ticket (no-op if none).
+    CancelLast,
+    /// Close the connection deliberately.
+    Disconnect,
+}
+
+/// A fixed cast of clients plus the reference outputs of every cell
+/// they submit. Built once, outside the explored world, so schedules
+/// only replay protocol behaviour.
+#[derive(Debug)]
+pub struct SvcScenario {
+    tenants: Vec<String>,
+    scripts: Vec<Vec<ClientAct>>,
+    /// seed → the job every submitter of that cell sends.
+    jobs: BTreeMap<u64, JobWire>,
+    /// seed → the execution output the simulated pool produces.
+    outputs: BTreeMap<u64, ExecOutput>,
+}
+
+impl SvcScenario {
+    /// The standard checking scenario: three tenants, three cells, two
+    /// of them submitted by two clients each (dedup + fan-out), one
+    /// cancelled by its sole subscriber, one client disconnecting with
+    /// a subscription open.
+    pub fn standard() -> SvcScenario {
+        let seeds = [1u64, 2, 3];
+        let mut jobs = BTreeMap::new();
+        let mut outputs = BTreeMap::new();
+        for seed in seeds {
+            jobs.insert(seed, cell_job(seed));
+            outputs.insert(seed, cell_output(seed));
+        }
+        SvcScenario {
+            tenants: vec!["alice".into(), "bob".into(), "carol".into()],
+            scripts: vec![
+                vec![
+                    ClientAct::Hello,
+                    ClientAct::Submit { seed: 1 },
+                    ClientAct::Submit { seed: 2 },
+                ],
+                vec![
+                    ClientAct::Hello,
+                    ClientAct::Submit { seed: 1 },
+                    ClientAct::Submit { seed: 3 },
+                    ClientAct::CancelLast,
+                ],
+                vec![
+                    ClientAct::Hello,
+                    ClientAct::Submit { seed: 2 },
+                    ClientAct::Disconnect,
+                ],
+            ],
+            jobs,
+            outputs,
+        }
+    }
+}
+
+/// A small, valid service job parameterised only by seed (the seed is
+/// part of the determinism key, so distinct seeds are distinct cells).
+fn cell_job(seed: u64) -> JobWire {
+    let mut spec = CampaignSpec::quick(ComponentKind::L2c, 5);
+    spec.seed = seed;
+    JobWire::from_spec(by_name("radi").expect("radi profile exists"), &spec, None)
+}
+
+/// A synthetic but deterministic execution output for one cell. The
+/// simulation checks *delivery* (exactly-once execution, lossless
+/// fan-out, chunk reassembly), so the records only need to be
+/// distinctive per cell — engine fidelity is the TCP e2e tests' job.
+fn cell_output(seed: u64) -> ExecOutput {
+    ExecOutput {
+        golden: GoldenRef {
+            digest: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            cycles: 1_000 + seed,
+        },
+        records: (0..5)
+            .map(|i| InjectionRecord {
+                outcome: Outcome::Ona,
+                bit: (seed as usize) * 64 + i,
+                inject_cycle: seed * 100 + i as u64,
+                cosim_cycles: 1 + i as u64,
+                erroneous_output_cycle: None,
+                propagation_latency: None,
+                corrupted_line_count: 0,
+                rollback_distance: None,
+            })
+            .collect(),
+        merged: Recorder::null(),
+    }
+}
+
+/// What a passing schedule did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvcSimReport {
+    /// Events fired.
+    pub steps: usize,
+    /// Faulty picks actually taken.
+    pub faults_injected: u32,
+}
+
+/// The sim's view of one ticket's lifetime.
+#[derive(Debug, Default)]
+struct Track {
+    seed: u64,
+    chunks: Vec<(u64, Vec<InjectionRecord>)>,
+    done: Option<(GoldenRef, Recorder)>,
+    failed: bool,
+    cancelled: bool,
+}
+
+struct Client {
+    tenant: String,
+    script: Vec<ClientAct>,
+    next: usize,
+    alive: bool,
+    /// req id → submitted cell seed.
+    reqs: BTreeMap<u64, u64>,
+    tickets: BTreeMap<u64, Track>,
+    /// Tickets in acceptance order (for `CancelLast`).
+    order: Vec<u64>,
+}
+
+/// A fireable world event.
+#[derive(Debug, Clone, Copy)]
+enum Pend {
+    /// Client `c` performs its next scripted action.
+    Client(usize),
+    /// Execution `exec` finishes (or crashes).
+    Exec(u64),
+}
+
+struct Sim<'a, 'c> {
+    scenario: &'a SvcScenario,
+    chooser: &'c mut dyn Chooser,
+    machine: SvcMachine,
+    clients: Vec<Client>,
+    /// exec id → cell seed.
+    inflight: BTreeMap<u64, u64>,
+    /// seed → executions started.
+    started: BTreeMap<u64, u64>,
+    /// seed → executions completed successfully.
+    completed: BTreeMap<u64, u64>,
+    /// seed → live subscriber tickets, as (client, ticket).
+    subs: BTreeMap<u64, BTreeSet<(usize, u64)>>,
+    /// Cells whose sole subscriber cancelled while still queued: any
+    /// later `StartExec` is a violation.
+    banned: BTreeSet<u64>,
+    next_req: u64,
+    steps: usize,
+    faults_left: u32,
+    faults_injected: u32,
+}
+
+/// Runs one schedule to completion and checks every invariant.
+pub fn run_svc_sim(
+    scenario: &SvcScenario,
+    cfg: &SvcSimConfig,
+    chooser: &mut dyn Chooser,
+) -> Result<SvcSimReport, SimError> {
+    let mut machine = SvcMachine::new(cfg.svc.clone());
+    if cfg.disable_dedup_fanout {
+        machine.disable_dedup_fanout();
+    }
+    let mut sim = Sim {
+        scenario,
+        chooser,
+        machine,
+        clients: scenario
+            .tenants
+            .iter()
+            .zip(&scenario.scripts)
+            .map(|(tenant, script)| Client {
+                tenant: tenant.clone(),
+                script: script.clone(),
+                next: 0,
+                alive: true,
+                reqs: BTreeMap::new(),
+                tickets: BTreeMap::new(),
+                order: Vec::new(),
+            })
+            .collect(),
+        inflight: BTreeMap::new(),
+        started: BTreeMap::new(),
+        completed: BTreeMap::new(),
+        subs: BTreeMap::new(),
+        banned: BTreeSet::new(),
+        next_req: 1,
+        steps: 0,
+        faults_left: cfg.faults.0,
+        faults_injected: 0,
+    };
+    // All clients connect up front; faults model resets after that.
+    for c in 0..sim.clients.len() {
+        sim.run_machine(SvcEvent::Connected { conn: c as u64 })?;
+    }
+    loop {
+        let pending = sim.pending();
+        if pending.is_empty() {
+            break;
+        }
+        if sim.steps >= cfg.max_steps {
+            return Err(SimError::Liveness {
+                steps: sim.steps,
+                pending: pending.len(),
+            });
+        }
+        let pick = sim.chooser.choose(pending.len());
+        sim.steps += 1;
+        match pending[pick] {
+            Pend::Client(c) => sim.fire_client(c)?,
+            Pend::Exec(exec) => sim.fire_exec(exec)?,
+        }
+    }
+    sim.finish()
+}
+
+/// Adapts [`run_svc_sim`] to the shape the explorers drive.
+pub fn svc_world<'a>(
+    scenario: &'a SvcScenario,
+    cfg: &'a SvcSimConfig,
+) -> impl FnMut(&mut dyn Chooser) -> Result<(), SimError> + 'a {
+    move |chooser| run_svc_sim(scenario, cfg, chooser).map(|_| ())
+}
+
+impl Sim<'_, '_> {
+    fn pending(&self) -> Vec<Pend> {
+        let mut out = Vec::new();
+        for (c, client) in self.clients.iter().enumerate() {
+            if client.alive && client.next < client.script.len() {
+                out.push(Pend::Client(c));
+            }
+        }
+        for exec in self.inflight.keys() {
+            out.push(Pend::Exec(*exec));
+        }
+        out
+    }
+
+    /// See [`crate::sim`]: pick 0 is benign, anything else spends
+    /// budget; random drivers are weighted heavily toward benign.
+    fn pick_fault(&mut self, alternatives: usize) -> usize {
+        if self.faults_left == 0 {
+            return 0;
+        }
+        let mut weights = vec![1u32; alternatives];
+        weights[0] = BENIGN_WEIGHT;
+        let pick = self.chooser.choose_weighted(&weights);
+        if pick > 0 {
+            self.faults_left -= 1;
+            self.faults_injected += 1;
+        }
+        pick
+    }
+
+    fn fire_client(&mut self, c: usize) -> Result<(), SimError> {
+        let act = self.clients[c].script[self.clients[c].next].clone();
+        self.clients[c].next += 1;
+        match act {
+            ClientAct::Hello => {
+                let tenant = self.clients[c].tenant.clone();
+                self.client_send(
+                    c,
+                    SvcMessage::ClientHello {
+                        version: PROTOCOL_VERSION,
+                        tenant,
+                    },
+                )
+            }
+            ClientAct::Submit { seed } => {
+                let req = self.next_req;
+                self.next_req += 1;
+                self.clients[c].reqs.insert(req, seed);
+                let job = self.scenario.jobs[&seed].clone();
+                self.client_send(
+                    c,
+                    SvcMessage::Submit {
+                        req,
+                        priority: 1,
+                        job,
+                    },
+                )
+            }
+            ClientAct::CancelLast => {
+                let ticket = self.clients[c].order.iter().rev().copied().find(|t| {
+                    let tr = &self.clients[c].tickets[t];
+                    tr.done.is_none() && !tr.failed && !tr.cancelled
+                });
+                match ticket {
+                    Some(ticket) => self.client_send(c, SvcMessage::Cancel { ticket }),
+                    None => Ok(()), // nothing open: the schedule outran the script
+                }
+            }
+            ClientAct::Disconnect => self.client_dead(c),
+        }
+    }
+
+    /// The request-fault choice point: deliver, or lose the connection.
+    fn client_send(&mut self, c: usize, msg: SvcMessage) -> Result<(), SimError> {
+        if self.pick_fault(2) == 1 {
+            return self.client_dead(c);
+        }
+        self.run_machine(SvcEvent::Received {
+            conn: c as u64,
+            msg,
+        })
+    }
+
+    /// Tear down client `c`: the service sees a close, the sim stops
+    /// tracking its subscriptions (a dead client is owed nothing).
+    fn client_dead(&mut self, c: usize) -> Result<(), SimError> {
+        if !self.clients[c].alive {
+            return Ok(());
+        }
+        self.clients[c].alive = false;
+        for set in self.subs.values_mut() {
+            set.retain(|(owner, _)| *owner != c);
+        }
+        self.run_machine(SvcEvent::Closed { conn: c as u64 })
+    }
+
+    /// The execution-fault choice point: complete, or crash the slot.
+    fn fire_exec(&mut self, exec: u64) -> Result<(), SimError> {
+        let seed = self.inflight.remove(&exec).expect("pending exec exists");
+        if self.pick_fault(2) == 1 {
+            return self.run_machine(SvcEvent::ExecCrashed {
+                exec,
+                reason: "simulated crash".into(),
+            });
+        }
+        *self.completed.entry(seed).or_insert(0) += 1;
+        let output = self.scenario.outputs[&seed].clone();
+        self.run_machine(SvcEvent::ExecDone { exec, output })
+    }
+
+    /// Feeds one event (and any close events it provokes) through the
+    /// machine, applying every action synchronously — the way the
+    /// single-threaded event loop does.
+    fn run_machine(&mut self, ev: SvcEvent) -> Result<(), SimError> {
+        let mut queue = VecDeque::from([ev]);
+        while let Some(ev) = queue.pop_front() {
+            let acts = self.machine.step(ev);
+            for act in acts {
+                match act {
+                    SvcAction::Send { conn, msg } => self.deliver(conn, msg)?,
+                    SvcAction::Close { conn } => {
+                        // A server-side fatal close: the client observes
+                        // it, and the machine accounts the closed
+                        // connection like the event loop would.
+                        let c = conn as usize;
+                        if self.clients[c].alive {
+                            self.clients[c].alive = false;
+                            for set in self.subs.values_mut() {
+                                set.retain(|(owner, _)| *owner != c);
+                            }
+                            queue.push_back(SvcEvent::Closed { conn });
+                        }
+                    }
+                    SvcAction::StartExec { exec, job } => {
+                        if self.banned.contains(&job.seed) {
+                            return Err(SimError::Service {
+                                message: format!(
+                                    "cell seed {} executed after its sole subscriber \
+                                     cancelled it while queued",
+                                    job.seed
+                                ),
+                            });
+                        }
+                        *self.started.entry(job.seed).or_insert(0) += 1;
+                        self.inflight.insert(exec, job.seed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A service→client frame lands. Replies to a reset connection die
+    /// on the floor, like writes after a close.
+    fn deliver(&mut self, conn: u64, msg: SvcMessage) -> Result<(), SimError> {
+        let c = conn as usize;
+        if !self.clients[c].alive {
+            return Ok(());
+        }
+        match msg {
+            SvcMessage::ClientHelloAck { .. } | SvcMessage::Progress { .. } => {}
+            SvcMessage::Accepted { req, ticket, .. } => {
+                let Some(seed) = self.clients[c].reqs.get(&req).copied() else {
+                    return Err(SimError::Service {
+                        message: format!("Accepted for unknown req {req} on conn {conn}"),
+                    });
+                };
+                self.clients[c].order.push(ticket);
+                self.clients[c].tickets.insert(
+                    ticket,
+                    Track {
+                        seed,
+                        ..Track::default()
+                    },
+                );
+                self.subs.entry(seed).or_default().insert((c, ticket));
+            }
+            SvcMessage::Chunk {
+                ticket,
+                start,
+                records,
+            } => {
+                let Some(track) = self.clients[c].tickets.get_mut(&ticket) else {
+                    return Err(SimError::Service {
+                        message: format!("Chunk for unknown ticket {ticket} on conn {conn}"),
+                    });
+                };
+                track.chunks.push((start, records));
+            }
+            SvcMessage::Done {
+                ticket,
+                golden,
+                merged,
+            } => {
+                let Some(track) = self.clients[c].tickets.get_mut(&ticket) else {
+                    return Err(SimError::Service {
+                        message: format!("Done for unknown ticket {ticket} on conn {conn}"),
+                    });
+                };
+                if track.done.is_some() {
+                    return Err(SimError::Service {
+                        message: format!("ticket {ticket} got two Done replies"),
+                    });
+                }
+                track.done = Some((golden, merged));
+                let seed = track.seed;
+                self.subs.entry(seed).or_default().remove(&(c, ticket));
+            }
+            SvcMessage::Failed { ticket, .. } => {
+                let Some(track) = self.clients[c].tickets.get_mut(&ticket) else {
+                    return Err(SimError::Service {
+                        message: format!("Failed for unknown ticket {ticket} on conn {conn}"),
+                    });
+                };
+                track.failed = true;
+                let seed = track.seed;
+                self.subs.entry(seed).or_default().remove(&(c, ticket));
+            }
+            SvcMessage::Cancelled { ticket } => {
+                if let Some(track) = self.clients[c].tickets.get_mut(&ticket) {
+                    track.cancelled = true;
+                    let seed = track.seed;
+                    let set = self.subs.entry(seed).or_default();
+                    set.remove(&(c, ticket));
+                    // Sole subscriber of a not-yet-started cell: the
+                    // machine promised never to run it.
+                    if set.is_empty() && self.started.get(&seed).copied().unwrap_or(0) == 0 {
+                        self.banned.insert(seed);
+                    }
+                }
+            }
+            SvcMessage::Rejected { req, reason, .. } => {
+                return Err(SimError::Service {
+                    message: format!("valid submit req {req} rejected: {reason}"),
+                });
+            }
+            SvcMessage::Error { message } => {
+                return Err(SimError::Service {
+                    message: format!("unexpected protocol error to conn {conn}: {message}"),
+                });
+            }
+            other => {
+                return Err(SimError::Service {
+                    message: format!("service sent a client-side frame: {other:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// End of the world: the machine must be idle, every surviving
+    /// subscriber terminally answered with byte-identical results, and
+    /// every shared cell executed at most once.
+    fn finish(self) -> Result<SvcSimReport, SimError> {
+        if !self.machine.is_idle() {
+            return Err(SimError::Service {
+                message: format!(
+                    "machine not idle after drain: {} job(s) still queued",
+                    self.machine.queue_depth()
+                ),
+            });
+        }
+        for (seed, n) in &self.completed {
+            if *n > 1 {
+                return Err(SimError::Service {
+                    message: format!("cell seed {seed} executed to completion {n} times"),
+                });
+            }
+        }
+        for (c, client) in self.clients.iter().enumerate() {
+            if !client.alive {
+                continue; // a dead client is owed nothing
+            }
+            for (ticket, track) in &client.tickets {
+                if track.cancelled {
+                    continue;
+                }
+                let Some((golden, merged)) = &track.done else {
+                    if track.failed {
+                        continue;
+                    }
+                    return Err(SimError::Service {
+                        message: format!(
+                            "client {c} ticket {ticket} (cell seed {}) got no terminal reply",
+                            track.seed
+                        ),
+                    });
+                };
+                let want = &self.scenario.outputs[&track.seed];
+                let mut chunks = track.chunks.clone();
+                chunks.sort_by_key(|(start, _)| *start);
+                let mut records = Vec::new();
+                for (start, part) in chunks {
+                    if start as usize != records.len() {
+                        return Err(SimError::Service {
+                            message: format!(
+                                "ticket {ticket}: chunk stream has a gap at record {start}"
+                            ),
+                        });
+                    }
+                    records.extend(part);
+                }
+                if records != want.records {
+                    return Err(SimError::Service {
+                        message: format!(
+                            "ticket {ticket}: streamed records diverged from cell seed {}",
+                            track.seed
+                        ),
+                    });
+                }
+                if *golden != want.golden || *merged != want.merged {
+                    return Err(SimError::Service {
+                        message: format!(
+                            "ticket {ticket}: Done epilogue diverged from cell seed {}",
+                            track.seed
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(SvcSimReport {
+            steps: self.steps,
+            faults_injected: self.faults_injected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_dfs, explore_random, ScheduleChooser};
+
+    #[test]
+    fn benign_schedule_passes_every_invariant() {
+        let scenario = SvcScenario::standard();
+        let cfg = SvcSimConfig::default();
+        let mut chooser = ScheduleChooser::new(Vec::new());
+        let report = run_svc_sim(&scenario, &cfg, &mut chooser).expect("benign schedule passes");
+        assert!(report.steps > 0);
+        assert_eq!(report.faults_injected, 0);
+    }
+
+    #[test]
+    fn bounded_dfs_and_random_sweeps_are_clean() {
+        let scenario = SvcScenario::standard();
+        let cfg = SvcSimConfig::default();
+        let dfs = explore_dfs(60, svc_world(&scenario, &cfg));
+        assert!(dfs.failure.is_none(), "DFS failure: {:?}", dfs.failure);
+        let random = explore_random(0x5E41_11CE, 24, svc_world(&scenario, &cfg));
+        assert!(
+            random.failure.is_none(),
+            "random failure: {:?}",
+            random.failure
+        );
+    }
+
+    #[test]
+    fn disabling_dedup_fanout_is_caught_and_replays() {
+        let scenario = SvcScenario::standard();
+        let cfg = SvcSimConfig {
+            disable_dedup_fanout: true,
+            ..SvcSimConfig::default()
+        };
+        let report = explore_dfs(200, svc_world(&scenario, &cfg));
+        let (schedule, err) = report
+            .failure
+            .expect("the planted fan-out bug must be found");
+        assert!(
+            matches!(err, SimError::Service { ref message } if message.contains("no terminal reply")),
+            "wrong violation: {err}"
+        );
+        let mut replay = ScheduleChooser::new(schedule);
+        let replayed = run_svc_sim(&scenario, &cfg, &mut replay).expect_err("replay must fail");
+        assert_eq!(replayed, err, "schedule replay diverged");
+    }
+
+    #[test]
+    fn crash_schedules_stay_exactly_once() {
+        // Spend a bigger fault budget on random schedules: crashes,
+        // resets, and retries must never double-execute a cell or lose
+        // a surviving subscriber.
+        let scenario = SvcScenario::standard();
+        let cfg = SvcSimConfig {
+            faults: FaultBudget(2),
+            ..SvcSimConfig::default()
+        };
+        let random = explore_random(0x000C_4A54_u64, 48, svc_world(&scenario, &cfg));
+        assert!(
+            random.failure.is_none(),
+            "random failure: {:?}",
+            random.failure
+        );
+    }
+}

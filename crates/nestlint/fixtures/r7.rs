@@ -1,0 +1,61 @@
+// Fixture for rule `no-panic-on-wire` applied to service-frame-
+// accumulator-shaped code (R7). The campaign service reads frames
+// incrementally off nonblocking sockets from many untrusted clients;
+// a malformed header or truncated body must surface as a protocol
+// error on that one connection, never as a panic that takes the whole
+// multi-tenant event loop down with it.
+// This file is lint input, not compiled code.
+
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+}
+
+impl FrameAccumulator {
+    pub fn header_len(&self) -> Result<u64, String> {
+        let magic = self.buf[0]; //~ no-panic-on-wire
+        if magic != b'N' {
+            panic!("bad magic"); //~ no-panic-on-wire
+        }
+        let len: [u8; 4] = self.buf[4..8].try_into().unwrap(); //~ no-panic-on-wire
+        Ok(u32::from_le_bytes(len) as u64)
+    }
+
+    pub fn payload(&self, len: usize) -> Result<&[u8], String> {
+        let body = self.buf.get(8..).ok_or("short frame")?;
+        assert!(body.len() >= len); //~ no-panic-on-wire
+        body.get(..len).ok_or_else(|| "truncated body".to_string())
+    }
+
+    pub fn tag(&self) -> Result<u8, String> {
+        let tag = decode_tag(&self.buf).expect("tag present"); //~ no-panic-on-wire
+        if tag > 16 {
+            unreachable!("tags are 4 bits"); //~ no-panic-on-wire
+        }
+        Ok(tag)
+    }
+
+    pub fn clean_accumulate(&mut self, chunk: &[u8]) -> Result<usize, String> {
+        // The sanctioned shape: growth bookkeeping and checked access
+        // only — declarations, patterns, and `.get(…)` accessors.
+        let _scratch = [0u8; 8];
+        self.buf.extend_from_slice(chunk);
+        let [_magic, _ver] = split_pair(&self.buf)?;
+        self.buf
+            .first()
+            .map(|_| self.buf.len())
+            .ok_or_else(|| "empty".to_string())
+    }
+}
+
+// nestlint: allow(no-panic-on-wire) -- the frame length was bounds-
+// checked by `payload` above; documented invariant, not wire input.
+pub fn checked_slot(frame: &[u8; 16]) -> u8 { frame[9] }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let acc = FrameAccumulator { buf: vec![b'N'; 16] };
+        acc.header_len().unwrap();
+    }
+}

@@ -72,6 +72,48 @@ pub const TABLE: &[PolicyRow] = &[
         why: "lease deadlines, sockets, and backoff run on real clocks by design",
     },
     PolicyRow {
+        prefix: "crates/svc/src/proto.rs",
+        rules: &[Rule::NoNondeterminism, Rule::NoPanicOnWire],
+        why: "decodes untrusted multi-tenant service frames; the determinism key \
+              (content address) is computed from these codecs",
+    },
+    PolicyRow {
+        prefix: "crates/svc/src/conn.rs",
+        rules: &[Rule::NoNondeterminism, Rule::NoPanicOnWire],
+        why: "incremental frame accumulation over nonblocking sockets: a malformed \
+              header from one client must not panic the shared event loop",
+    },
+    PolicyRow {
+        prefix: "crates/svc/src/poll.rs",
+        rules: &[Rule::NoPanicOnWire],
+        why: "the readiness loop multiplexes every tenant; kernel-reported edge cases \
+              must be errors on one connection, never a process abort",
+    },
+    PolicyRow {
+        prefix: "crates/svc/src/sched.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "DRR fair-share ordering must be a pure function of submissions so grant \
+              order is reproducible in the model checker and across restarts",
+    },
+    PolicyRow {
+        prefix: "crates/svc/src/store.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "the content-addressed store decides dedup hits; its keys and fan-out \
+              order must be identical in every process",
+    },
+    PolicyRow {
+        prefix: "crates/svc/src/machine.rs",
+        rules: &[Rule::NoNondeterminism],
+        why: "sans-I/O service machine: a pure event→actions function the model \
+              checker replays under every schedule",
+    },
+    PolicyRow {
+        prefix: "crates/svc/",
+        rules: &[],
+        why: "the driver layer (event loop, execution pool, client) runs real sockets \
+              and threads by design",
+    },
+    PolicyRow {
         prefix: "crates/mck/src/",
         rules: &[Rule::NoNondeterminism],
         why: "the model checker's value is exact replay from a printed seed or schedule; \
@@ -216,6 +258,28 @@ mod tests {
         ] {
             assert!(rules_for(path).contains(&Rule::NoNondeterminism), "{path}");
         }
+    }
+
+    #[test]
+    fn service_wire_and_core_modules_are_pinned() {
+        // The service's wire path parses untrusted multi-tenant input
+        // inside one shared event loop: panic-free and deterministic.
+        for f in ["proto.rs", "conn.rs"] {
+            let rules = rules_for(&format!("crates/svc/src/{f}"));
+            assert!(rules.contains(&Rule::NoPanicOnWire), "{f}");
+            assert!(rules.contains(&Rule::NoNondeterminism), "{f}");
+        }
+        assert!(rules_for("crates/svc/src/poll.rs").contains(&Rule::NoPanicOnWire));
+        // Scheduler, store, and machine decide grant order, dedup, and
+        // fan-out: deterministic, but they may panic on internal bugs.
+        for f in ["sched.rs", "store.rs", "machine.rs"] {
+            let rules = rules_for(&format!("crates/svc/src/{f}"));
+            assert!(rules.contains(&Rule::NoNondeterminism), "{f}");
+            assert!(!rules.contains(&Rule::NoPanicOnWire), "{f}");
+        }
+        // The driver layer runs real sockets/threads: catch-all exempt.
+        assert!(rules_for("crates/svc/src/service.rs").is_empty());
+        assert!(rules_for("crates/svc/src/client.rs").is_empty());
     }
 
     #[test]

@@ -142,6 +142,13 @@ pub fn run(dir: &Path) -> SelfTest {
         &mut checked,
         &mut failures,
     );
+    run_rust_fixture(
+        dir,
+        "r7.rs",
+        check_no_panic_on_wire,
+        &mut checked,
+        &mut failures,
+    );
 
     // Not a fixture but a classification pin: the lane modules must
     // stay policy-classified as result-affecting. A policy-table edit
@@ -151,6 +158,18 @@ pub fn run(dir: &Path) -> SelfTest {
             failures.push(format!(
                 "{path}: policy no longer classifies the lane module as \
                  no-nondeterminism (result-affecting)"
+            ));
+        }
+    }
+
+    // Same pin for the service wire path: the frame accumulator and
+    // message codecs parse untrusted multi-tenant input inside one
+    // shared event loop, so they must stay no-panic-on-wire.
+    for path in ["crates/svc/src/proto.rs", "crates/svc/src/conn.rs"] {
+        if !crate::policy::rules_for(path).contains(&crate::rules::Rule::NoPanicOnWire) {
+            failures.push(format!(
+                "{path}: policy no longer classifies the service wire path as \
+                 no-panic-on-wire (untrusted multi-tenant input)"
             ));
         }
     }
@@ -221,7 +240,7 @@ mod tests {
     fn committed_fixtures_pass() {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let st = run(&dir);
-        assert_eq!(st.checked, 7, "fixture files missing");
+        assert_eq!(st.checked, 8, "fixture files missing");
         assert!(st.failures.is_empty(), "{:#?}", st.failures);
     }
 }

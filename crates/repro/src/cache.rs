@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
+use nestsim_cluster::proto::JobWire;
 use nestsim_cluster::{run_campaign_adaptive_cluster, run_campaign_cluster, ClusterConfig};
 use nestsim_core::adaptive::run_campaign_adaptive;
 use nestsim_core::campaign::{default_workers, run_campaign_with, CampaignSpec};
@@ -28,6 +29,7 @@ use nestsim_core::CampaignResult;
 use nestsim_hlsim::workload::BenchProfile;
 use nestsim_models::ComponentKind;
 use nestsim_stats::stop::StopPolicy;
+use nestsim_svc::{JobOutcome, SvcClient};
 use nestsim_telemetry::{names, Recorder, TelemetryConfig};
 
 use crate::Opts;
@@ -147,7 +149,9 @@ pub fn cell_cached(
             "worker".to_string(),
         ]
     };
-    let result = if opts.adaptive {
+    let result = if let Some(addr) = &opts.service {
+        run_cell_via_service(addr, profile, &spec, telemetry)
+    } else if opts.adaptive {
         let policy = StopPolicy::new(opts.ci_target, opts.ci_confidence);
         if opts.cluster > 0 {
             run_campaign_adaptive_cluster(
@@ -179,6 +183,33 @@ pub fn cell_cached(
         .expect("cell cache poisoned")
         .insert(key, result.clone());
     result
+}
+
+/// Submits one cell to a running `nestsim-svc` campaign service
+/// (`--service ADDR`) and blocks for the streamed result. Service
+/// execution is byte-identical to [`run_campaign_with`] — the service
+/// runs the same engine — so the cell lands in the same cache slot.
+/// Concurrent `repro` invocations pointing at one service dedupe
+/// overlapping cells server-side to a single execution.
+fn run_cell_via_service(
+    addr: &str,
+    profile: &'static BenchProfile,
+    spec: &CampaignSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> CampaignResult {
+    let job = JobWire::from_spec(profile, spec, telemetry);
+    let mut client = SvcClient::connect(addr, "repro")
+        .unwrap_or_else(|e| panic!("cannot reach campaign service at {addr}: {e}"));
+    match client.run_job(&job, 1) {
+        Ok(JobOutcome::Done(result)) => *result,
+        Ok(JobOutcome::Rejected(reason)) => {
+            panic!("campaign service at {addr} rejected the cell: {reason}")
+        }
+        Ok(JobOutcome::Failed(reason)) => {
+            panic!("campaign service at {addr} failed the cell: {reason}")
+        }
+        Err(e) => panic!("campaign service I/O at {addr} failed: {e}"),
+    }
 }
 
 /// Runs the independent campaign cells of one figure concurrently and
@@ -283,6 +314,24 @@ mod tests {
             assert_eq!(a.records, b.records);
             assert_eq!(a.counts, b.counts);
         }
+    }
+
+    /// `--service ADDR` routes cells through a campaign service and
+    /// gets results byte-identical to in-process execution.
+    #[test]
+    fn service_cell_matches_in_process() {
+        let handle =
+            nestsim_svc::serve(nestsim_svc::ServiceConfig::default()).expect("start service");
+        let mut opts = quick_opts(81);
+        opts.service = Some(handle.addr().to_string());
+        let profile = pick_benchmarks(&opts, ComponentKind::L2c)[0];
+        let got = cell_cached(profile, &opts, ComponentKind::L2c, 1);
+        let spec = campaign_spec(&opts, ComponentKind::L2c, 1);
+        let reference = run_campaign_with(profile, &spec, None);
+        assert_eq!(got.records, reference.records);
+        assert_eq!(got.counts, reference.counts);
+        assert_eq!(got.golden, reference.golden);
+        handle.shutdown().expect("shutdown");
     }
 
     /// Grid results come back in request order regardless of which

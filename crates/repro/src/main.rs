@@ -47,6 +47,12 @@
 //!                    processes over loopback TCP (0 = in-process,
 //!                    the default; results are byte-identical either
 //!                    way — see DESIGN.md "Distributed campaigns")
+//!   --service ADDR   submit campaign cells to a running `nestsim-svc`
+//!                    campaign service instead of executing locally
+//!                    (results are byte-identical; overlapping cells
+//!                    from concurrent clients dedupe to one execution —
+//!                    see DESIGN.md "Campaign service"; conflicts with
+//!                    --cluster and --adaptive)
 //!   --adaptive       run campaigns in rounds with CI-driven sequential
 //!                    stopping and stratified allocation instead of the
 //!                    fixed --samples count (see DESIGN.md "Adaptive
@@ -100,6 +106,7 @@ pub struct Opts {
     pub lane_cluster: u64,
     pub lane_width: u64,
     pub cluster: usize,
+    pub service: Option<String>,
     pub adaptive: bool,
     pub ci_target: f64,
     pub ci_confidence: f64,
@@ -125,6 +132,7 @@ impl Default for Opts {
             lane_cluster: 1,
             lane_width: nestsim_rtl::MAX_LANES as u64,
             cluster: 0,
+            service: None,
             adaptive: false,
             ci_target: 0.005,
             ci_confidence: 0.95,
@@ -241,6 +249,7 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             "--cluster" => {
                 opts.cluster = take(&mut i)?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--service" => opts.service = Some(take(&mut i)?),
             "--adaptive" => opts.adaptive = true,
             "--ci-target" => {
                 opts.ci_target = take_fraction("--ci-target", &take(&mut i)?)?;
@@ -254,6 +263,21 @@ fn parse(args: &[String]) -> Result<(String, Opts), String> {
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
         i += 1;
+    }
+    if opts.service.is_some() {
+        if opts.cluster > 0 {
+            return Err(
+                "--service and --cluster conflict: the service runs its own \
+                 execution pool; pick one distribution mode"
+                    .to_string(),
+            );
+        }
+        if opts.adaptive {
+            return Err("--service and --adaptive conflict: adaptive rounds are \
+                 cluster-internal — the service executes fixed-count cells \
+                 (run adaptive campaigns in-process or with --cluster)"
+                .to_string());
+        }
     }
     Ok((cmd, opts))
 }
@@ -438,6 +462,31 @@ mod tests {
         assert!(err.contains("--lane-width must be >= 1"), "{err}");
         let err = parse(&args(&["fig3", "--lane-width", "65"])).unwrap_err();
         assert!(err.contains("--lane-width must be <= 64"), "{err}");
+    }
+
+    #[test]
+    fn service_flag_parses_and_rejects_conflicting_modes() {
+        let (_, opts) = parse(&args(&["fig3"])).unwrap();
+        assert_eq!(opts.service, None);
+        let (_, opts) = parse(&args(&["fig3", "--service", "127.0.0.1:4915"])).unwrap();
+        assert_eq!(opts.service.as_deref(), Some("127.0.0.1:4915"));
+        let err = parse(&args(&[
+            "fig3",
+            "--service",
+            "127.0.0.1:4915",
+            "--cluster",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--service and --cluster conflict"), "{err}");
+        let err = parse(&args(&[
+            "fig3",
+            "--service",
+            "127.0.0.1:4915",
+            "--adaptive",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--service and --adaptive conflict"), "{err}");
     }
 
     #[test]

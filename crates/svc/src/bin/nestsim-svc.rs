@@ -1,0 +1,73 @@
+//! `nestsim-svc` — the long-lived campaign service.
+//!
+//! ```text
+//! nestsim-svc [--listen ADDR] [--queue-depth N] [--exec-slots N]
+//!             [--exec-threads N] [--quantum N]
+//! ```
+//!
+//! Starts the multi-tenant campaign service and runs until killed.
+//! Clients connect with `repro --service ADDR ...` or
+//! [`nestsim_svc::SvcClient`]. Defaults: listen on `127.0.0.1:4915`,
+//! queue bound 64, two execution slots, DRR quantum 64 samples.
+
+use nestsim_svc::{serve, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nestsim-svc [--listen ADDR] [--queue-depth N] [--exec-slots N] \
+         [--exec-threads N] [--quantum N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig {
+        listen: "127.0.0.1:4915".to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("nestsim-svc: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--listen" => cfg.listen = value("--listen"),
+            "--queue-depth" => match value("--queue-depth").parse() {
+                Ok(n) => cfg.machine.max_queue_depth = n,
+                Err(_) => usage(),
+            },
+            "--exec-slots" => match value("--exec-slots").parse() {
+                Ok(n) if n > 0 => cfg.machine.exec_slots = n,
+                _ => usage(),
+            },
+            "--exec-threads" => match value("--exec-threads").parse() {
+                Ok(n) if n > 0 => cfg.exec_threads = n,
+                _ => usage(),
+            },
+            "--quantum" => match value("--quantum").parse() {
+                Ok(n) if n > 0 => cfg.machine.quantum = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("nestsim-svc: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    match serve(cfg) {
+        Ok(handle) => {
+            println!("nestsim-svc: listening on {}", handle.addr());
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("nestsim-svc: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `svc_smoke` — offline CI gate for the campaign service.
+//!
+//! Stages, all over loopback TCP with an in-process service:
+//!
+//! 1. **Dedup fan-out**: two concurrent clients submit overlapping
+//!    campaign grids (client A: cells 1+2, client B: cells 2+3). Every
+//!    result must be byte-identical to in-process execution, and the
+//!    shared cell must execute exactly once (`svc.dedup.hits >= 1`,
+//!    `svc.execs.started == 3` asserted via `QueryStats`).
+//! 2. **Crash recovery**: a fresh service with one chaos-injected
+//!    execution crash; the same overlapping submissions must still
+//!    come back byte-identical (exact cover, no double count), with
+//!    `svc.exec.crashes >= 1` proving the crash actually happened.
+//!
+//! Exits nonzero on any mismatch; prints one summary line per stage.
+
+use nestsim_cluster::proto::JobWire;
+use nestsim_core::campaign::{run_campaign_with, CampaignResult, CampaignSpec};
+use nestsim_hlsim::workload::by_name;
+use nestsim_models::ComponentKind;
+use nestsim_svc::{serve, JobOutcome, ServiceConfig, SvcClient};
+use nestsim_telemetry::{names, TelemetryConfig};
+
+fn cell(seed: u64) -> (JobWire, CampaignResult) {
+    let profile = by_name("flui").expect("benchmark profile");
+    let spec = CampaignSpec {
+        seed,
+        ..CampaignSpec::quick(ComponentKind::L2c, 12)
+    };
+    let telemetry = TelemetryConfig { trace_capacity: 32 };
+    let job = JobWire::from_spec(profile, &spec, Some(&telemetry));
+    let reference = run_campaign_with(profile, &spec, Some(&telemetry));
+    (job, reference)
+}
+
+fn assert_identical(stage: &str, reference: &CampaignResult, outcome: &JobOutcome) {
+    let got = match outcome {
+        JobOutcome::Done(result) => result,
+        other => panic!("{stage}: job did not complete: {other:?}"),
+    };
+    assert_eq!(got.records, reference.records, "{stage}: records diverged");
+    assert_eq!(got.counts, reference.counts, "{stage}: counts diverged");
+    assert_eq!(got.golden, reference.golden, "{stage}: golden diverged");
+    assert_eq!(
+        got.telemetry.merged.to_jsonl(),
+        reference.telemetry.merged.to_jsonl(),
+        "{stage}: merged telemetry diverged"
+    );
+}
+
+/// Runs the two-client overlapping-grid scenario against `addr`;
+/// returns results of (client A: cells 0,1) and (client B: cells 1,2).
+fn overlapping_clients(addr: &str, jobs: &[JobWire; 3]) -> (Vec<JobOutcome>, Vec<JobOutcome>) {
+    std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            let mut c = SvcClient::connect(addr, "alice").expect("client A connect");
+            c.run_jobs(&[(jobs[0].clone(), 1), (jobs[1].clone(), 1)])
+                .expect("client A jobs")
+        });
+        let b = s.spawn(|| {
+            let mut c = SvcClient::connect(addr, "bob").expect("client B connect");
+            c.run_jobs(&[(jobs[1].clone(), 2), (jobs[2].clone(), 2)])
+                .expect("client B jobs")
+        });
+        (a.join().expect("client A"), b.join().expect("client B"))
+    })
+}
+
+fn main() {
+    let (job1, ref1) = cell(101);
+    let (job2, ref2) = cell(102);
+    let (job3, ref3) = cell(103);
+    let jobs = [job1, job2, job3];
+
+    // Stage 1: dedup fan-out with two concurrent clients.
+    let handle = serve(ServiceConfig::default()).expect("start service");
+    let addr = handle.addr().to_string();
+    let (a, b) = overlapping_clients(&addr, &jobs);
+    assert_identical("dedup:A/cell1", &ref1, &a[0]);
+    assert_identical("dedup:A/cell2", &ref2, &a[1]);
+    assert_identical("dedup:B/cell2", &ref2, &b[0]);
+    assert_identical("dedup:B/cell3", &ref3, &b[1]);
+    let stats = SvcClient::connect(&addr, "observer")
+        .expect("stats connect")
+        .stats()
+        .expect("stats");
+    let dedup = stats.counter(names::SVC_DEDUP_HITS);
+    let execs = stats.counter(names::SVC_EXECS_STARTED);
+    let completed = stats.counter(names::SVC_JOBS_COMPLETED);
+    assert!(dedup >= 1, "expected a dedup hit, counters: {stats:?}");
+    assert_eq!(execs, 3, "shared cell must execute exactly once");
+    assert_eq!(completed, 3, "three distinct cells must complete");
+    handle.shutdown().expect("shutdown");
+    println!(
+        "svc_smoke: dedup: 4 results byte-identical, {execs} execs for 4 submits \
+         ({dedup} dedup hits)"
+    );
+
+    // Stage 2: a worker crash mid-service must not break identity.
+    let handle = serve(ServiceConfig {
+        chaos_crash_first: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("start chaos service");
+    let addr = handle.addr().to_string();
+    let (a, b) = overlapping_clients(&addr, &jobs);
+    assert_identical("crash:A/cell1", &ref1, &a[0]);
+    assert_identical("crash:A/cell2", &ref2, &a[1]);
+    assert_identical("crash:B/cell2", &ref2, &b[0]);
+    assert_identical("crash:B/cell3", &ref3, &b[1]);
+    let stats = SvcClient::connect(&addr, "observer")
+        .expect("stats connect")
+        .stats()
+        .expect("stats");
+    let crashes = stats.counter(names::SVC_EXEC_CRASHES);
+    assert!(crashes >= 1, "chaos crash never fired");
+    assert_eq!(
+        stats.counter(names::SVC_JOBS_COMPLETED),
+        3,
+        "all cells must complete despite the crash"
+    );
+    handle.shutdown().expect("shutdown");
+    println!("svc_smoke: crash: byte-identical under {crashes} injected crash(es)");
+}

@@ -1,0 +1,193 @@
+//! Blocking service client — the path `repro --service ADDR` and the
+//! smoke tests use.
+//!
+//! The client pipelines submissions: send every `Submit` up front,
+//! then demultiplex the server's interleaved `Accepted` / `Progress` /
+//! `Chunk` / `Done` stream by request id and ticket. The result of a
+//! completed job is reassembled into a [`CampaignResult`] that
+//! compares byte-identical to in-process execution (records, counts,
+//! golden reference, and merged telemetry; engine counters and
+//! worker-sample splits are execution telemetry and are left null).
+
+use crate::proto::SvcMessage;
+use nestsim_cluster::frame::{read_frame, write_frame};
+use nestsim_cluster::proto::{JobWire, PROTOCOL_VERSION};
+use nestsim_core::inject::InjectionRecord;
+use nestsim_core::{CampaignResult, OutcomeCounts};
+use nestsim_telemetry::{CampaignTelemetry, Recorder};
+use std::net::TcpStream;
+
+/// How one submitted job ended.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Completed; the result is byte-identical to local execution.
+    Done(Box<CampaignResult>),
+    /// Turned away at admission (backpressure or invalid job).
+    Rejected(String),
+    /// Accepted but failed after exhausting crash retries.
+    Failed(String),
+}
+
+/// A connected, greeted service client.
+#[derive(Debug)]
+pub struct SvcClient {
+    stream: TcpStream,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    ticket: Option<u64>,
+    records: Vec<InjectionRecord>,
+    outcome: Option<JobOutcome>,
+}
+
+impl SvcClient {
+    /// Connects to a service and performs the protocol handshake.
+    pub fn connect(addr: &str, tenant: &str) -> Result<SvcClient, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("set_nodelay failed: {e}"))?;
+        let mut client = SvcClient { stream };
+        client.send(&SvcMessage::ClientHello {
+            version: PROTOCOL_VERSION,
+            tenant: tenant.to_string(),
+        })?;
+        match client.recv()? {
+            SvcMessage::ClientHelloAck { version } if version == PROTOCOL_VERSION => Ok(client),
+            SvcMessage::ClientHelloAck { version } => Err(format!(
+                "service speaks protocol {version}, not {PROTOCOL_VERSION}"
+            )),
+            SvcMessage::Error { message } => Err(format!("service rejected hello: {message}")),
+            other => Err(format!("unexpected hello reply {other:?}")),
+        }
+    }
+
+    /// Submits one job and blocks until it resolves.
+    pub fn run_job(&mut self, job: &JobWire, priority: u32) -> Result<JobOutcome, String> {
+        let mut outcomes = self.run_jobs(&[(job.clone(), priority)])?;
+        outcomes
+            .pop()
+            .ok_or_else(|| "no outcome returned".to_string())
+    }
+
+    /// Submits every job, pipelined, and blocks until all resolve.
+    /// Outcomes are returned in submission order.
+    pub fn run_jobs(&mut self, jobs: &[(JobWire, u32)]) -> Result<Vec<JobOutcome>, String> {
+        for (req, (job, priority)) in jobs.iter().enumerate() {
+            self.send(&SvcMessage::Submit {
+                req: req as u64,
+                priority: *priority,
+                job: job.clone(),
+            })?;
+        }
+        let mut slots: Vec<Slot> = jobs.iter().map(|_| Slot::default()).collect();
+        while slots.iter().any(|s| s.outcome.is_none()) {
+            let msg = self.recv()?;
+            self.dispatch(msg, jobs, &mut slots)?;
+        }
+        Ok(slots.into_iter().filter_map(|s| s.outcome).collect())
+    }
+
+    /// Fetches the service's `svc.*` telemetry snapshot. Call only
+    /// with no submissions in flight, or stream frames will interleave.
+    pub fn stats(&mut self) -> Result<Recorder, String> {
+        self.send(&SvcMessage::QueryStats)?;
+        match self.recv()? {
+            SvcMessage::Stats { recorder } => Ok(recorder),
+            other => Err(format!("unexpected stats reply {other:?}")),
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        msg: SvcMessage,
+        jobs: &[(JobWire, u32)],
+        slots: &mut [Slot],
+    ) -> Result<(), String> {
+        let by_ticket = |slots: &mut [Slot], ticket: u64| -> Result<usize, String> {
+            slots
+                .iter()
+                .position(|s| s.ticket == Some(ticket))
+                .ok_or_else(|| format!("server referenced unknown ticket {ticket}"))
+        };
+        match msg {
+            SvcMessage::Accepted { req, ticket, .. } => {
+                let slot = slots
+                    .get_mut(req as usize)
+                    .ok_or_else(|| format!("unknown request id {req}"))?;
+                slot.ticket = Some(ticket);
+            }
+            SvcMessage::Rejected { req, reason, .. } => {
+                let slot = slots
+                    .get_mut(req as usize)
+                    .ok_or_else(|| format!("unknown request id {req}"))?;
+                slot.outcome = Some(JobOutcome::Rejected(reason));
+            }
+            SvcMessage::Progress { .. } => {}
+            SvcMessage::Chunk {
+                ticket,
+                start,
+                records,
+            } => {
+                let i = by_ticket(slots, ticket)?;
+                let slot = &mut slots[i];
+                if start != slot.records.len() as u64 {
+                    return Err(format!(
+                        "stream gap for ticket {ticket}: chunk starts at {start}, have {}",
+                        slot.records.len()
+                    ));
+                }
+                slot.records.extend(records);
+            }
+            SvcMessage::Done {
+                ticket,
+                golden,
+                merged,
+            } => {
+                let i = by_ticket(slots, ticket)?;
+                let slot = &mut slots[i];
+                let (job, _) = jobs.get(i).ok_or_else(|| format!("no job for slot {i}"))?;
+                let profile = job.profile()?;
+                let mut counts = OutcomeCounts::default();
+                for rec in &slot.records {
+                    counts.record(rec.outcome);
+                }
+                slot.outcome = Some(JobOutcome::Done(Box::new(CampaignResult {
+                    benchmark: profile.name,
+                    component: job.component,
+                    counts,
+                    records: std::mem::take(&mut slot.records),
+                    golden,
+                    telemetry: CampaignTelemetry {
+                        merged,
+                        worker_samples: Vec::new(),
+                        engine: Recorder::null(),
+                    },
+                    adaptive: None,
+                })));
+            }
+            SvcMessage::Failed { ticket, reason } => {
+                let i = by_ticket(slots, ticket)?;
+                slots[i].outcome = Some(JobOutcome::Failed(reason));
+            }
+            SvcMessage::Cancelled { .. } => {}
+            SvcMessage::Error { message } => {
+                return Err(format!("service error: {message}"));
+            }
+            other => return Err(format!("unexpected server frame {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, msg: &SvcMessage) -> Result<(), String> {
+        let payload = msg.encode()?;
+        write_frame(&mut self.stream, &payload).map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<SvcMessage, String> {
+        let payload = read_frame(&mut self.stream).map_err(|e| format!("recv failed: {e}"))?;
+        SvcMessage::decode(&payload)
+    }
+}

@@ -1,0 +1,140 @@
+//! Incremental `NSCL` frame accumulation for nonblocking sockets.
+//!
+//! The cluster's [`nestsim_cluster::frame`] codec reads frames with
+//! blocking `read_exact` calls; a readiness-driven loop instead
+//! receives arbitrary byte slices whenever the socket is readable.
+//! [`FrameBuf`] buffers those slices and yields complete frame payloads
+//! as they materialize, validating the same magic and length rules as
+//! the blocking codec (bad magic or an oversized length is a protocol
+//! error, never a panic — this module is policy-pinned no-panic).
+
+use nestsim_cluster::frame::{MAGIC, MAX_FRAME};
+use nestsim_cluster::wire::WireError;
+
+/// Frame header size: `u32` magic plus `u32` payload length.
+const HEADER: usize = 8;
+
+/// Accumulates received bytes and parses complete frames out of them.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (header fragments included).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame payload, if one has fully arrived.
+    ///
+    /// Returns `Ok(None)` while the frame is still partial, and an
+    /// error on a corrupt header — the connection should be closed,
+    /// since byte alignment with the peer is lost.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let word = |off: usize| -> Option<u32> {
+            let src = self.buf.get(off..off + 4)?;
+            let mut b = [0u8; 4];
+            b.copy_from_slice(src);
+            Some(u32::from_le_bytes(b))
+        };
+        let (magic, len) = match (word(0), word(4)) {
+            (Some(m), Some(l)) => (m, l),
+            _ => return Ok(None),
+        };
+        if magic != MAGIC {
+            return Err(format!("bad frame magic {magic:#010x}"));
+        }
+        if len > MAX_FRAME {
+            return Err(format!("frame length {len} exceeds cap {MAX_FRAME}"));
+        }
+        let total = HEADER + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf.get(HEADER..total).map(<[u8]>::to_vec);
+        self.buf.drain(..total);
+        Ok(payload)
+    }
+}
+
+/// Wraps a payload in an `NSCL` frame header, ready to write.
+pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| "frame too large".to_string())?;
+    if len > MAX_FRAME {
+        return Err(format!("frame length {len} exceeds cap {MAX_FRAME}"));
+    }
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_from_single_byte_arrivals() {
+        let a = frame_bytes(b"hello").unwrap();
+        let b = frame_bytes(b"").unwrap();
+        let c = frame_bytes(&[7u8; 300]).unwrap();
+        let stream: Vec<u8> = [a, b, c].concat();
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            fb.extend(&[byte]);
+            while let Some(p) = fb.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], b"hello");
+        assert!(got[1].is_empty());
+        assert_eq!(got[2], vec![7u8; 300]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_error() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&[0xff; 8]);
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_a_protocol_error() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&MAGIC.to_le_bytes());
+        fb.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&MAGIC.to_le_bytes()[..2]);
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn blocking_codec_interoperates() {
+        // A frame written by the cluster's blocking writer parses here.
+        let mut wire = Vec::new();
+        nestsim_cluster::frame::write_frame(&mut wire, b"interop").unwrap();
+        let mut fb = FrameBuf::new();
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame().unwrap().as_deref(), Some(&b"interop"[..]));
+    }
+}

@@ -1,0 +1,48 @@
+//! # nestsim-svc — campaign-as-a-service
+//!
+//! A long-lived, multi-tenant campaign service: many clients connect
+//! over TCP, submit injection-campaign jobs, and stream back results —
+//! all multiplexed through **one** readiness-driven nonblocking event
+//! loop instead of `nestsim-cluster`'s thread-per-connection blocking
+//! I/O.
+//!
+//! The layering mirrors the cluster crate so the `nestsim-mck` model
+//! checker keeps covering the protocol:
+//!
+//! | Layer | Module | Role |
+//! |---|---|---|
+//! | wire | [`proto`] | service message set (protocol v4, `NSCL` frames) |
+//! | framing | [`conn`] | incremental frame accumulation for nonblocking reads |
+//! | readiness | [`poll`] | epoll-backed poller (portable fallback elsewhere) |
+//! | scheduling | [`sched`] | deficit-round-robin fair share across tenants |
+//! | dedup | [`store`] | content-addressed result store keyed by determinism key |
+//! | protocol | [`machine`] | sans-I/O service state machine (model-checked) |
+//! | driver | [`service`] | event loop + execution pool around the machine |
+//! | client | [`client`] | blocking client used by `repro --service` and tests |
+//!
+//! Determinism contract: a job's results are byte-identical to an
+//! in-process [`nestsim_core::run_campaign_with`] execution of the same
+//! spec — the service *is* such an execution, serialized over exact
+//! wire codecs. Overlapping submissions deduplicate to a single
+//! execution whose results fan out to every subscriber.
+
+// The epoll FFI in `poll` is the single audited exception to the
+// workspace-wide no-unsafe rule; everything else stays safe.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod conn;
+pub mod machine;
+pub mod poll;
+pub mod proto;
+pub mod sched;
+pub mod service;
+pub mod store;
+
+pub use client::{JobOutcome, SvcClient};
+pub use machine::{SvcAction, SvcConfig, SvcEvent, SvcMachine};
+pub use proto::SvcMessage;
+pub use sched::DrrScheduler;
+pub use service::{serve, ServiceConfig, ServiceHandle};
+pub use store::{job_key, ExecOutput, JobKey, ResultStore};

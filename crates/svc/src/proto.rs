@@ -1,0 +1,438 @@
+//! The campaign-service message set — the protocol-v4 extension of the
+//! `NSCL` frame family.
+//!
+//! Frames reuse the cluster magic/length header ([`nestsim_cluster::frame`])
+//! and the exact wire codecs from [`nestsim_cluster::wire`]; the service
+//! simply speaks its own message tags inside the payload. Version
+//! negotiation reuses [`nestsim_cluster::proto::PROTOCOL_VERSION`] — the
+//! constant was bumped to 4 when this message set was added.
+//!
+//! Conversation shape (client-driven, server streams):
+//!
+//! ```text
+//! C -> S  ClientHello { version, tenant }
+//! S -> C  ClientHelloAck { version }
+//! C -> S  Submit { req, priority, job }
+//! S -> C  Accepted { req, ticket, dedup, queue_depth }   (or Rejected)
+//! S -> C  Progress { ticket, .. }*                        (queue / start)
+//! S -> C  Chunk { ticket, start, records }*               (partial results)
+//! S -> C  Done { ticket, golden, merged }                 (or Failed)
+//! ```
+//!
+//! `Cancel`/`Cancelled` and `QueryStats`/`Stats` may interleave at any
+//! point after the hello. All codecs are exact inverses, locked by the
+//! round-trip tests below.
+
+use nestsim_cluster::proto::{get_job, put_job, JobWire};
+use nestsim_cluster::wire::{
+    get_golden, get_record, get_recorder, put_golden, put_record, put_recorder, Reader, WireError,
+    Writer,
+};
+use nestsim_core::inject::{GoldenRef, InjectionRecord};
+use nestsim_telemetry::Recorder;
+
+/// How many [`InjectionRecord`]s ride in one `Chunk` frame. Small
+/// enough that clients see streaming progress on big jobs, large
+/// enough that framing overhead stays negligible.
+pub const CHUNK_RECORDS: usize = 256;
+
+/// One service protocol message (the payload of one `NSCL` frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvcMessage {
+    /// Client greeting: protocol version and tenant identity.
+    ClientHello {
+        /// Speaker's protocol version.
+        version: u16,
+        /// Tenant name used for fair-share accounting.
+        tenant: String,
+    },
+    /// Server accepts the greeting.
+    ClientHelloAck {
+        /// Server's protocol version.
+        version: u16,
+    },
+    /// Submit one campaign job.
+    Submit {
+        /// Client-chosen request id, echoed in the admission reply.
+        req: u64,
+        /// Scheduling priority (DRR weight; 0 is treated as 1).
+        priority: u32,
+        /// The job itself, in the cluster's wire form.
+        job: JobWire,
+    },
+    /// Admission success: the job (or an existing identical one) is in.
+    Accepted {
+        /// Echo of the submit's request id.
+        req: u64,
+        /// Server-assigned ticket identifying this subscription.
+        ticket: u64,
+        /// True when the submit deduplicated onto an existing cell.
+        dedup: bool,
+        /// Queue depth after admission (observability).
+        queue_depth: u64,
+    },
+    /// Admission failure: explicit backpressure instead of unbounded
+    /// queueing.
+    Rejected {
+        /// Echo of the submit's request id.
+        req: u64,
+        /// Why the job was turned away.
+        reason: String,
+        /// Queue depth at rejection time.
+        queue_depth: u64,
+    },
+    /// Client abandons a ticket.
+    Cancel {
+        /// The ticket to cancel.
+        ticket: u64,
+    },
+    /// Server confirms the cancellation.
+    Cancelled {
+        /// The cancelled ticket.
+        ticket: u64,
+    },
+    /// Per-job progress: queued (`running == false`) or executing.
+    Progress {
+        /// The ticket this progress refers to.
+        ticket: u64,
+        /// Whether the job has entered execution.
+        running: bool,
+        /// Samples completed so far.
+        done: u64,
+        /// Total samples in the job.
+        total: u64,
+    },
+    /// A contiguous slice of the job's injection records.
+    Chunk {
+        /// The ticket this slice belongs to.
+        ticket: u64,
+        /// Sample index of the first record in `records`.
+        start: u64,
+        /// The records themselves, in sample order.
+        records: Vec<InjectionRecord>,
+    },
+    /// Terminal success: the job's golden reference and merged
+    /// telemetry (records travelled in the preceding chunks).
+    Done {
+        /// The completed ticket.
+        ticket: u64,
+        /// Error-free reference of the campaign.
+        golden: GoldenRef,
+        /// Merged per-run telemetry (null when telemetry was off).
+        merged: Recorder,
+    },
+    /// Terminal failure: the job crashed more times than the service
+    /// will retry.
+    Failed {
+        /// The failed ticket.
+        ticket: u64,
+        /// Last crash reason.
+        reason: String,
+    },
+    /// Ask the server for its `svc.*` telemetry snapshot.
+    QueryStats,
+    /// The server's telemetry snapshot.
+    Stats {
+        /// Counters and histograms of the service itself.
+        recorder: Recorder,
+    },
+    /// Fatal protocol error; the server closes the connection after
+    /// sending this.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+const TAG_CLIENT_HELLO: u8 = 0;
+const TAG_CLIENT_HELLO_ACK: u8 = 1;
+const TAG_SUBMIT: u8 = 2;
+const TAG_ACCEPTED: u8 = 3;
+const TAG_REJECTED: u8 = 4;
+const TAG_CANCEL: u8 = 5;
+const TAG_CANCELLED: u8 = 6;
+const TAG_PROGRESS: u8 = 7;
+const TAG_CHUNK: u8 = 8;
+const TAG_DONE: u8 = 9;
+const TAG_FAILED: u8 = 10;
+const TAG_QUERY_STATS: u8 = 11;
+const TAG_STATS: u8 = 12;
+const TAG_ERROR: u8 = 13;
+
+impl SvcMessage {
+    /// Encodes the message as one frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::new();
+        match self {
+            SvcMessage::ClientHello { version, tenant } => {
+                w.u8(TAG_CLIENT_HELLO);
+                w.u16(*version);
+                w.str(tenant);
+            }
+            SvcMessage::ClientHelloAck { version } => {
+                w.u8(TAG_CLIENT_HELLO_ACK);
+                w.u16(*version);
+            }
+            SvcMessage::Submit { req, priority, job } => {
+                w.u8(TAG_SUBMIT);
+                w.u64(*req);
+                w.u32(*priority);
+                put_job(&mut w, job)?;
+            }
+            SvcMessage::Accepted {
+                req,
+                ticket,
+                dedup,
+                queue_depth,
+            } => {
+                w.u8(TAG_ACCEPTED);
+                w.u64(*req);
+                w.u64(*ticket);
+                w.bool(*dedup);
+                w.u64(*queue_depth);
+            }
+            SvcMessage::Rejected {
+                req,
+                reason,
+                queue_depth,
+            } => {
+                w.u8(TAG_REJECTED);
+                w.u64(*req);
+                w.str(reason);
+                w.u64(*queue_depth);
+            }
+            SvcMessage::Cancel { ticket } => {
+                w.u8(TAG_CANCEL);
+                w.u64(*ticket);
+            }
+            SvcMessage::Cancelled { ticket } => {
+                w.u8(TAG_CANCELLED);
+                w.u64(*ticket);
+            }
+            SvcMessage::Progress {
+                ticket,
+                running,
+                done,
+                total,
+            } => {
+                w.u8(TAG_PROGRESS);
+                w.u64(*ticket);
+                w.bool(*running);
+                w.u64(*done);
+                w.u64(*total);
+            }
+            SvcMessage::Chunk {
+                ticket,
+                start,
+                records,
+            } => {
+                w.u8(TAG_CHUNK);
+                w.u64(*ticket);
+                w.u64(*start);
+                w.u32(records.len() as u32);
+                for rec in records {
+                    put_record(&mut w, rec)?;
+                }
+            }
+            SvcMessage::Done {
+                ticket,
+                golden,
+                merged,
+            } => {
+                w.u8(TAG_DONE);
+                w.u64(*ticket);
+                put_golden(&mut w, golden);
+                put_recorder(&mut w, merged)?;
+            }
+            SvcMessage::Failed { ticket, reason } => {
+                w.u8(TAG_FAILED);
+                w.u64(*ticket);
+                w.str(reason);
+            }
+            SvcMessage::QueryStats => {
+                w.u8(TAG_QUERY_STATS);
+            }
+            SvcMessage::Stats { recorder } => {
+                w.u8(TAG_STATS);
+                put_recorder(&mut w, recorder)?;
+            }
+            SvcMessage::Error { message } => {
+                w.u8(TAG_ERROR);
+                w.str(message);
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes one frame payload; trailing bytes are a protocol error.
+    pub fn decode(payload: &[u8]) -> Result<SvcMessage, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            TAG_CLIENT_HELLO => SvcMessage::ClientHello {
+                version: r.u16()?,
+                tenant: r.str()?,
+            },
+            TAG_CLIENT_HELLO_ACK => SvcMessage::ClientHelloAck { version: r.u16()? },
+            TAG_SUBMIT => SvcMessage::Submit {
+                req: r.u64()?,
+                priority: r.u32()?,
+                job: get_job(&mut r)?,
+            },
+            TAG_ACCEPTED => SvcMessage::Accepted {
+                req: r.u64()?,
+                ticket: r.u64()?,
+                dedup: r.bool()?,
+                queue_depth: r.u64()?,
+            },
+            TAG_REJECTED => SvcMessage::Rejected {
+                req: r.u64()?,
+                reason: r.str()?,
+                queue_depth: r.u64()?,
+            },
+            TAG_CANCEL => SvcMessage::Cancel { ticket: r.u64()? },
+            TAG_CANCELLED => SvcMessage::Cancelled { ticket: r.u64()? },
+            TAG_PROGRESS => SvcMessage::Progress {
+                ticket: r.u64()?,
+                running: r.bool()?,
+                done: r.u64()?,
+                total: r.u64()?,
+            },
+            TAG_CHUNK => {
+                let ticket = r.u64()?;
+                let start = r.u64()?;
+                let n = r.u32()?;
+                let mut records = Vec::with_capacity((n as usize).min(1 << 16));
+                for _ in 0..n {
+                    records.push(get_record(&mut r)?);
+                }
+                SvcMessage::Chunk {
+                    ticket,
+                    start,
+                    records,
+                }
+            }
+            TAG_DONE => SvcMessage::Done {
+                ticket: r.u64()?,
+                golden: get_golden(&mut r)?,
+                merged: get_recorder(&mut r)?,
+            },
+            TAG_FAILED => SvcMessage::Failed {
+                ticket: r.u64()?,
+                reason: r.str()?,
+            },
+            TAG_QUERY_STATS => SvcMessage::QueryStats,
+            TAG_STATS => SvcMessage::Stats {
+                recorder: get_recorder(&mut r)?,
+            },
+            TAG_ERROR => SvcMessage::Error { message: r.str()? },
+            t => return Err(format!("unknown service message tag {t}")),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_core::Outcome;
+    use nestsim_telemetry::TelemetryConfig;
+
+    fn sample_record(bit: usize) -> InjectionRecord {
+        InjectionRecord {
+            outcome: Outcome::Ona,
+            bit,
+            inject_cycle: 10 + bit as u64,
+            cosim_cycles: 500,
+            erroneous_output_cycle: None,
+            propagation_latency: Some(3),
+            corrupted_line_count: 0,
+            rollback_distance: None,
+        }
+    }
+
+    fn variants() -> Vec<SvcMessage> {
+        let cfg = TelemetryConfig { trace_capacity: 4 };
+        let mut rec = Recorder::active(&cfg);
+        rec.count(nestsim_telemetry::names::SVC_JOBS_SUBMITTED, 2);
+        vec![
+            SvcMessage::ClientHello {
+                version: 4,
+                tenant: "alice".into(),
+            },
+            SvcMessage::ClientHelloAck { version: 4 },
+            SvcMessage::Submit {
+                req: 1,
+                priority: 7,
+                job: JobWire {
+                    benchmark: "radi".into(),
+                    ..JobWire::default()
+                },
+            },
+            SvcMessage::Accepted {
+                req: 1,
+                ticket: 42,
+                dedup: true,
+                queue_depth: 3,
+            },
+            SvcMessage::Rejected {
+                req: 2,
+                reason: "queue full".into(),
+                queue_depth: 64,
+            },
+            SvcMessage::Cancel { ticket: 42 },
+            SvcMessage::Cancelled { ticket: 42 },
+            SvcMessage::Progress {
+                ticket: 42,
+                running: true,
+                done: 0,
+                total: 128,
+            },
+            SvcMessage::Chunk {
+                ticket: 42,
+                start: 256,
+                records: vec![sample_record(1), sample_record(2)],
+            },
+            SvcMessage::Done {
+                ticket: 42,
+                golden: GoldenRef {
+                    digest: 0xfeed,
+                    cycles: 1_000,
+                },
+                merged: Recorder::null(),
+            },
+            SvcMessage::Failed {
+                ticket: 42,
+                reason: "crashed 3 times".into(),
+            },
+            SvcMessage::QueryStats,
+            SvcMessage::Stats { recorder: rec },
+            SvcMessage::Error {
+                message: "unexpected frame".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in variants() {
+            let bytes = msg.encode().unwrap();
+            let back = SvcMessage::decode(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_errors() {
+        let err = SvcMessage::decode(&[0xfd]).unwrap_err();
+        assert!(err.contains("unknown service message tag"), "{err}");
+        let mut bytes = SvcMessage::QueryStats.encode().unwrap();
+        bytes.push(0);
+        assert!(SvcMessage::decode(&bytes).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn empty_payload_is_an_error_not_a_panic() {
+        assert!(SvcMessage::decode(&[]).is_err());
+    }
+}

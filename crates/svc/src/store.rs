@@ -1,0 +1,445 @@
+//! Content-addressed result store: the service-side generalization of
+//! the repro grid's cell cache.
+//!
+//! Jobs are keyed by their **determinism key** — the canonical wire
+//! encoding of exactly the [`JobWire`] fields that affect campaign
+//! results (the `CellKey` equivalent: benchmark, component, samples,
+//! seed, length scale, co-simulation cap, check interval, lane
+//! clustering, telemetry configuration, and the adaptive round, but
+//! *not* execution-only knobs like `snapshot_interval` or
+//! `lane_width`, which the byte-identity contract guarantees cannot
+//! change results). Two submissions with equal keys deduplicate to one
+//! execution; every subscriber receives the single output.
+//!
+//! The store is pure data (BTree maps, no clock, no hashing
+//! randomness) and is policy-pinned `NoNondeterminism`.
+
+use nestsim_cluster::proto::{put_component, JobWire};
+use nestsim_cluster::wire::{WireError, Writer};
+use nestsim_core::inject::{GoldenRef, InjectionRecord};
+use nestsim_telemetry::Recorder;
+use std::collections::BTreeMap;
+
+/// A job's determinism key: canonical bytes of its result-affecting
+/// fields.
+pub type JobKey = Vec<u8>;
+
+/// Computes the determinism key of `job`.
+pub fn job_key(job: &JobWire) -> Result<JobKey, WireError> {
+    let mut w = Writer::new();
+    w.str(&job.benchmark);
+    put_component(&mut w, job.component)?;
+    w.u64(job.samples);
+    w.u64(job.seed);
+    w.u64(job.length_scale);
+    w.u64(job.cosim_cap);
+    w.u64(job.check_interval);
+    w.u64(job.lane_cluster);
+    w.bool(job.telemetry);
+    w.u64(job.trace_capacity);
+    match job.adaptive {
+        None => w.bool(false),
+        Some(round) => {
+            w.bool(true);
+            for v in round.start.iter().chain(round.alloc.iter()) {
+                w.u64(*v);
+            }
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Everything an execution produces; what subscribers receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutput {
+    /// Error-free reference of the campaign.
+    pub golden: GoldenRef,
+    /// Injection records in sample order.
+    pub records: Vec<InjectionRecord>,
+    /// Merged per-run telemetry (null when telemetry was off).
+    pub merged: Recorder,
+}
+
+/// One subscriber of a cell: a (connection, ticket) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscriber {
+    /// Connection id of the subscribing client.
+    pub conn: u64,
+    /// Ticket identifying the subscription.
+    pub ticket: u64,
+}
+
+#[derive(Debug)]
+enum CellState {
+    /// Waiting in the scheduler.
+    Queued,
+    /// Handed to an execution slot.
+    Running,
+    /// Executed; output cached for future submits.
+    Ready(ExecOutput),
+}
+
+#[derive(Debug)]
+struct Cell {
+    job: JobWire,
+    state: CellState,
+    subs: Vec<Subscriber>,
+    /// Fair-share identity of the first submitter — used to re-enqueue
+    /// after a crash.
+    tenant: String,
+    weight: u32,
+    crashes: u64,
+}
+
+/// What a [`ResultStore::subscribe`] call found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeOutcome {
+    /// First submission of this key: the cell was created and must be
+    /// enqueued with the scheduler.
+    New,
+    /// Joined an existing queued or running cell (a dedup hit).
+    Joined,
+    /// The key already completed (a dedup hit); the caller streams the
+    /// cached output immediately and no subscription is registered.
+    Cached,
+}
+
+/// What became of a cell after a crash.
+#[derive(Debug)]
+pub enum CrashOutcome {
+    /// Retry: re-enqueue the key under the original tenant.
+    Requeue {
+        /// Fair-share tenant to charge.
+        tenant: String,
+        /// DRR weight to requeue with.
+        weight: u32,
+        /// Service cost (the job's sample count).
+        cost: u64,
+    },
+    /// Retries exhausted: the cell was dropped; notify these
+    /// subscribers of the failure.
+    Fail {
+        /// Subscribers awaiting the now-failed job.
+        subs: Vec<Subscriber>,
+    },
+}
+
+/// What became of a subscription after [`ResultStore::unsubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsubscribeOutcome {
+    /// The cell keeps other subscribers (or keeps running for the
+    /// cache) — nothing else to do.
+    Kept,
+    /// The last subscriber of a *queued* cell left: the cell was
+    /// removed and the key must be pulled from the scheduler.
+    RemovedQueued,
+    /// No such subscription existed.
+    NotSubscribed,
+}
+
+/// The content-addressed store of campaign cells.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    cells: BTreeMap<JobKey, Cell>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ResultStore::default()
+    }
+
+    /// Number of cells (queued, running, and cached).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the store holds no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cached output for `key`, when it already completed.
+    pub fn ready(&self, key: &JobKey) -> Option<&ExecOutput> {
+        match self.cells.get(key) {
+            Some(Cell {
+                state: CellState::Ready(out),
+                ..
+            }) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// Registers `sub` for `key`, creating the cell on first sight.
+    pub fn subscribe(
+        &mut self,
+        key: &JobKey,
+        job: &JobWire,
+        tenant: &str,
+        weight: u32,
+        sub: Subscriber,
+    ) -> SubscribeOutcome {
+        match self.cells.get_mut(key) {
+            None => {
+                self.cells.insert(
+                    key.clone(),
+                    Cell {
+                        job: job.clone(),
+                        state: CellState::Queued,
+                        subs: vec![sub],
+                        tenant: tenant.to_string(),
+                        weight,
+                        crashes: 0,
+                    },
+                );
+                SubscribeOutcome::New
+            }
+            Some(cell) => match cell.state {
+                CellState::Ready(_) => SubscribeOutcome::Cached,
+                CellState::Queued | CellState::Running => {
+                    cell.subs.push(sub);
+                    SubscribeOutcome::Joined
+                }
+            },
+        }
+    }
+
+    /// Current subscribers of `key` (empty when unknown).
+    pub fn subscribers(&self, key: &JobKey) -> &[Subscriber] {
+        self.cells.get(key).map_or(&[], |c| &c.subs)
+    }
+
+    /// Whether `key` is currently executing.
+    pub fn is_running(&self, key: &JobKey) -> bool {
+        matches!(
+            self.cells.get(key),
+            Some(Cell {
+                state: CellState::Running,
+                ..
+            })
+        )
+    }
+
+    /// Marks a queued cell as executing; returns the job to hand to
+    /// the execution slot (`None` if the key is not queued — e.g. it
+    /// was cancelled between scheduling decisions).
+    pub fn start(&mut self, key: &JobKey) -> Option<JobWire> {
+        let cell = self.cells.get_mut(key)?;
+        match cell.state {
+            CellState::Queued => {
+                cell.state = CellState::Running;
+                Some(cell.job.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Completes a running cell: caches `output` and drains the
+    /// subscribers to fan the result out to.
+    pub fn complete(&mut self, key: &JobKey, output: ExecOutput) -> Vec<Subscriber> {
+        match self.cells.get_mut(key) {
+            Some(cell) => {
+                cell.state = CellState::Ready(output);
+                std::mem::take(&mut cell.subs)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Records a crash of `key`'s execution. Up to `max_retries`
+    /// crashes re-enqueue the job; beyond that the cell is dropped and
+    /// its subscribers are returned for failure notification.
+    pub fn crash(&mut self, key: &JobKey, max_retries: u64) -> Option<CrashOutcome> {
+        let cell = self.cells.get_mut(key)?;
+        cell.crashes += 1;
+        if cell.crashes <= max_retries {
+            cell.state = CellState::Queued;
+            Some(CrashOutcome::Requeue {
+                tenant: cell.tenant.clone(),
+                weight: cell.weight,
+                cost: cell.job.samples.max(1),
+            })
+        } else {
+            let cell = self.cells.remove(key)?;
+            Some(CrashOutcome::Fail { subs: cell.subs })
+        }
+    }
+
+    /// Removes one subscription from `key`'s cell.
+    ///
+    /// A running cell always survives (its output will be cached even
+    /// with nobody waiting); a queued cell is dropped once its last
+    /// subscriber leaves, and the caller must then remove the key from
+    /// the scheduler too.
+    pub fn unsubscribe(&mut self, key: &JobKey, ticket: u64) -> UnsubscribeOutcome {
+        let Some(cell) = self.cells.get_mut(key) else {
+            return UnsubscribeOutcome::NotSubscribed;
+        };
+        let before = cell.subs.len();
+        cell.subs.retain(|s| s.ticket != ticket);
+        if cell.subs.len() == before {
+            return UnsubscribeOutcome::NotSubscribed;
+        }
+        if cell.subs.is_empty() && matches!(cell.state, CellState::Queued) {
+            self.cells.remove(key);
+            return UnsubscribeOutcome::RemovedQueued;
+        }
+        UnsubscribeOutcome::Kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nestsim_cluster::proto::AdaptiveRoundWire;
+
+    fn job(samples: u64) -> JobWire {
+        JobWire {
+            benchmark: "radi".into(),
+            samples,
+            ..JobWire::default()
+        }
+    }
+
+    #[test]
+    fn key_ignores_execution_only_fields() {
+        let a = job(8);
+        let mut b = job(8);
+        b.snapshot_interval = a.snapshot_interval.wrapping_add(1_000);
+        b.lane_width = a.lane_width.wrapping_add(3);
+        assert_eq!(job_key(&a).unwrap(), job_key(&b).unwrap());
+        let mut c = job(8);
+        c.seed = 999;
+        assert_ne!(job_key(&a).unwrap(), job_key(&c).unwrap());
+        let mut d = job(8);
+        d.adaptive = Some(AdaptiveRoundWire {
+            start: [0, 0, 0],
+            alloc: [1, 2, 3],
+        });
+        assert_ne!(job_key(&a).unwrap(), job_key(&d).unwrap());
+    }
+
+    #[test]
+    fn lifecycle_new_join_complete_cached() {
+        let mut st = ResultStore::new();
+        let j = job(4);
+        let key = job_key(&j).unwrap();
+        let s1 = Subscriber {
+            conn: 1,
+            ticket: 10,
+        };
+        let s2 = Subscriber {
+            conn: 2,
+            ticket: 20,
+        };
+        assert_eq!(st.subscribe(&key, &j, "a", 1, s1), SubscribeOutcome::New);
+        assert_eq!(st.subscribe(&key, &j, "b", 1, s2), SubscribeOutcome::Joined);
+        assert!(st.start(&key).is_some());
+        assert!(st.start(&key).is_none(), "double start must not happen");
+        let out = ExecOutput {
+            golden: GoldenRef {
+                digest: 1,
+                cycles: 2,
+            },
+            records: Vec::new(),
+            merged: Recorder::null(),
+        };
+        let subs = st.complete(&key, out);
+        assert_eq!(subs, vec![s1, s2]);
+        assert!(st.ready(&key).is_some());
+        assert_eq!(
+            st.subscribe(
+                &key,
+                &j,
+                "c",
+                1,
+                Subscriber {
+                    conn: 3,
+                    ticket: 30
+                }
+            ),
+            SubscribeOutcome::Cached
+        );
+    }
+
+    #[test]
+    fn crash_requeues_then_fails() {
+        let mut st = ResultStore::new();
+        let j = job(4);
+        let key = job_key(&j).unwrap();
+        st.subscribe(
+            &key,
+            &j,
+            "a",
+            2,
+            Subscriber {
+                conn: 1,
+                ticket: 10,
+            },
+        );
+        st.start(&key);
+        match st.crash(&key, 1) {
+            Some(CrashOutcome::Requeue {
+                tenant,
+                weight,
+                cost,
+            }) => {
+                assert_eq!(tenant, "a");
+                assert_eq!(weight, 2);
+                assert_eq!(cost, 4);
+            }
+            other => panic!("expected requeue, got {other:?}"),
+        }
+        st.start(&key);
+        match st.crash(&key, 1) {
+            Some(CrashOutcome::Fail { subs }) => assert_eq!(subs.len(), 1),
+            other => panic!("expected fail, got {other:?}"),
+        }
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn last_queued_unsubscribe_drops_the_cell() {
+        let mut st = ResultStore::new();
+        let j = job(4);
+        let key = job_key(&j).unwrap();
+        st.subscribe(
+            &key,
+            &j,
+            "a",
+            1,
+            Subscriber {
+                conn: 1,
+                ticket: 10,
+            },
+        );
+        st.subscribe(
+            &key,
+            &j,
+            "a",
+            1,
+            Subscriber {
+                conn: 1,
+                ticket: 11,
+            },
+        );
+        assert_eq!(st.unsubscribe(&key, 10), UnsubscribeOutcome::Kept);
+        assert_eq!(st.unsubscribe(&key, 11), UnsubscribeOutcome::RemovedQueued);
+        assert_eq!(st.unsubscribe(&key, 11), UnsubscribeOutcome::NotSubscribed);
+        assert!(st.is_empty());
+        // A running cell survives its last unsubscribe (cache-to-be).
+        st.subscribe(
+            &key,
+            &j,
+            "a",
+            1,
+            Subscriber {
+                conn: 1,
+                ticket: 12,
+            },
+        );
+        st.start(&key);
+        assert_eq!(st.unsubscribe(&key, 12), UnsubscribeOutcome::Kept);
+        assert_eq!(st.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end service tests over loopback TCP: real sockets, real
+//! event loop, real execution pool — the `cargo test` counterpart of
+//! the heavier `svc_smoke` CI gate.
+
+use nestsim_cluster::proto::JobWire;
+use nestsim_core::campaign::{run_campaign_with, CampaignSpec};
+use nestsim_hlsim::workload::by_name;
+use nestsim_models::ComponentKind;
+use nestsim_svc::{serve, JobOutcome, ServiceConfig, SvcClient, SvcConfig};
+use nestsim_telemetry::TelemetryConfig;
+
+#[test]
+fn service_result_is_byte_identical_to_in_process() {
+    let profile = by_name("radi").unwrap();
+    let spec = CampaignSpec {
+        seed: 7,
+        ..CampaignSpec::quick(ComponentKind::L2c, 6)
+    };
+    let telemetry = TelemetryConfig { trace_capacity: 16 };
+    let reference = run_campaign_with(profile, &spec, Some(&telemetry));
+
+    let handle = serve(ServiceConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let job = JobWire::from_spec(profile, &spec, Some(&telemetry));
+    let mut client = SvcClient::connect(&addr, "t1").unwrap();
+    let outcome = client.run_job(&job, 1).unwrap();
+    match outcome {
+        JobOutcome::Done(result) => {
+            assert_eq!(result.records, reference.records);
+            assert_eq!(result.counts, reference.counts);
+            assert_eq!(result.golden, reference.golden);
+            assert_eq!(
+                result.telemetry.merged.to_jsonl(),
+                reference.telemetry.merged.to_jsonl()
+            );
+        }
+        other => panic!("job did not complete: {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn zero_capacity_service_backpressures_over_the_wire() {
+    let handle = serve(ServiceConfig {
+        machine: SvcConfig {
+            max_queue_depth: 0,
+            ..SvcConfig::default()
+        },
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let profile = by_name("radi").unwrap();
+    let spec = CampaignSpec::quick(ComponentKind::L2c, 4);
+    let job = JobWire::from_spec(profile, &spec, None);
+    let mut client = SvcClient::connect(&addr, "t1").unwrap();
+    match client.run_job(&job, 1).unwrap() {
+        JobOutcome::Rejected(reason) => assert!(reason.contains("queue full"), "{reason}"),
+        other => panic!("expected backpressure, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_job_is_rejected_over_the_wire() {
+    let handle = serve(ServiceConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let profile = by_name("radi").unwrap();
+    let mut spec = CampaignSpec::quick(ComponentKind::L2c, 4);
+    spec.check_interval = 0;
+    let job = JobWire::from_spec(profile, &spec, None);
+    let mut client = SvcClient::connect(&addr, "t1").unwrap();
+    match client.run_job(&job, 1).unwrap() {
+        JobOutcome::Rejected(reason) => assert!(reason.contains("check_interval"), "{reason}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}

@@ -196,6 +196,32 @@ pub mod names {
     /// Counter: cumulative samples allocated to the datapath stratum.
     pub const ADAPTIVE_ALLOC_DATA: &str = "adaptive.alloc.data";
 
+    /// Counter: client connections accepted by the campaign service.
+    pub const SVC_CLIENTS_CONNECTED: &str = "svc.clients.connected";
+    /// Counter: campaign jobs submitted to the service (before
+    /// admission control).
+    pub const SVC_JOBS_SUBMITTED: &str = "svc.jobs.submitted";
+    /// Counter: submissions refused by admission control (bounded
+    /// queue depth — the explicit backpressure reply).
+    pub const SVC_ADMISSION_REJECTED: &str = "svc.admission.rejected";
+    /// Counter: submissions that attached to an already queued,
+    /// running, or cached execution of the same determinism key — the
+    /// content-addressed dedup path.
+    pub const SVC_DEDUP_HITS: &str = "svc.dedup.hits";
+    /// Counter: executions started by the service scheduler.
+    pub const SVC_EXECS_STARTED: &str = "svc.execs.started";
+    /// Counter: executions that crashed and were requeued.
+    pub const SVC_EXEC_CRASHES: &str = "svc.exec.crashes";
+    /// Counter: jobs completed and fanned out to their subscribers.
+    pub const SVC_JOBS_COMPLETED: &str = "svc.jobs.completed";
+    /// Counter: tickets cancelled by their client.
+    pub const SVC_JOBS_CANCELLED: &str = "svc.jobs.cancelled";
+    /// Counter: deficit-round-robin scheduler rounds (tenant-queue
+    /// visits that granted at least one job).
+    pub const SVC_SCHED_ROUNDS: &str = "svc.scheduler.rounds";
+    /// Histogram: queue depth observed at each admission decision.
+    pub const H_SVC_QUEUE_DEPTH: &str = "svc.queue.depth";
+
     /// Counter: QRR-protected injection runs.
     pub const QRR_RUNS: &str = "qrr.runs";
     /// Counter: runs where logic parity detected the flip.
@@ -278,6 +304,16 @@ pub mod names {
         ADAPTIVE_ALLOC_ADDRESS,
         ADAPTIVE_ALLOC_CONTROL,
         ADAPTIVE_ALLOC_DATA,
+        SVC_CLIENTS_CONNECTED,
+        SVC_JOBS_SUBMITTED,
+        SVC_ADMISSION_REJECTED,
+        SVC_DEDUP_HITS,
+        SVC_EXECS_STARTED,
+        SVC_EXEC_CRASHES,
+        SVC_JOBS_COMPLETED,
+        SVC_JOBS_CANCELLED,
+        SVC_SCHED_ROUNDS,
+        H_SVC_QUEUE_DEPTH,
     ];
 
     /// Trace-event component labels that cross process boundaries.
@@ -285,7 +321,7 @@ pub mod names {
     /// `&'static str` a [`super::Recorder`] may carry.
     pub const COMPONENTS: &[&str] = &[
         "l2c", "mcu", "ccx", "pcie", "L2C", "MCU", "CCX", "PCIe", "campaign", "cosim", "qrr",
-        "cluster",
+        "cluster", "svc",
     ];
 
     /// Re-interns a dynamically decoded name (e.g. read off a network

@@ -20,6 +20,7 @@
 //! | [`hlsim`] | `nestsim-hlsim` | the Simics-role full-system simulator |
 //! | [`core`] | `nestsim-core` | the mixed-mode platform + campaigns |
 //! | [`cluster`] | `nestsim-cluster` | distributed campaign execution (coordinator/worker over TCP) |
+//! | [`svc`] | `nestsim-svc` | multi-tenant campaign service (fair-share queue, dedup store) |
 //! | [`ckpt`] | `nestsim-ckpt` | Sec. 5 checkpoint-recovery analyses |
 //! | [`qrr`] | `nestsim-qrr` | Quick Replay Recovery |
 //! | [`cost`] | `nestsim-cost` | Table 6 area/power model |
@@ -61,4 +62,5 @@ pub use nestsim_qrr as qrr;
 pub use nestsim_report as report;
 pub use nestsim_rtl as rtl;
 pub use nestsim_stats as stats;
+pub use nestsim_svc as svc;
 pub use nestsim_telemetry as telemetry;

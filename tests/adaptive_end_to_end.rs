@@ -17,7 +17,7 @@ use nestsim::core::Outcome;
 use nestsim::hlsim::workload::{by_name, BenchProfile};
 use nestsim::models::ComponentKind;
 use nestsim::stats::stop::StopPolicy;
-use nestsim::telemetry::TelemetryConfig;
+use nestsim::telemetry::{names, TelemetryConfig};
 
 fn cell() -> (&'static BenchProfile, CampaignSpec) {
     let profile = by_name("flui").unwrap();
@@ -85,6 +85,43 @@ fn adaptive_cluster_matches_in_process_at_two_ci_targets() {
         );
         assert_identical(&format!("ci target {half_width}"), &reference, &got);
     }
+}
+
+/// Workers persist across adaptive rounds: the coordinator parks idle
+/// workers between rounds and re-serves the same connections, so a
+/// multi-round campaign handshakes each worker exactly once (the old
+/// implementation respawned the pool per round, counting
+/// `workers × rounds` connects).
+#[test]
+fn adaptive_cluster_workers_connect_once_for_all_rounds() {
+    let (profile, spec) = cell();
+    // The tight CI target forces multiple rounds within the budget.
+    let policy = quick_policy(0.16);
+    let telemetry = TelemetryConfig::default();
+    let workers = 2;
+    let got = run_campaign_adaptive_cluster(
+        profile,
+        &spec,
+        &policy,
+        Some(&telemetry),
+        &ClusterConfig::threads(workers),
+    );
+    let summary = got.adaptive.as_ref().expect("adaptive summary");
+    assert!(
+        summary.rounds.len() >= 2,
+        "policy must drive a multi-round campaign, got {} round(s)",
+        summary.rounds.len()
+    );
+    let connects = got
+        .telemetry
+        .engine
+        .counter(names::CLUSTER_WORKERS_CONNECTED);
+    assert_eq!(
+        connects,
+        workers as u64,
+        "each worker must connect once for the whole {}-round campaign",
+        summary.rounds.len()
+    );
 }
 
 /// The prefix property, end to end: two adaptive campaigns with
