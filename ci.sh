@@ -65,8 +65,17 @@ cargo fmt --check
 stage "nestlint self-test (rules vs committed fixtures)"
 cargo run --offline -q -p nestlint -- --self-test
 
-stage "nestlint scan (determinism / hermeticity invariants, fails on unsuppressed findings)"
-cargo run --offline -q -p nestlint
+stage "nestlint scan (token rules + whole-program call-graph rules, fails on unsuppressed findings)"
+# The scan now includes the three graph rules (panic-reachability,
+# determinism-taint, wire-codec-symmetry); --budget-ms keeps the whole
+# warm scan under 5s so the lint never becomes the slow stage, and the
+# JSONL artifact lets a red gate be triaged from the run page.
+NESTLINT_ARGS=(--budget-ms 5000)
+if [[ -n "${NESTSIM_CI_ARTIFACTS:-}" ]]; then
+    mkdir -p "$NESTSIM_CI_ARTIFACTS"
+    NESTLINT_ARGS+=(--jsonl "$NESTSIM_CI_ARTIFACTS/nestlint.jsonl")
+fi
+cargo run --offline -q -p nestlint -- "${NESTLINT_ARGS[@]}"
 
 stage "cargo clippy (all targets, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -363,7 +363,7 @@ fn serve_job(
             shutdown: false,
         }),
         cv: Condvar::new(),
-        start: Instant::now(),
+        start: Instant::now(), // nestlint: allow(determinism-taint) -- lease/timeout clock only; campaign results are merged from worker payloads, never from wall time
     });
 
     let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));

@@ -181,7 +181,7 @@ impl<'a> Reader<'a> {
         } else {
             Err(format!(
                 "{} trailing bytes after message",
-                self.buf.len() - self.pos
+                self.buf.len().saturating_sub(self.pos)
             ))
         }
     }
@@ -319,11 +319,7 @@ pub fn get_recorder(r: &mut Reader<'_>) -> Result<Recorder, WireError> {
                 .ok_or_else(|| format!("histogram bucket index {i} out of range"))?;
             *slot = r.u64()?;
         }
-        let total: u64 = buckets.iter().sum();
-        if total != count {
-            return Err("histogram bucket totals disagree with sample count".to_string());
-        }
-        hists.insert(name, Histogram::from_parts(buckets, count, sum));
+        hists.insert(name, Histogram::from_parts(buckets, count, sum)?);
     }
     let capacity = r.usize()?;
     let dropped = r.u64()?;
@@ -350,7 +346,7 @@ pub fn get_recorder(r: &mut Reader<'_>) -> Result<Recorder, WireError> {
     Ok(Recorder::from_parts(
         counters,
         hists,
-        Trace::from_parts(capacity, dropped, events),
+        Trace::from_parts(capacity, dropped, events)?,
     ))
 }
 

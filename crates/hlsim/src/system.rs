@@ -408,6 +408,7 @@ impl System {
     /// subsequent core load of a tainted line is recorded as the error
     /// reaching the cores (Fig. 8's propagation latency).
     pub fn mark_tainted(&mut self, lines: impl IntoIterator<Item = LineAddr>) {
+        // nestlint: allow(determinism-taint) -- extends a set; membership is insensitive to iteration order
         self.tainted.extend(lines.into_iter().map(|l| l.raw()));
     }
 
@@ -1025,6 +1026,7 @@ impl System {
     /// Count of threads currently blocked awaiting an intercepted
     /// uncore response.
     pub fn waiting_on_uncore(&self) -> usize {
+        // nestlint: allow(determinism-taint) -- summing lengths is insensitive to iteration order
         self.inflight.len() + self.pending_fills.values().map(Vec::len).sum::<usize>()
     }
 }

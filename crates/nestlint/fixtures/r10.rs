@@ -1,0 +1,66 @@
+//! Fixture for R10 `wire-codec-symmetry`: this file is lint input,
+//! not compiled code. Codec pairs are matched by name (`put_X` with
+//! `get_X`; `encode` with `decode`, arm by `TAG_*`) and their field
+//! shapes diffed; `put_point`/`get_point` agree and stay silent.
+
+pub fn put_point(w: &mut Writer, p: &Point) {
+    w.u32(p.x);
+    w.u32(p.y);
+    w.bool(p.solid);
+}
+
+pub fn get_point(r: &mut Reader) -> Result<Point, WireError> {
+    Ok(Point {
+        x: r.u32()?,
+        y: r.u32()?,
+        solid: r.bool()?,
+    })
+}
+
+// Drifted pair: the decoder narrows the second field to u32.
+pub fn put_span(w: &mut Writer, s: &Span) {
+    w.u64(s.start);
+    w.u64(s.len);
+}
+
+pub fn get_span(r: &mut Reader) -> Result<Span, WireError> {
+    Ok(Span {
+        start: r.u64()?,
+        len: r.u32()? as u64, //~ wire-codec-symmetry
+    })
+}
+
+// An encoder nothing can decode.
+pub fn put_orphan(w: &mut Writer, v: u64) { //~ wire-codec-symmetry
+    w.u64(v);
+}
+
+impl Msg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Ping { seq } => {
+                w.u8(TAG_PING);
+                w.u64(*seq);
+            }
+            Msg::Data { seq, body } => {
+                w.u8(TAG_DATA);
+                w.u64(*seq);
+                w.str(body);
+                w.bool(true); //~ wire-codec-symmetry
+            }
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Msg, WireError> {
+        Ok(match r.u8()? {
+            TAG_PING => Msg::Ping { seq: r.u64()? },
+            TAG_DATA => Msg::Data {
+                seq: r.u64()?,
+                body: r.str()?,
+            },
+            _ => return Err(unknown_tag()),
+        })
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture for R8 `panic-reachability`: this file is lint input, not
+//! compiled code. `get_header` is a wire entry point (its name starts
+//! with `get_`), so everything it transitively calls must be
+//! panic-free; `offline_stats` is unreachable from the wire and may
+//! index and overflow freely.
+
+pub fn get_header(r: &mut Reader) -> Result<Header, WireError> {
+    let word = read_word(r)?;
+    let flags = flag_bits(word);
+    Ok(Header { word, flags })
+}
+
+fn read_word(r: &mut Reader) -> Result<u64, WireError> {
+    let buf = r.take(8)?;
+    let _ok = buf.first();
+    widen(buf)
+}
+
+fn widen(buf: &[u8]) -> Result<u64, WireError> {
+    assert!(buf.len() >= 8); //~ panic-reachability
+    let lo = buf[0] as u64; //~ panic-reachability
+    let hi = buf.len() - 1; //~ panic-reachability
+    let top = last_or_zero(buf);
+    Ok(lo | (hi as u64) | top)
+}
+
+fn last_or_zero(buf: &[u8]) -> u64 {
+    buf.last().copied().unwrap_or(0) as u64
+}
+
+fn flag_bits(word: u64) -> u16 {
+    (word >> 48) as u16
+}
+
+// Unreachable from any wire entry point: indexing and unchecked
+// arithmetic here must NOT be flagged.
+fn offline_stats(xs: &[u64]) -> u64 {
+    xs[0] + xs[xs.len() - 1]
+}

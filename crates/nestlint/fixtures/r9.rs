@@ -1,0 +1,52 @@
+//! Fixture for R9 `determinism-taint`: this file is lint input, not
+//! compiled code. `finalize` constructs a `CampaignResult`, so its
+//! call closure is result-affecting; hash-ordered iteration and
+//! nondeterminism sources inside that closure are findings, while
+//! point lookups, justified suppressions, and unreachable helpers are
+//! not.
+
+type TagMap = std::collections::HashMap<u32, u64>;
+
+pub fn finalize(counts: &TagMap) -> CampaignResult {
+    let total = sum_tags(counts);
+    let salt = entropy();
+    let audited = sorted_tag_count(counts);
+    let hit = lookup(counts, 7);
+    CampaignResult {
+        total,
+        salt,
+        audited,
+        hit,
+    }
+}
+
+fn sum_tags(counts: &TagMap) -> u64 {
+    let mut total = 0;
+    for (_tag, n) in counts.iter() { //~ determinism-taint
+        total += n;
+    }
+    total
+}
+
+fn entropy() -> u64 {
+    let _state = RandomState::new(); //~ determinism-taint
+    0
+}
+
+// Point lookups never depend on hasher order: no finding.
+fn lookup(counts: &TagMap, tag: u32) -> u64 {
+    counts.get(&tag).copied().unwrap_or(0)
+}
+
+fn sorted_tag_count(counts: &TagMap) -> u64 {
+    let mut keys: Vec<u32> = counts.keys().copied().collect(); // nestlint: allow(determinism-taint) -- keys are sorted on the next line, so hasher order washes out of the result
+    keys.sort_unstable();
+    keys.len() as u64
+}
+
+// Unreachable from any result construction: the wall clock here must
+// NOT be flagged.
+fn wall_probe() -> u64 {
+    let _t = Instant::now();
+    0
+}

@@ -20,7 +20,9 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
+use crate::graph::{Graph, Model};
 use crate::lexer::lex;
 use crate::manifest::check_manifest;
 use crate::names_check::{check_names, collect_uses, parse_names};
@@ -28,6 +30,9 @@ use crate::policy::rules_for;
 use crate::rules::{
     check_allow_justification, check_no_nondeterminism, check_no_panic_on_wire, parse_suppressions,
     test_ranges, Finding, Rule, Suppressions,
+};
+use crate::whole::{
+    check_codec_symmetry, check_determinism_taint, check_panic_reachability, WholeConfig,
 };
 
 /// Where the telemetry name registry lives, workspace-relative.
@@ -41,10 +46,32 @@ pub struct ScanResult {
     pub suppressed: usize,
     /// Number of files examined (sources + manifests).
     pub files: usize,
+    /// Wall time per scan stage, for the CI budget gate.
+    pub timings: Vec<(&'static str, Duration)>,
+}
+
+/// The `(path, source)` pairs a whole-program pass runs over: every
+/// `.rs` file outside test/bench/example/fixture directories. Public
+/// so the corpus test parses exactly what the scan analyzes.
+pub fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut sources, &mut manifests)?;
+    sources.sort();
+    let mut out = Vec::new();
+    for rel in sources {
+        if is_test_like(&rel) {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel}: {e}"))?;
+        out.push((rel, text));
+    }
+    Ok(out)
 }
 
 /// Scans the workspace rooted at `root`.
 pub fn scan(root: &Path) -> Result<ScanResult, String> {
+    crate::policy::check_table()?;
     let mut sources = Vec::new();
     let mut manifests = Vec::new();
     walk(root, root, &mut sources, &mut manifests)?;
@@ -57,7 +84,10 @@ pub fn scan(root: &Path) -> Result<ScanResult, String> {
     let mut uses: Vec<(String, String, u32)> = Vec::new();
     let mut names_decl = None;
     let mut sups: BTreeMap<String, Suppressions> = BTreeMap::new();
+    let mut kept: Vec<(String, String)> = Vec::new();
+    let mut timings: Vec<(&'static str, Duration)> = Vec::new();
 
+    let t0 = Instant::now();
     for rel in &sources {
         let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
         files += 1;
@@ -85,11 +115,31 @@ pub fn scan(root: &Path) -> Result<ScanResult, String> {
         }
         findings.extend(check_allow_justification(rel, &lexed, &skip));
         sups.insert(rel.clone(), s);
+        kept.push((rel.clone(), text));
     }
+    timings.push(("token-rules", t0.elapsed()));
 
     if let Some(decl) = &names_decl {
         findings.extend(check_names(NAMES_FILE, decl, &uses));
     }
+
+    // Whole-program rules: build the model and call graph once, then
+    // run the three graph analyses. Their findings flow through the
+    // same suppression filter as everything else.
+    let t0 = Instant::now();
+    let model = Model::build(kept);
+    let graph = Graph::build(&model);
+    timings.push(("graph-build", t0.elapsed()));
+    let cfg = WholeConfig::workspace();
+    let t0 = Instant::now();
+    findings.extend(check_panic_reachability(&graph, &cfg));
+    timings.push(("panic-reachability", t0.elapsed()));
+    let t0 = Instant::now();
+    findings.extend(check_determinism_taint(&graph, &cfg));
+    timings.push(("determinism-taint", t0.elapsed()));
+    let t0 = Instant::now();
+    findings.extend(check_codec_symmetry(&model, &cfg));
+    timings.push(("wire-codec-symmetry", t0.elapsed()));
 
     for rel in &manifests {
         let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
@@ -113,6 +163,7 @@ pub fn scan(root: &Path) -> Result<ScanResult, String> {
         findings,
         suppressed,
         files,
+        timings,
     })
 }
 

@@ -1,0 +1,680 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Nodes are the non-test function definitions [`crate::parser`] found;
+//! edges come from resolving each body's call sites *by name*, with no
+//! type information. Resolution is deliberately an over-approximation —
+//! for reachability-style rules, a spurious edge can only produce a
+//! finding a human then justifies, while a missing edge silently hides
+//! one — with exactly three documented narrowings:
+//!
+//! 1. **Qualified calls** (`wire::put_record(…)`, `Histogram::
+//!    from_parts(…)`, `Self::helper(…)`) resolve only to definitions
+//!    whose *scope set* — file stem, inline-module names, and
+//!    `impl`/`trait` type — contains the final path qualifier. `Self`
+//!    is the caller's own `impl` type.
+//! 2. **Bare calls** (`by_name(…)`) resolve to free functions with that
+//!    name anywhere in the workspace.
+//! 3. **Method calls** (`r.u64(…)`) resolve to *any* workspace method
+//!    with that name — except the names in [`METHOD_DENYLIST`], the
+//!    std-collection/iterator vocabulary (`get`, `len`, `insert`,
+//!    `iter`, `map`, …). Without the denylist, every `.get(…)` in a
+//!    decode path would edge into every workspace accessor named `get`,
+//!    and the panic-reachability rule would end up *flagging* the exact
+//!    `.get(…)`-instead-of-indexing idiom it exists to recommend.
+//! 4. **Receiver narrowing**: when the receiver's type is locally
+//!    evident — `self` (the caller's `impl` type), a `recv: &mut Type`
+//!    annotation in the signature or a `let`, or a `let recv =
+//!    Type::…` constructor call — and that type defines a method with
+//!    the called name, the call resolves to *only* that type's
+//!    methods. This is what keeps `r.finish()?` inside a `decode` from
+//!    edging into every workspace `finish` (e.g. a simulator's) and
+//!    dragging the whole program into the wire closure. When nothing
+//!    local names the type, resolution falls back to rule 3.
+//!
+//! Macro invocations never produce edges (the panicking macros are
+//! handled as body features by the rules, not as calls).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{keyword_before_bracket, Lexed, Tok, Token};
+use crate::parser::{self, CallSite, FnDef, ParsedFile};
+use crate::rules::test_ranges;
+
+/// Method names that never resolve to workspace definitions: the std
+/// collection/iterator/conversion vocabulary. A workspace method that
+/// shares one of these names (e.g. a `get` accessor) is invisible to
+/// the graph — the cost of keeping std-idiom call sites from wiring
+/// the whole workspace together.
+pub const METHOD_DENYLIST: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "drop",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flatten",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "next",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "partial_cmp",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "remove",
+    "retain",
+    "rev",
+    "split_off",
+    "starts_with",
+    "sum",
+    "then",
+    "then_some",
+    "to_string",
+    "to_vec",
+    "unwrap_or",
+    "unwrap_or_else",
+    "values",
+    "zip",
+];
+
+/// One lexed + parsed source file.
+pub struct FileModel {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The token/comment stream.
+    pub lexed: Lexed,
+    /// Items extracted by the parser.
+    pub parsed: ParsedFile,
+    /// Token ranges that are `#[cfg(test)]` / `#[test]` code.
+    pub skip: Vec<(usize, usize)>,
+}
+
+/// The whole-program model the graph and the rules share.
+pub struct Model {
+    /// All non-test-directory source files, sorted by path.
+    pub files: Vec<FileModel>,
+    /// Alias names that (transitively) name a hash-ordered container
+    /// (`type TagMap = HashMap<…>` ⇒ `TagMap`), workspace-wide.
+    pub hash_aliases: Vec<String>,
+}
+
+impl Model {
+    /// Builds the model from `(path, source)` pairs.
+    pub fn build(sources: Vec<(String, String)>) -> Model {
+        let mut files: Vec<FileModel> = sources
+            .into_iter()
+            .map(|(path, text)| {
+                let lexed = crate::lexer::lex(&text);
+                let parsed = parser::parse(&lexed);
+                let skip = test_ranges(&lexed.tokens);
+                FileModel {
+                    path,
+                    lexed,
+                    parsed,
+                    skip,
+                }
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+
+        // Hash-alias fixpoint: an alias is hash-like when its RHS
+        // mentions HashMap/HashSet or another hash-like alias.
+        let mut hash: Vec<String> = Vec::new();
+        loop {
+            let mut grew = false;
+            for f in &files {
+                for a in &f.parsed.aliases {
+                    if hash.contains(&a.name) {
+                        continue;
+                    }
+                    let hashy = a.rhs.iter().any(|id| {
+                        id == "HashMap" || id == "HashSet" || hash.iter().any(|h| h == id)
+                    });
+                    if hashy {
+                        hash.push(a.name.clone());
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        hash.sort();
+        Model {
+            files,
+            hash_aliases: hash,
+        }
+    }
+}
+
+/// One call-graph node: a function definition with a body, outside
+/// test code.
+pub struct Node {
+    /// Index into [`Model::files`].
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub fun: usize,
+    /// Scope names a qualified call can address this node by.
+    pub scopes: Vec<String>,
+}
+
+/// The conservative call graph over a [`Model`].
+pub struct Graph<'m> {
+    /// The model the graph indexes into.
+    pub model: &'m Model,
+    /// Nodes, in (file, fn) order.
+    pub nodes: Vec<Node>,
+    /// `edges[n]` = sorted, deduped callee node ids of node `n`.
+    pub edges: Vec<Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// The stem (`wire` of `crates/cluster/src/wire.rs`) of a path.
+fn file_stem(path: &str) -> &str {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    base.strip_suffix(".rs").unwrap_or(base)
+}
+
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| i >= a && i < b)
+}
+
+/// Reads the type name out of an annotation starting at `j`: skips
+/// `&`/`mut`/`dyn`/`impl`/lifetimes, then follows a `path::To::Type`
+/// chain to its last segment. `None` for non-path types (`[u8]`,
+/// tuples, `fn(…)`).
+fn annotated_type(toks: &[Token], mut j: usize) -> Option<String> {
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('&') | Tok::Lifetime => j += 1,
+            Tok::Ident(n) if keyword_before_bracket(n) => j += 1,
+            _ => break,
+        }
+    }
+    let mut last = match &toks.get(j)?.tok {
+        Tok::Ident(n) => n.clone(),
+        _ => return None,
+    };
+    while j + 3 < toks.len()
+        && matches!(toks[j + 1].tok, Tok::Punct(':'))
+        && matches!(toks[j + 2].tok, Tok::Punct(':'))
+    {
+        match &toks[j + 3].tok {
+            Tok::Ident(n) => {
+                last = n.clone();
+                j += 3;
+            }
+            _ => break,
+        }
+    }
+    Some(last)
+}
+
+impl<'m> Graph<'m> {
+    /// Builds the graph: one node per non-test fn with a body, edges by
+    /// name resolution of its call sites.
+    pub fn build(model: &'m Model) -> Graph<'m> {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in model.files.iter().enumerate() {
+            for (di, d) in file.parsed.fns.iter().enumerate() {
+                if d.body.is_none() || in_ranges(&file.skip, d.sig_start) {
+                    continue;
+                }
+                let mut scopes = vec![file_stem(&file.path).to_string()];
+                scopes.extend(d.mods.iter().cloned());
+                if let Some(t) = &d.self_type {
+                    scopes.push(t.clone());
+                }
+                let id = nodes.len();
+                by_name.entry(d.name.clone()).or_default().push(id);
+                nodes.push(Node {
+                    file: fi,
+                    fun: di,
+                    scopes,
+                });
+            }
+        }
+        let mut g = Graph {
+            model,
+            nodes,
+            edges: Vec::new(),
+            by_name,
+        };
+        for id in 0..g.nodes.len() {
+            let mut callees = Vec::new();
+            for call in g.call_sites(id) {
+                callees.extend(g.resolve(id, &call));
+            }
+            callees.sort_unstable();
+            callees.dedup();
+            g.edges.push(callees);
+        }
+        g
+    }
+
+    /// The [`FnDef`] behind a node.
+    pub fn def(&self, id: usize) -> &'m FnDef {
+        let n = &self.nodes[id];
+        &self.model.files[n.file].parsed.fns[n.fun]
+    }
+
+    /// The file behind a node.
+    pub fn file(&self, id: usize) -> &'m FileModel {
+        &self.model.files[self.nodes[id].file]
+    }
+
+    /// `file::fn` / `file::Type::fn` display label for a node.
+    pub fn label(&self, id: usize) -> String {
+        let d = self.def(id);
+        let stem = file_stem(&self.file(id).path);
+        match &d.self_type {
+            Some(t) => format!("{stem}::{t}::{}", d.name),
+            None => format!("{stem}::{}", d.name),
+        }
+    }
+
+    /// The call sites in a node's body.
+    pub fn call_sites(&self, id: usize) -> Vec<CallSite> {
+        let d = self.def(id);
+        match d.body {
+            Some(range) => parser::calls(&self.file(id).lexed.tokens, range),
+            None => Vec::new(),
+        }
+    }
+
+    /// Resolves one call site to candidate node ids (see module docs
+    /// for the three narrowing rules).
+    fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        match call {
+            CallSite::Macro { .. } => Vec::new(),
+            CallSite::Method { recv, name, .. } => {
+                if METHOD_DENYLIST.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                let methods: Vec<usize> = self
+                    .named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.def(id).self_type.is_some())
+                    .collect();
+                if let Some(ty) = recv.as_deref().and_then(|r| self.recv_type(caller, r)) {
+                    let narrowed: Vec<usize> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.def(id).self_type.as_deref() == Some(ty.as_str()))
+                        .collect();
+                    if !narrowed.is_empty() {
+                        return narrowed;
+                    }
+                }
+                methods
+            }
+            CallSite::Path {
+                qual: None, name, ..
+            } => self
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&id| self.def(id).self_type.is_none())
+                .collect(),
+            CallSite::Path {
+                qual: Some(q),
+                name,
+                ..
+            } => {
+                let qual = if q == "Self" {
+                    match &self.def(caller).self_type {
+                        Some(t) => t.clone(),
+                        None => return Vec::new(),
+                    }
+                } else {
+                    q.clone()
+                };
+                self.named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.nodes[id].scopes.contains(&qual))
+                    .collect()
+            }
+        }
+    }
+
+    /// Guesses a method receiver's type from local evidence inside the
+    /// caller: the caller's own `impl` type for `self`, a `recv: &mut
+    /// Type` annotation anywhere between the signature and the body's
+    /// end, or a `let recv = Type::…` constructor call. `None` when
+    /// nothing local names a type.
+    fn recv_type(&self, caller: usize, recv: &str) -> Option<String> {
+        let d = self.def(caller);
+        if recv == "self" {
+            return d.self_type.clone();
+        }
+        let (_, body_end) = d.body?;
+        // On truncated (mid-edit) input the parser can record a body
+        // range that ends before the signature starts; `get` turns that
+        // into a no-guess instead of a slice panic.
+        let toks = self.file(caller).lexed.tokens.get(d.sig_start..=body_end)?;
+        for (i, t) in toks.iter().enumerate() {
+            if !matches!(&t.tok, Tok::Ident(n) if n == recv) {
+                continue;
+            }
+            // `recv: &mut path::Type` — a lone `:`, so neither a path
+            // segment (`a::recv`) nor the tail of `::`.
+            if i + 2 < toks.len()
+                && matches!(toks[i + 1].tok, Tok::Punct(':'))
+                && !matches!(toks[i + 2].tok, Tok::Punct(':'))
+                && (i == 0 || !matches!(toks[i - 1].tok, Tok::Punct(':')))
+            {
+                if let Some(ty) = annotated_type(toks, i + 2) {
+                    return Some(ty);
+                }
+            }
+            // `let [mut] recv = Type::…`
+            if i >= 1
+                && matches!(&toks[i - 1].tok, Tok::Ident(k) if k == "let" || k == "mut")
+                && i + 4 < toks.len()
+                && matches!(toks[i + 1].tok, Tok::Punct('='))
+                && matches!(toks[i + 3].tok, Tok::Punct(':'))
+                && matches!(toks[i + 4].tok, Tok::Punct(':'))
+            {
+                if let Tok::Ident(ty) = &toks[i + 2].tok {
+                    return Some(ty.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Node ids in a file whose workspace-relative path satisfies
+    /// `pred`, filtered by a predicate on the definition.
+    pub fn nodes_where(
+        &self,
+        path_pred: impl Fn(&str) -> bool,
+        def_pred: impl Fn(&FnDef) -> bool,
+    ) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&id| path_pred(&self.file(id).path) && def_pred(self.def(id)))
+            .collect()
+    }
+
+    /// Breadth-first closure from `roots`. The result maps each
+    /// reachable node to its BFS predecessor (roots map to themselves),
+    /// which [`Closure::path_to`] unwinds into a root→node trace.
+    pub fn closure(&self, roots: &[usize]) -> Closure {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            parent.insert(r, r);
+            queue.push(r);
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head];
+            head += 1;
+            for &c in &self.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(c) {
+                    e.insert(n);
+                    queue.push(c);
+                }
+            }
+        }
+        Closure { parent }
+    }
+
+    /// The graph in Graphviz DOT form (stable order), for debugging
+    /// resolution decisions: `nestlint --graph`.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph nestlint {\n  rankdir=LR;\n  node [shape=box];\n");
+        for id in 0..self.nodes.len() {
+            out.push_str(&format!(
+                "  n{id} [label=\"{}\\n{}:{}\"];\n",
+                self.label(id),
+                self.file(id).path,
+                self.def(id).line
+            ));
+        }
+        for (id, callees) in self.edges.iter().enumerate() {
+            for &c in callees {
+                out.push_str(&format!("  n{id} -> n{c};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A BFS closure: reachable nodes plus predecessor links.
+pub struct Closure {
+    parent: BTreeMap<usize, usize>,
+}
+
+impl Closure {
+    /// Is `id` reachable (roots included)?
+    pub fn contains(&self, id: usize) -> bool {
+        self.parent.contains_key(&id)
+    }
+
+    /// Reachable node ids, ascending.
+    pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.parent.keys().copied()
+    }
+
+    /// The root→…→`id` node path that discovered `id`.
+    pub fn path_to(&self, mut id: usize) -> Vec<usize> {
+        let mut path = vec![id];
+        while let Some(&p) = self.parent.get(&id) {
+            if p == id {
+                break;
+            }
+            path.push(p);
+            id = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(files: &[(&str, &str)]) -> Model {
+        Model::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+    }
+
+    fn node_id(g: &Graph<'_>, label: &str) -> usize {
+        (0..g.nodes.len())
+            .find(|&id| g.label(id) == label)
+            .unwrap_or_else(|| panic!("no node {label}"))
+    }
+
+    #[test]
+    fn receiver_types_narrow_method_resolution() {
+        let m = model_of(&[
+            (
+                "crates/a/src/wire.rs",
+                "impl Reader { pub fn finish(&self) {} }\n\
+                 pub fn decode(r: &mut Reader) { r.finish(); }\n\
+                 pub fn untyped(r2: &Mystery) { r2.finish(); }\n\
+                 pub fn built() { let mut w = Sim::new(); w.finish(); }",
+            ),
+            (
+                "crates/b/src/sim.rs",
+                "impl Sim { pub fn finish(&self) {} pub fn run(&self) { self.finish(); } }",
+            ),
+        ]);
+        let g = Graph::build(&m);
+        let reader = node_id(&g, "wire::Reader::finish");
+        let sim = node_id(&g, "sim::Sim::finish");
+        // `r: &mut Reader` names the type → only Reader::finish.
+        let decode = node_id(&g, "wire::decode");
+        assert_eq!(g.edges[decode], vec![reader]);
+        // `Mystery` defines no `finish` → fall back to every method.
+        let untyped = node_id(&g, "wire::untyped");
+        assert_eq!(g.edges[untyped], vec![reader, sim]);
+        // `let mut w = Sim::new()` names the type → only Sim::finish.
+        let built = node_id(&g, "wire::built");
+        assert_eq!(g.edges[built], vec![sim]);
+        // `self.finish()` resolves within the caller's impl type.
+        let run = node_id(&g, "sim::Sim::run");
+        assert_eq!(g.edges[run], vec![sim]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_scope_only() {
+        let m = model_of(&[
+            (
+                "crates/a/src/hist.rs",
+                "impl Histogram { pub fn from_parts() {} }",
+            ),
+            (
+                "crates/a/src/trace.rs",
+                "impl Trace { pub fn from_parts() {} }",
+            ),
+            (
+                "crates/b/src/wire.rs",
+                "fn decode() { let h = Histogram::from_parts(); }",
+            ),
+        ]);
+        let g = Graph::build(&m);
+        let decode = node_id(&g, "wire::decode");
+        let hist = node_id(&g, "hist::Histogram::from_parts");
+        let trace = node_id(&g, "trace::Trace::from_parts");
+        assert!(g.edges[decode].contains(&hist));
+        assert!(!g.edges[decode].contains(&trace));
+    }
+
+    #[test]
+    fn bare_calls_hit_free_fns_and_self_resolves_to_impl_type() {
+        let m = model_of(&[
+            ("crates/a/src/lib.rs", "pub fn by_name() {}"),
+            (
+                "crates/b/src/m.rs",
+                "impl M { fn go(&self) { by_name(); Self::helper(); } fn helper() {} }",
+            ),
+        ]);
+        let g = Graph::build(&m);
+        let go = node_id(&g, "m::M::go");
+        assert!(g.edges[go].contains(&node_id(&g, "lib::by_name")));
+        assert!(g.edges[go].contains(&node_id(&g, "m::M::helper")));
+    }
+
+    #[test]
+    fn method_calls_fan_out_except_denylisted_names() {
+        let m = model_of(&[
+            (
+                "crates/a/src/r.rs",
+                "impl Reader { pub fn u64(&mut self) {} pub fn get(&self) {} }",
+            ),
+            (
+                "crates/b/src/use.rs",
+                "fn f(r: &mut Reader) { r.u64(); r.get(); }",
+            ),
+        ]);
+        let g = Graph::build(&m);
+        let f = node_id(&g, "use::f");
+        assert!(g.edges[f].contains(&node_id(&g, "r::Reader::u64")));
+        // `get` is std-accessor vocabulary: never a workspace edge.
+        assert!(!g.edges[f].contains(&node_id(&g, "r::Reader::get")));
+    }
+
+    #[test]
+    fn test_code_produces_no_nodes() {
+        let m = model_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn helper() { real(); } }",
+        )]);
+        let g = Graph::build(&m);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.label(0), "lib::real");
+    }
+
+    #[test]
+    fn closure_traces_lead_back_to_roots() {
+        let m = model_of(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); } fn b() { c(); } fn c() {} fn lone() {}",
+        )]);
+        let g = Graph::build(&m);
+        let (a, c) = (node_id(&g, "lib::a"), node_id(&g, "lib::c"));
+        let cl = g.closure(&[a]);
+        assert!(cl.contains(c));
+        assert!(!cl.contains(node_id(&g, "lib::lone")));
+        let path: Vec<String> = cl.path_to(c).into_iter().map(|n| g.label(n)).collect();
+        assert_eq!(path, vec!["lib::a", "lib::b", "lib::c"]);
+    }
+
+    #[test]
+    fn hash_aliases_resolve_transitively() {
+        let m = model_of(&[
+            (
+                "crates/a/src/mem.rs",
+                "type LineMap = std::collections::HashMap<u64, Line>;\ntype LineMap2 = LineMap;",
+            ),
+            ("crates/b/src/ok.rs", "type Plain = Vec<u64>;"),
+        ]);
+        assert_eq!(m.hash_aliases, vec!["LineMap", "LineMap2"]);
+    }
+
+    #[test]
+    fn dot_output_names_every_node() {
+        let m = model_of(&[("crates/a/src/lib.rs", "fn a() { b(); } fn b() {}")]);
+        let g = Graph::build(&m);
+        let dot = g.to_dot();
+        assert!(dot.contains("lib::a"));
+        assert!(dot.contains("->"));
+    }
+}

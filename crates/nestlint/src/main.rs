@@ -7,29 +7,36 @@
 //! cargo run -p nestlint --offline -- --self-test   # pin rules against fixtures/
 //! cargo run -p nestlint --offline -- --jsonl out.jsonl
 //! cargo run -p nestlint --offline -- --policy      # print the policy table
+//! cargo run -p nestlint --offline -- --graph       # dump the call graph as DOT
+//! cargo run -p nestlint --offline -- --budget-ms 5000   # fail a slow scan
 //! ```
 //!
 //! Exit code 0 means clean (or self-test passed); 1 means findings (or
-//! self-test failures); 2 means the tool itself could not run.
+//! self-test failures, or a blown time budget); 2 means the tool
+//! itself could not run.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use nestlint::policy::TABLE;
+use nestlint::graph::{Graph, Model};
 use nestlint::report::{render_jsonl, render_text};
-use nestlint::{driver, selftest};
+use nestlint::{driver, policy, selftest};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut jsonl: Option<PathBuf> = None;
     let mut self_test = false;
     let mut show_policy = false;
+    let mut show_graph = false;
+    let mut budget_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--self-test" => self_test = true,
             "--policy" => show_policy = true,
+            "--graph" => show_graph = true,
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage("--root needs a path"),
@@ -38,44 +45,50 @@ fn main() -> ExitCode {
                 Some(p) => jsonl = Some(PathBuf::from(p)),
                 None => return usage("--jsonl needs a path"),
             },
+            "--budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = Some(ms),
+                None => return usage("--budget-ms needs a millisecond count"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
     if show_policy {
-        print_policy();
+        print!("{}", policy::render_policy());
         return ExitCode::SUCCESS;
+    }
+    if show_graph {
+        return run_graph(&root);
     }
     if self_test {
         return run_self_test();
     }
-    run_scan(&root, jsonl.as_deref())
+    run_scan(&root, jsonl.as_deref(), budget_ms)
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("nestlint: {err}");
-    eprintln!("usage: nestlint [--root <dir>] [--jsonl <file>] [--self-test] [--policy]");
+    eprintln!(
+        "usage: nestlint [--root <dir>] [--jsonl <file>] [--budget-ms <n>] \
+         [--self-test] [--policy] [--graph]"
+    );
     ExitCode::from(2)
 }
 
-fn print_policy() {
-    println!("nestlint policy table (first match wins):");
-    for row in TABLE {
-        let rules = if row.rules.is_empty() {
-            "(path-scoped rules off)".to_string()
-        } else {
-            row.rules
-                .iter()
-                .map(|r| r.id())
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        println!("  {:<38} {rules}", row.prefix);
-        println!("  {:<38}   why: {}", "", row.why);
-    }
-    println!("  everywhere                             allow-justification, suppression hygiene");
-    println!("  every Cargo.toml                       hermeticity");
-    println!("  whole workspace                        telemetry-names");
+/// `--graph`: the whole-workspace call graph as Graphviz DOT, for
+/// debugging resolution decisions (`nestlint --graph | dot -Tsvg …`).
+fn run_graph(root: &Path) -> ExitCode {
+    let sources = match driver::workspace_sources(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nestlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = Model::build(sources);
+    let graph = Graph::build(&model);
+    print!("{}", graph.to_dot());
+    ExitCode::SUCCESS
 }
 
 fn run_self_test() -> ExitCode {
@@ -97,7 +110,8 @@ fn run_self_test() -> ExitCode {
     }
 }
 
-fn run_scan(root: &Path, jsonl: Option<&Path>) -> ExitCode {
+fn run_scan(root: &Path, jsonl: Option<&Path>, budget_ms: Option<u64>) -> ExitCode {
+    let started = Instant::now();
     let res = match driver::scan(root) {
         Ok(res) => res,
         Err(e) => {
@@ -105,6 +119,7 @@ fn run_scan(root: &Path, jsonl: Option<&Path>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
     if let Some(path) = jsonl {
         if let Err(e) = std::fs::write(path, render_jsonl(&res.findings)) {
             eprintln!("nestlint: cannot write {}: {e}", path.display());
@@ -112,7 +127,10 @@ fn run_scan(root: &Path, jsonl: Option<&Path>) -> ExitCode {
         }
     }
     print!("{}", render_text(&res.findings));
-    if res.findings.is_empty() {
+    for (stage, took) in &res.timings {
+        println!("nestlint: {stage:<20} {:>6.1}ms", took.as_secs_f64() * 1e3);
+    }
+    let mut code = if res.findings.is_empty() {
         println!(
             "nestlint: clean — {} files, {} suppressed finding(s)",
             res.files, res.suppressed
@@ -126,5 +144,15 @@ fn run_scan(root: &Path, jsonl: Option<&Path>) -> ExitCode {
             res.suppressed
         );
         ExitCode::FAILURE
+    };
+    if let Some(budget) = budget_ms {
+        let took = elapsed.as_millis() as u64;
+        if took > budget {
+            eprintln!("nestlint: scan took {took}ms, over the {budget}ms budget");
+            code = ExitCode::FAILURE;
+        } else {
+            println!("nestlint: scan took {took}ms (budget {budget}ms)");
+        }
     }
+    code
 }

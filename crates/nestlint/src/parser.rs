@@ -1,0 +1,614 @@
+//! A recursive-descent *item* parser over the lexer's token stream —
+//! just deep enough for call-graph analyses, nowhere near a full Rust
+//! grammar.
+//!
+//! What it extracts, and all it extracts:
+//!
+//! * **Function definitions** — free functions, inherent/trait `impl`
+//!   methods, and trait default methods — each with its name, the
+//!   enclosing `impl`/`trait` type, the inline-`mod` stack, and the
+//!   token range of its body;
+//! * **Type aliases** (`type Name = …;`) with the identifiers on their
+//!   right-hand side, so hash-container aliases (`TagMap`, `LineMap`)
+//!   can be discovered instead of hardcoded;
+//! * **Call sites** inside a body: qualified paths (`names::resolve(…)`,
+//!   `Histogram::from_parts(…)`), bare calls (`by_name(…)`), method
+//!   calls (`r.u64(…)` with the receiver's final identifier when it is
+//!   one), and macro invocations.
+//!
+//! Documented over-approximations (the analyses inherit them):
+//!
+//! * Nested `fn` items inside a body are *not* split out — their tokens
+//!   (and therefore their calls) belong to the enclosing function. This
+//!   over-counts reachability, never under-counts it.
+//! * Closures are part of the enclosing function for the same reason.
+//! * A call with a turbofish (`f::<T>(…)`) is not recognized as a call;
+//!   none of the analyzed invariants are expressed through turbofish
+//!   calls in this workspace.
+//!
+//! Like the lexer, the parser never fails: on input it does not
+//! understand it skips one token and resynchronizes. A linter must not
+//! be the thing that rejects code rustc accepts — and the property
+//! tests feed it deliberately truncated and mutated sources to pin
+//! exactly that.
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's own name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any (`Reader`, `Message`).
+    pub self_type: Option<String>,
+    /// Inline `mod` stack from the file root (e.g. `["names"]`).
+    pub mods: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Body token range `[start, end)` *inside* the braces; `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `type Name = …;` alias.
+#[derive(Debug, Clone)]
+pub struct AliasDef {
+    /// The alias name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Identifiers appearing on the right-hand side.
+    pub rhs: Vec<String>,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Type aliases, in source order.
+    pub aliases: Vec<AliasDef>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `qual::name(…)` — `qual` is the final path segment before the
+    /// function name (`wire::put_record` → `wire`); `None` for a bare
+    /// `name(…)` call.
+    Path {
+        /// Final qualifying segment, if any.
+        qual: Option<String>,
+        /// Called function name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `recv.name(…)` — `recv` is the identifier directly before the
+    /// dot when there is one (`self.tags.iter()` → `tags`).
+    Method {
+        /// Receiver's final identifier, if the receiver ends in one.
+        recv: Option<String>,
+        /// Called method name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `name!(…)` / `name! {…}`.
+    Macro {
+        /// Macro name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+/// Parses one lexed file into items.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut p = Parser {
+        t: &lexed.tokens,
+        out: ParsedFile::default(),
+    };
+    let end = p.t.len();
+    p.items(0, end, &mut Vec::new(), None);
+    p.out
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    out: ParsedFile,
+}
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    t.map(|t| &t.tok) == Some(&Tok::Punct(c))
+}
+
+impl Parser<'_> {
+    /// Parses the item stream in `[i, end)` under the given module
+    /// stack and `impl`/`trait` type; returns when `end` is reached.
+    fn items(&mut self, mut i: usize, end: usize, mods: &mut Vec<String>, self_type: Option<&str>) {
+        while i < end {
+            match ident(self.t.get(i)) {
+                Some("fn") => i = self.fn_def(i, end, mods, self_type),
+                Some("impl") | Some("trait") => i = self.impl_block(i, end, mods),
+                Some("mod") => i = self.mod_block(i, end, mods, self_type),
+                Some("type") => i = self.type_alias(i, end),
+                Some("macro_rules") => i = self.skip_item(i + 1, end),
+                _ => {
+                    if is_punct(self.t.get(i), '{') {
+                        // A brace in item position (e.g. a const
+                        // initializer the scanner drifted into): skip
+                        // the balanced group rather than misreading its
+                        // contents as items.
+                        i = self.match_brace(i, end);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// At a `{`: the index one past its matching `}` (or `end`).
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < end {
+            match self.t[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips to one past the end of an item: the first `;` at brace
+    /// depth zero, or past the matching `}` of the first `{`.
+    fn skip_item(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.t[i].tok {
+                Tok::Punct(';') => return i + 1,
+                Tok::Punct('{') => return self.match_brace(i, end),
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Skips a balanced `<…>` generics group starting at `open`,
+    /// treating the `>` of a `->` arrow as ordinary (it cannot close a
+    /// generic: `-` never appears inside a type parameter list except
+    /// via `Fn(…) -> R` bounds).
+    fn skip_generics(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < end {
+            match self.t[i].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    if i > 0 && is_punct(self.t.get(i - 1), '-') {
+                        // the `>` of `->`
+                    } else {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// At the `fn` keyword: records the definition and returns the
+    /// index one past its body (or its `;`).
+    fn fn_def(&mut self, at: usize, end: usize, mods: &[String], self_type: Option<&str>) -> usize {
+        let Some(name) = ident(self.t.get(at + 1)) else {
+            // `fn(u32) -> u64` in type position, or truncated input.
+            return at + 1;
+        };
+        let name = name.to_string();
+        let line = self.t[at].line;
+        let mut i = at + 2;
+        if is_punct(self.t.get(i), '<') {
+            i = self.skip_generics(i, end);
+        }
+        // Parameter list: skip the balanced parens.
+        if is_punct(self.t.get(i), '(') {
+            let mut depth = 0i64;
+            while i < end {
+                match self.t[i].tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // Return type / where clause, then the body or a `;`.
+        let mut body = None;
+        while i < end {
+            match self.t[i].tok {
+                Tok::Punct(';') => {
+                    i += 1;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    let close = self.match_brace(i, end);
+                    // On truncated input the `{` can be the last token,
+                    // making `close - 1` precede the body start; clamp
+                    // so the range is at worst empty, never reversed.
+                    body = Some((i + 1, close.saturating_sub(1).max(i + 1)));
+                    i = close;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.out.fns.push(FnDef {
+            name,
+            self_type: self_type.map(str::to_string),
+            mods: mods.to_vec(),
+            line,
+            sig_start: at,
+            body,
+        });
+        i
+    }
+
+    /// At `impl`/`trait`: resolves the subject type name from the
+    /// header (`impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`,
+    /// `trait Name`), then parses the block's items under it.
+    fn impl_block(&mut self, at: usize, end: usize, mods: &mut Vec<String>) -> usize {
+        let mut i = at + 1;
+        let mut depth = 0i64;
+        let mut last_at_depth0: Option<String> = None;
+        while i < end {
+            match &self.t[i].tok {
+                Tok::Punct('{') if depth == 0 => break,
+                Tok::Punct(';') if depth == 0 => return i + 1, // `impl Foo;` — malformed, resync
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') if !(i > 0 && is_punct(self.t.get(i - 1), '-')) => {
+                    depth -= 1;
+                }
+                Tok::Ident(s) if depth == 0 && s == "where" => {
+                    // Bounds may mention types; the subject is settled.
+                    i = self.find_brace(i, end);
+                    break;
+                }
+                Tok::Ident(s) if depth == 0 && s == "for" => last_at_depth0 = None,
+                Tok::Ident(s) if depth == 0 => last_at_depth0 = Some(s.clone()),
+                _ => {}
+            }
+            i += 1;
+        }
+        if !is_punct(self.t.get(i), '{') {
+            return end.min(i + 1);
+        }
+        let close = self.match_brace(i, end);
+        let ty = last_at_depth0;
+        self.items(i + 1, close.saturating_sub(1), mods, ty.as_deref());
+        close
+    }
+
+    /// The index of the first `{` at or after `i`.
+    fn find_brace(&self, mut i: usize, end: usize) -> usize {
+        while i < end && !is_punct(self.t.get(i), '{') {
+            i += 1;
+        }
+        i
+    }
+
+    /// At `mod`: a named block pushes onto the module stack; `mod x;`
+    /// is skipped.
+    fn mod_block(
+        &mut self,
+        at: usize,
+        end: usize,
+        mods: &mut Vec<String>,
+        self_type: Option<&str>,
+    ) -> usize {
+        let Some(name) = ident(self.t.get(at + 1)) else {
+            return at + 1;
+        };
+        let name = name.to_string();
+        if !is_punct(self.t.get(at + 2), '{') {
+            return self.skip_item(at + 1, end);
+        }
+        let close = self.match_brace(at + 2, end);
+        mods.push(name);
+        self.items(at + 3, close.saturating_sub(1), mods, self_type);
+        mods.pop();
+        close
+    }
+
+    /// At `type`: records `type Name = …;` with its right-hand-side
+    /// identifiers. Associated types without `=` are skipped.
+    fn type_alias(&mut self, at: usize, end: usize) -> usize {
+        let Some(name) = ident(self.t.get(at + 1)) else {
+            return at + 1;
+        };
+        let name = name.to_string();
+        let line = self.t[at].line;
+        let mut i = at + 2;
+        let mut saw_eq = false;
+        let mut rhs = Vec::new();
+        while i < end {
+            match &self.t[i].tok {
+                Tok::Punct(';') => {
+                    i += 1;
+                    break;
+                }
+                Tok::Punct('=') => saw_eq = true,
+                Tok::Ident(s) if saw_eq => rhs.push(s.clone()),
+                Tok::Punct('{') => return self.match_brace(i, end),
+                _ => {}
+            }
+            i += 1;
+        }
+        if saw_eq {
+            self.out.aliases.push(AliasDef { name, line, rhs });
+        }
+        i
+    }
+}
+
+/// Keywords that can directly precede a `(` without forming a call.
+fn keyword_before_paren(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "in"
+            | "loop"
+            | "else"
+            | "move"
+            | "unsafe"
+            | "as"
+            | "let"
+            | "mut"
+            | "ref"
+            | "box"
+            | "await"
+            | "yield"
+            | "dyn"
+            | "where"
+            | "impl"
+            | "fn"
+            | "pub"
+            | "use"
+            | "crate"
+            | "super"
+            | "Self"
+            | "self"
+            | "const"
+            | "static"
+    )
+}
+
+/// Extracts the call sites in the token range `[start, end)`.
+pub fn calls(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
+    let (start, end) = range;
+    let end = end.min(tokens.len());
+    let mut out = Vec::new();
+    let mut j = start;
+    while j < end {
+        let Tok::Ident(name) = &tokens[j].tok else {
+            j += 1;
+            continue;
+        };
+        let line = tokens[j].line;
+        if is_punct(tokens.get(j + 1), '!') {
+            // `name!` — but not `a != b` (the `!` of `!=` follows an
+            // expression; a macro bang is directly after its name).
+            if !is_punct(tokens.get(j + 2), '=') {
+                out.push(CallSite::Macro {
+                    name: name.clone(),
+                    line,
+                });
+            }
+            j += 1;
+            continue;
+        }
+        if !is_punct(tokens.get(j + 1), '(') {
+            j += 1;
+            continue;
+        }
+        // `name(` — classify by what precedes the name.
+        if j > start && is_punct(tokens.get(j - 1), '.') {
+            let recv = if j >= 2 {
+                ident(tokens.get(j - 2))
+            } else {
+                None
+            };
+            out.push(CallSite::Method {
+                recv: recv.map(str::to_string),
+                name: name.clone(),
+                line,
+            });
+        } else if j >= 2 && is_punct(tokens.get(j - 1), ':') && is_punct(tokens.get(j - 2), ':') {
+            // Walk back over `seg::seg::…` to find the final qualifier.
+            let qual = if j >= 3 {
+                ident(tokens.get(j - 3))
+            } else {
+                None
+            };
+            out.push(CallSite::Path {
+                qual: qual.map(str::to_string),
+                name: name.clone(),
+                line,
+            });
+        } else if !keyword_before_paren(name) {
+            out.push(CallSite::Path {
+                qual: None,
+                name: name.clone(),
+                line,
+            });
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_methods_and_mods_are_attributed() {
+        let src = "\
+pub fn free(a: u32) -> u32 { a }
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> &[u8] { self.buf }
+    pub fn u8(&mut self) -> u8 { 0 }
+}
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+mod names {
+    pub fn resolve(name: &str) -> Option<&'static str> { None }
+}
+trait Cosim {
+    fn step(&mut self);
+    fn cycles(&self) -> u64 { 0 }
+}
+";
+        let p = parse_src(src);
+        let names: Vec<(String, Option<String>, Vec<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_type.clone(), f.mods.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, vec![]),
+                ("take".into(), Some("Reader".into()), vec![]),
+                ("u8".into(), Some("Reader".into()), vec![]),
+                ("fmt".into(), Some("Shard".into()), vec![]),
+                ("resolve".into(), None, vec!["names".into()]),
+                ("step".into(), Some("Cosim".into()), vec![]),
+                ("cycles".into(), Some("Cosim".into()), vec![]),
+            ]
+        );
+        // The bodyless trait method has no body; everything else does.
+        assert!(p.fns[5].body.is_none());
+        assert!(p.fns.iter().take(5).all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn generic_headers_and_where_clauses_parse() {
+        let src = "\
+impl<T: Clone + Fn(u32) -> u64> Holder<T> where T: Send {
+    fn held(&self) -> &T { &self.0 }
+}
+fn generic<F: Fn(&mut u8) -> bool>(f: F) -> bool { f(&mut 0) }
+";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Holder"));
+        assert_eq!(p.fns[1].name, "generic");
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn aliases_capture_rhs_identifiers() {
+        let src = "type TagMap = std::collections::HashMap<u32, u64>;\ntype Plain = u64;\n";
+        let p = parse_src(src);
+        assert_eq!(p.aliases.len(), 2);
+        assert_eq!(p.aliases[0].name, "TagMap");
+        assert!(p.aliases[0].rhs.iter().any(|s| s == "HashMap"));
+        assert_eq!(p.aliases[1].rhs, vec!["u64".to_string()]);
+    }
+
+    #[test]
+    fn call_sites_classify_path_bare_method_and_macro() {
+        let src = "\
+fn f(r: &mut Reader) {
+    let a = names::resolve(\"x\");
+    let b = by_name(\"fft\");
+    let c = r.u64();
+    let d = self.tags.iter();
+    panic!(\"boom\");
+    let e = (a != b);
+    if c > 0 { g(); }
+}
+";
+        let p = parse_src(src);
+        let body = p.fns[0].body.unwrap();
+        let cs = calls(&lex(src).tokens, body);
+        assert!(cs.contains(&CallSite::Path {
+            qual: Some("names".into()),
+            name: "resolve".into(),
+            line: 2
+        }));
+        assert!(cs.contains(&CallSite::Path {
+            qual: None,
+            name: "by_name".into(),
+            line: 3
+        }));
+        assert!(cs.contains(&CallSite::Method {
+            recv: Some("r".into()),
+            name: "u64".into(),
+            line: 4
+        }));
+        assert!(cs.contains(&CallSite::Method {
+            recv: Some("tags".into()),
+            name: "iter".into(),
+            line: 5
+        }));
+        assert!(cs.contains(&CallSite::Macro {
+            name: "panic".into(),
+            line: 6
+        }));
+        assert!(cs.contains(&CallSite::Path {
+            qual: None,
+            name: "g".into(),
+            line: 8
+        }));
+        // `if (…)`-style keywords and `!=` never read as calls/macros.
+        assert!(!cs
+            .iter()
+            .any(|c| matches!(c, CallSite::Macro { name, .. } if name == "a")));
+    }
+
+    #[test]
+    fn parser_survives_truncation_anywhere() {
+        let src = "impl Foo { fn bar<T: Fn() -> u8>(x: T) -> u64 { baz(x()) } }";
+        for cut in 0..src.len() {
+            if src.is_char_boundary(cut) {
+                let _ = parse_src(&src[..cut]);
+            }
+        }
+    }
+}

@@ -202,6 +202,51 @@ pub fn rules_for(path: &str) -> &'static [Rule] {
     &[]
 }
 
+/// Table hygiene: first-match-wins means a row whose prefix extends an
+/// *earlier* row's prefix can never match — it is dead, and the policy
+/// it states is silently not in force. That includes exact duplicates.
+/// The scan refuses to run over a table with dead rows.
+pub fn check_table() -> Result<(), String> {
+    for (i, earlier) in TABLE.iter().enumerate() {
+        for later in &TABLE[i + 1..] {
+            if later.prefix.starts_with(earlier.prefix) {
+                return Err(format!(
+                    "policy table: row `{}` is unreachable — it is shadowed by the earlier row \
+                     `{}` (first match wins; move the narrow row above the broad one)",
+                    later.prefix, earlier.prefix
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the policy table as the `--policy` listing. One `prefix ->
+/// rule, rule` line per row followed by an indented `why:` line — the
+/// round-trip test re-parses this text back into (prefix, rules) pairs.
+pub fn render_policy() -> String {
+    let mut out = String::from("nestlint policy table (first match wins):\n");
+    for row in TABLE {
+        let rules = if row.rules.is_empty() {
+            "(path-scoped rules off)".to_string()
+        } else {
+            row.rules
+                .iter()
+                .map(|r| r.id())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!("  {:<38} {rules}\n", row.prefix));
+        out.push_str(&format!("  {:<38}   why: {}\n", "", row.why));
+    }
+    out.push_str(
+        "  everywhere                             allow-justification, suppression hygiene\n",
+    );
+    out.push_str("  every Cargo.toml                       hermeticity\n");
+    out.push_str("  whole workspace                        telemetry-names, panic-reachability, determinism-taint, wire-codec-symmetry\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +332,66 @@ mod tests {
         assert!(rules_for("crates/telemetry/src/lib.rs").is_empty());
         assert!(rules_for("crates/bench/benches/kernel.rs").is_empty());
         assert!(rules_for("tests/end_to_end.rs").is_empty());
+    }
+
+    #[test]
+    fn committed_table_has_no_dead_rows() {
+        check_table().expect("every policy row must be reachable");
+    }
+
+    #[test]
+    fn shadowed_rows_are_detected() {
+        // The committed table orders narrow rows above broad ones; the
+        // checker must reject the reverse ordering. Simulate it by
+        // checking the predicate the checker uses on a known pair.
+        let broad = "crates/cluster/";
+        let narrow = "crates/cluster/src/wire.rs";
+        assert!(narrow.starts_with(broad));
+        let broad_at = TABLE.iter().position(|r| r.prefix == broad).unwrap();
+        let narrow_at = TABLE.iter().position(|r| r.prefix == narrow).unwrap();
+        assert!(
+            narrow_at < broad_at,
+            "narrow wire row must precede the cluster catch-all"
+        );
+    }
+
+    #[test]
+    fn rendered_policy_round_trips() {
+        // Re-parse the `--policy` listing back into (prefix, rules)
+        // pairs and compare against the table — the rendering is the
+        // user-facing contract, so it must not drop or mangle rows.
+        let rendered = render_policy();
+        let mut parsed: Vec<(String, Vec<String>)> = Vec::new();
+        for line in rendered.lines().skip(1) {
+            let line = line.trim_start();
+            if line.starts_with("why:")
+                || line.starts_with("everywhere")
+                || line.starts_with("every Cargo.toml")
+                || line.starts_with("whole workspace")
+            {
+                continue;
+            }
+            let (prefix, rules) = line.split_once(char::is_whitespace).unwrap();
+            let rules = if rules.trim() == "(path-scoped rules off)" {
+                Vec::new()
+            } else {
+                rules
+                    .trim()
+                    .split(", ")
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            };
+            parsed.push((prefix.to_string(), rules));
+        }
+        assert_eq!(parsed.len(), TABLE.len(), "{rendered}");
+        for (row, (prefix, rules)) in TABLE.iter().zip(&parsed) {
+            assert_eq!(row.prefix, prefix);
+            let want: Vec<String> = row.rules.iter().map(|r| r.id().to_string()).collect();
+            assert_eq!(&want, rules, "rules for {prefix}");
+            // Every parsed id must survive a Rule::from_id round trip.
+            for id in rules {
+                assert!(Rule::from_id(id).is_some(), "unknown rule id `{id}`");
+            }
+        }
     }
 }

@@ -24,6 +24,15 @@ pub enum Rule {
     Hermeticity,
     /// R5: `#[allow(…)]` needs an adjacent justification comment.
     AllowJustification,
+    /// R8: panicking constructs in any fn transitively reachable from
+    /// a wire decode entry point (whole-program; see [`crate::whole`]).
+    PanicReachability,
+    /// R9: nondeterminism sources reachable from result-affecting
+    /// sinks along the call graph (whole-program; see [`crate::whole`]).
+    DeterminismTaint,
+    /// R10: encode/decode field order and width must agree
+    /// (whole-program; see [`crate::whole`]).
+    CodecSymmetry,
     /// Meta: malformed / unjustified nestlint suppression directives.
     Suppression,
 }
@@ -37,6 +46,9 @@ impl Rule {
             Rule::TelemetryNames => "telemetry-names",
             Rule::Hermeticity => "hermeticity",
             Rule::AllowJustification => "allow-justification",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::CodecSymmetry => "wire-codec-symmetry",
             Rule::Suppression => "suppression",
         }
     }
@@ -49,6 +61,9 @@ impl Rule {
             "telemetry-names" => Rule::TelemetryNames,
             "hermeticity" => Rule::Hermeticity,
             "allow-justification" => Rule::AllowJustification,
+            "panic-reachability" => Rule::PanicReachability,
+            "determinism-taint" => Rule::DeterminismTaint,
+            "wire-codec-symmetry" => Rule::CodecSymmetry,
             "suppression" => Rule::Suppression,
             _ => return None,
         })
@@ -293,8 +308,9 @@ fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
 }
 
 /// R1 — banned identifiers: containers with hash-dependent iteration
-/// order and ambient time sources.
-const R1_IDENTS: &[(&str, &str)] = &[
+/// order and ambient time sources. Shared with the determinism-taint
+/// rule, which uses the non-container entries as hard taint sources.
+pub(crate) const R1_IDENTS: &[(&str, &str)] = &[
     (
         "HashMap",
         "iteration order depends on the hasher; use BTreeMap or justify point-only access",
@@ -365,8 +381,9 @@ pub fn check_no_nondeterminism(file: &str, lexed: &Lexed, skip: &[(usize, usize)
     out
 }
 
-/// R2 — macros that abort instead of returning an error.
-const R2_MACROS: &[&str] = &[
+/// R2 — macros that abort instead of returning an error. Shared with
+/// the panic-reachability rule.
+pub(crate) const R2_MACROS: &[&str] = &[
     "panic",
     "unreachable",
     "todo",

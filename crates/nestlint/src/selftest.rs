@@ -19,8 +19,9 @@ use crate::manifest::check_manifest;
 use crate::names_check::{check_names, collect_uses, parse_names};
 use crate::rules::{
     check_allow_justification, check_no_nondeterminism, check_no_panic_on_wire, parse_suppressions,
-    test_ranges, Finding,
+    test_ranges, Finding, Rule,
 };
+use crate::whole::analyze_single;
 
 /// Self-test outcome: files checked and human-readable failures.
 pub struct SelfTest {
@@ -109,6 +110,81 @@ fn run_rust_fixture(
     compare(file, &mut expected, &findings, failures);
 }
 
+/// Runs one whole-program fixture (r8–r10) through all three graph
+/// rules with suppression filtering, mirroring the driver's pipeline
+/// with the file as its own wire surface and codec module.
+fn run_whole_fixture(dir: &Path, file: &str, checked: &mut usize, failures: &mut Vec<String>) {
+    let src = match fs::read_to_string(dir.join(file)) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("{file}: unreadable: {e}"));
+            return;
+        }
+    };
+    *checked += 1;
+    let (stripped, mut expected) = extract_markers(&src, "//~");
+    let sups = parse_suppressions(file, &lex(&stripped));
+    let mut findings = analyze_single(file, &stripped);
+    findings.extend(sups.findings.iter().cloned());
+    findings.retain(|f| !sups.covers(f.rule, f.line));
+    compare(file, &mut expected, &findings, failures);
+}
+
+/// Negative tests: mutate a fixture the way real codec/wire drift
+/// happens and assert the whole-program rules catch it. A rule whose
+/// fixture passes but whose mutation goes unflagged is decorative.
+fn run_mutation_negatives(dir: &Path, failures: &mut Vec<String>) {
+    // Deleting a field write from a `put_*` codec must be a finding.
+    if let Ok(src) = fs::read_to_string(dir.join("r10.rs")) {
+        let (stripped, _) = extract_markers(&src, "//~");
+        let anchor = "    w.u32(p.y);\n";
+        if !stripped.contains(anchor) {
+            failures.push("r10.rs: mutation anchor `w.u32(p.y);` missing".to_string());
+        } else {
+            let mutated = stripped.replacen(anchor, "", 1);
+            let hit = analyze_single("r10.rs", &mutated)
+                .into_iter()
+                .any(|f| f.rule == Rule::CodecSymmetry && f.msg.contains("put_point"));
+            if !hit {
+                failures.push(
+                    "r10.rs: deleting a field write from `put_point` produced no \
+                     wire-codec-symmetry finding"
+                        .to_string(),
+                );
+            }
+        }
+    } else {
+        failures.push("r10.rs: unreadable for mutation test".to_string());
+    }
+
+    // Adding an unchecked index to a fn reachable from a wire entry
+    // must be a finding.
+    if let Ok(src) = fs::read_to_string(dir.join("r8.rs")) {
+        let (stripped, _) = extract_markers(&src, "//~");
+        let anchor = "let _ok = buf.first();";
+        if !stripped.contains(anchor) {
+            failures.push("r8.rs: mutation anchor `buf.first()` missing".to_string());
+        } else {
+            let mutated = stripped.replacen(anchor, "let _ok = buf[0];", 1);
+            let count = |src: &str| {
+                analyze_single("r8.rs", src)
+                    .into_iter()
+                    .filter(|f| f.rule == Rule::PanicReachability)
+                    .count()
+            };
+            if count(&mutated) != count(&stripped) + 1 {
+                failures.push(
+                    "r8.rs: adding an index to `read_word` (reachable from `get_header`) \
+                     produced no new panic-reachability finding"
+                        .to_string(),
+                );
+            }
+        }
+    } else {
+        failures.push("r8.rs: unreadable for mutation test".to_string());
+    }
+}
+
 /// Runs the full fixture suite under `dir`.
 pub fn run(dir: &Path) -> SelfTest {
     let mut checked = 0usize;
@@ -149,6 +225,10 @@ pub fn run(dir: &Path) -> SelfTest {
         &mut checked,
         &mut failures,
     );
+    run_whole_fixture(dir, "r8.rs", &mut checked, &mut failures);
+    run_whole_fixture(dir, "r9.rs", &mut checked, &mut failures);
+    run_whole_fixture(dir, "r10.rs", &mut checked, &mut failures);
+    run_mutation_negatives(dir, &mut failures);
 
     // Not a fixture but a classification pin: the lane modules must
     // stay policy-classified as result-affecting. A policy-table edit
@@ -240,7 +320,7 @@ mod tests {
     fn committed_fixtures_pass() {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let st = run(&dir);
-        assert_eq!(st.checked, 8, "fixture files missing");
+        assert_eq!(st.checked, 11, "fixture files missing");
         assert!(st.failures.is_empty(), "{:#?}", st.failures);
     }
 }

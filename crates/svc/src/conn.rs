@@ -43,7 +43,7 @@ impl FrameBuf {
     /// since byte alignment with the peer is lost.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
         let word = |off: usize| -> Option<u32> {
-            let src = self.buf.get(off..off + 4)?;
+            let src = self.buf.get(off..off.checked_add(4)?)?;
             let mut b = [0u8; 4];
             b.copy_from_slice(src);
             Some(u32::from_le_bytes(b))
@@ -58,7 +58,9 @@ impl FrameBuf {
         if len > MAX_FRAME {
             return Err(format!("frame length {len} exceeds cap {MAX_FRAME}"));
         }
-        let total = HEADER + len as usize;
+        let total = HEADER
+            .checked_add(len as usize)
+            .ok_or_else(|| format!("frame length {len} overflows the buffer index"))?;
         if self.buf.len() < total {
             return Ok(None);
         }

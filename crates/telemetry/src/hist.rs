@@ -102,20 +102,20 @@ impl Histogram {
 
     /// Reassembles a histogram from its observable parts (the inverse
     /// of `bucket_counts`/`count`/`sum`), used by deserializers that
-    /// move recorders across process boundaries. Panics if `count`
+    /// move recorders across process boundaries. Errors if `count`
     /// disagrees with the bucket totals — corrupt wire data must not
-    /// silently skew campaign statistics.
-    pub fn from_parts(buckets: [u64; NUM_BUCKETS], count: u64, sum: u128) -> Self {
+    /// silently skew campaign statistics, and it must not panic the
+    /// process deserializing it either.
+    pub fn from_parts(buckets: [u64; NUM_BUCKETS], count: u64, sum: u128) -> Result<Self, String> {
         let total: u64 = buckets.iter().sum();
-        assert_eq!(
-            total, count,
-            "histogram bucket totals disagree with sample count"
-        );
-        Histogram {
+        if total != count {
+            return Err("histogram bucket totals disagree with sample count".to_string());
+        }
+        Ok(Histogram {
             buckets,
             count,
             sum,
-        }
+        })
     }
 
     /// Upper bound (exclusive) of the highest non-empty bucket; `None`

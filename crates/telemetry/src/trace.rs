@@ -139,18 +139,22 @@ impl Trace {
 
     /// Reassembles a trace from its observable parts (the inverse of
     /// `capacity`/`dropped`/`iter`), used by deserializers that move
-    /// recorders across process boundaries. Panics if more events are
-    /// supplied than the ring could ever retain.
-    pub fn from_parts(capacity: usize, dropped: u64, events: Vec<TraceEvent>) -> Self {
-        assert!(
-            events.len() <= capacity,
-            "trace holds more events than its ring capacity"
-        );
-        Trace {
+    /// recorders across process boundaries. Errors if more events are
+    /// supplied than the ring could ever retain — corrupt wire data
+    /// must not panic the process deserializing it.
+    pub fn from_parts(
+        capacity: usize,
+        dropped: u64,
+        events: Vec<TraceEvent>,
+    ) -> Result<Self, String> {
+        if events.len() > capacity {
+            return Err("trace holds more events than its ring capacity".to_string());
+        }
+        Ok(Trace {
             capacity,
             events: events.into(),
             dropped,
-        }
+        })
     }
 
     /// Appends an event, evicting the oldest if the buffer is full.
